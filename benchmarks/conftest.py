@@ -1,0 +1,53 @@
+"""Benchmark harness plumbing.
+
+Each benchmark registers the rendered table/figure it reproduces via the
+``report`` fixture; everything registered is printed in the terminal
+summary (so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+captures the paper-vs-measured artefacts alongside the timing table) and
+written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_REPORTS: list[tuple[str, str]] = []
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class ReportRegistry:
+    """Collects rendered experiment artefacts from benchmark tests."""
+
+    def add(self, name: str, text: str) -> None:
+        """Register artefact *name* with rendered *text*."""
+        _REPORTS.append((name, text))
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        safe = name.replace(" ", "_").replace("/", "-").lower()
+        (_RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def report() -> ReportRegistry:
+    """Session-wide registry benchmarks use to publish their artefacts."""
+    return ReportRegistry()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced paper artefacts")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"### {name}")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    # One combined artefact file for easy diffing across runs.
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    summary = "\n\n".join(
+        f"### {name}\n{text}" for name, text in _REPORTS
+    )
+    (_RESULTS_DIR / "SUMMARY.md").write_text(
+        "# Reproduced paper artefacts\n\n" + summary + "\n"
+    )

@@ -1,0 +1,78 @@
+"""A1 — §5.2 proposed fix: batching + path caching.
+
+The paper attributes the throughput gap to "the repetitive use of the
+d2path tool" and proposes "process events in batches ... and temporarily
+cache path mappings".  This ablation sweeps both knobs on the Iota model
+and shows the fix closes the gap (monitor matches the generation rate).
+"""
+
+import pytest
+
+from repro.harness.reporting import render_table
+from repro.perf import IOTA, PipelineConfig, run_pipeline
+
+
+def run(batch_size=1, cache_size=0, **kwargs):
+    return run_pipeline(
+        PipelineConfig(
+            profile=IOTA, duration=15.0, batch_size=batch_size,
+            cache_size=cache_size, **kwargs,
+        )
+    )
+
+
+def test_ablation_batching_and_caching(report, benchmark):
+    configurations = [
+        ("paper (per-event d2path)", 1, 0),
+        ("batch=16", 16, 0),
+        ("batch=64", 64, 0),
+        ("cache=4096", 1, 4096),
+        ("batch=64 + cache=4096", 64, 4096),
+    ]
+
+    def sweep():
+        rows = []
+        for label, batch, cache in configurations:
+            result = run(batch_size=batch, cache_size=cache)
+            rows.append((label, result))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["configuration", "monitor ev/s", "vs generation", "d2path calls",
+         "cache hit rate"],
+        [
+            (
+                label,
+                f"{r.delivered_rate:,.0f}",
+                f"{100 - r.shortfall_percent:.1f}%",
+                f"{r.d2path_invocations:,}",
+                f"{r.cache_hit_rate:.3f}" if r.config.cache_size else "-",
+            )
+            for label, r in rows
+        ],
+        title="A1 - d2path batching + path-cache ablation (Iota model)",
+    )
+    report.add("Ablation A1 - batching and caching", table)
+
+    by_label = dict(rows)
+    baseline = by_label["paper (per-event d2path)"]
+    fixed = by_label["batch=64 + cache=4096"]
+    assert not baseline.keeps_up
+    assert fixed.keeps_up
+    assert by_label["batch=64"].delivered_rate > baseline.delivered_rate
+    assert by_label["cache=4096"].delivered_rate > baseline.delivered_rate
+
+
+def test_cache_size_sweep_monotone():
+    rates = [
+        run(cache_size=size).delivered_rate for size in (0, 64, 512, 4096)
+    ]
+    assert all(b >= a * 0.99 for a, b in zip(rates, rates[1:]))
+    assert rates[-1] > rates[0]
+
+
+def test_batch_size_sweep_amortises_overhead():
+    rates = {b: run(batch_size=b).delivered_rate for b in (1, 4, 16, 64)}
+    assert rates[4] > rates[1]
+    assert rates[64] >= rates[16] * 0.99

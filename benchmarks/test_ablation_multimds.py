@@ -1,0 +1,56 @@
+"""A2 — §6 future work: multiple distributed MDS.
+
+"If the d2path resolutions were distributed across multiple MDS, the
+throughput of the monitor would surpass the event generation rate."
+The Iota testbed has four MDS (one active in the paper's runs); this
+ablation activates 1..4 and checks the predicted crossover at 2 MDS.
+"""
+
+import pytest
+
+from repro.harness.reporting import render_table
+from repro.perf import IOTA, PipelineConfig, run_pipeline
+
+
+def run(num_mds, arrival_rate=None):
+    return run_pipeline(
+        PipelineConfig(
+            profile=IOTA, duration=15.0, num_mds=num_mds,
+            arrival_rate=arrival_rate,
+        )
+    )
+
+
+def test_ablation_multi_mds(report, benchmark):
+    def sweep():
+        return {m: run(m) for m in (1, 2, 3, 4)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["active MDS", "monitor ev/s", "generation ev/s", "keeps up"],
+        [
+            (
+                m,
+                f"{r.delivered_rate:,.0f}",
+                f"{r.generation_rate:,.0f}",
+                "yes" if r.keeps_up else "no",
+            )
+            for m, r in sorted(results.items())
+        ],
+        title="A2 - multi-MDS scaling (Iota model, paper's 4-MDS hardware)",
+    )
+    report.add("Ablation A2 - multi-MDS scaling", table)
+
+    assert not results[1].keeps_up           # the paper's measured config
+    assert results[2].keeps_up               # the paper's prediction
+    assert results[4].keeps_up
+
+
+def test_processing_capacity_scales_linearly_below_saturation():
+    """With an arrival rate far above capacity, delivered rate ~ M / p."""
+    overdriven = 40_000.0
+    rate_1 = run(1, arrival_rate=overdriven).delivered_rate
+    rate_2 = run(2, arrival_rate=overdriven).delivered_rate
+    rate_4 = run(4, arrival_rate=overdriven).delivered_rate
+    assert rate_2 == pytest.approx(2 * rate_1, rel=0.05)
+    assert rate_4 == pytest.approx(4 * rate_1, rel=0.05)

@@ -1,0 +1,54 @@
+"""A4 — §6 future work: message-passing techniques.
+
+"exploring and evaluating different message passing techniques between
+the collection and aggregation points."  Compares PUSH/PULL (pipeline),
+PUB/SUB (the paper's ZeroMQ choice) and REQ/REP (lock-step RPC) on the
+collection path, with and without batching.
+"""
+
+import pytest
+
+from repro.harness.reporting import render_table
+from repro.perf import IOTA, PipelineConfig, run_pipeline
+
+
+def run(transport, batch_size=1):
+    return run_pipeline(
+        PipelineConfig(
+            profile=IOTA, duration=15.0, transport=transport,
+            batch_size=batch_size,
+        )
+    )
+
+
+def test_ablation_transports(report, benchmark):
+    def sweep():
+        rows = []
+        for transport in ("pushpull", "pubsub", "reqrep"):
+            unbatched = run(transport)
+            batched = run(transport, batch_size=64)
+            rows.append((transport, unbatched, batched))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["transport", "ev/s (per-event)", "ev/s (batch=64)"],
+        [
+            (t, f"{u.delivered_rate:,.0f}", f"{b.delivered_rate:,.0f}")
+            for t, u, b in rows
+        ],
+        title="A4 - collector->aggregator transport ablation (Iota model)",
+    )
+    report.add("Ablation A4 - message transports", table)
+
+    by_name = {t: (u, b) for t, u, b in rows}
+    # Async transports are comparable; lock-step RPC collapses throughput.
+    assert by_name["pubsub"][0].delivered_rate == pytest.approx(
+        by_name["pushpull"][0].delivered_rate, rel=0.05
+    )
+    assert (
+        by_name["reqrep"][0].delivered_rate
+        < 0.5 * by_name["pushpull"][0].delivered_rate
+    )
+    # Batching amortises the round trip enough to keep up again.
+    assert by_name["reqrep"][1].delivered_rate > 3 * by_name["reqrep"][0].delivered_rate

@@ -1,0 +1,101 @@
+"""Extension experiment: sizing Ripple's cloud side (Figure 1).
+
+Given the monitor's measured output rates, how many Lambda-style
+workers does the cloud service need?  Sweeps worker concurrency at the
+AWS and Iota event rates, and shows at-least-once overhead under
+injected failures.
+"""
+
+import pytest
+
+from repro.harness.reporting import render_table
+from repro.perf import CloudConfig, run_cloud
+from repro.perf.testbeds import PAPER_MONITOR_THROUGHPUT
+
+
+def test_concurrency_sizing(report, benchmark):
+    service_seconds = 2.0e-3  # per-entry rule evaluation + dispatch
+
+    def sweep():
+        rows = []
+        for testbed, rate in sorted(PAPER_MONITOR_THROUGHPUT.items()):
+            for concurrency in (1, 2, 4, 8, 16, 32):
+                result = run_cloud(
+                    CloudConfig(
+                        arrival_rate=rate,
+                        service_seconds=service_seconds,
+                        concurrency=concurrency,
+                        duration=20.0,
+                    )
+                )
+                rows.append((testbed, rate, concurrency, result))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["testbed", "event rate", "workers", "processed ev/s", "util",
+         "p99 latency", "keeps up"],
+        [
+            (
+                testbed,
+                f"{rate:,.0f}",
+                concurrency,
+                f"{r.processed_rate:,.0f}",
+                f"{r.utilisation:.2f}",
+                f"{r.latency.percentile(0.99) * 1000:.1f} ms",
+                "yes" if r.keeps_up else "no",
+            )
+            for testbed, rate, concurrency, r in rows
+        ],
+        title=(
+            "Cloud-side sizing: Lambda workers needed to absorb the "
+            "monitor's output (2 ms/entry service time)"
+        ),
+    )
+    report.add("Extension - cloud worker sizing", table)
+
+    by_key = {(t, c): r for t, _rate, c, r in rows}
+    # AWS (1053 ev/s x 2ms = 2.1 busy workers): 4 suffice, 2 do not.
+    assert not by_key[("AWS", 2)].keeps_up
+    assert by_key[("AWS", 4)].keeps_up
+    # Iota (8162 ev/s x 2ms = 16.3 busy workers): 8 saturate, 32 cruise.
+    assert not by_key[("Iota", 8)].keeps_up
+    assert by_key[("Iota", 32)].keeps_up
+    assert by_key[("Iota", 8)].utilisation == pytest.approx(1.0, rel=0.02)
+
+
+def test_utilisation_matches_theory():
+    """util = arrival_rate * service / concurrency below saturation."""
+    result = run_cloud(
+        CloudConfig(arrival_rate=1000.0, service_seconds=1e-3, concurrency=4)
+    )
+    assert result.utilisation == pytest.approx(0.25, rel=0.05)
+    assert result.keeps_up
+
+
+def test_failures_cost_redeliveries_not_loss():
+    result = run_cloud(
+        CloudConfig(
+            arrival_rate=500.0,
+            service_seconds=1e-3,
+            concurrency=4,
+            failure_probability=0.2,
+            visibility_timeout=0.5,
+            duration=30.0,
+        )
+    )
+    # Everything is eventually processed exactly once (per success)...
+    assert result.keeps_up
+    # ...at the cost of ~25% extra invocations (p/(1-p) redelivery tax);
+    # a small tail of failures is still awaiting redelivery at cutoff.
+    assert result.failures - result.redeliveries < 150
+    assert result.failures > 0.15 * result.processed
+
+
+def test_saturated_pool_grows_backlog():
+    result = run_cloud(
+        CloudConfig(arrival_rate=2000.0, service_seconds=1e-3, concurrency=1)
+    )
+    assert not result.keeps_up
+    assert result.queue_depth_peak > 1000
+    assert result.utilisation == pytest.approx(1.0, rel=0.02)

@@ -1,0 +1,47 @@
+"""E5 — Figure 3 + §5.3: NERSC dump differencing and scaling analysis.
+
+Synthesises a 36-day dump series statistically similar to tlproject2
+(scaled 1:1000), runs the paper's consecutive-day differ, and reproduces
+the scaling arithmetic: peak diffs/day → events/s over 24 h → 8-hour
+worst case → linear Aurora extrapolation.  The paper's conclusion —
+real-world requirements sit far below the monitor's measured throughput
+— must hold.
+"""
+
+import pytest
+
+from repro.harness import experiment_figure3
+from repro.perf.testbeds import PAPER_MONITOR_THROUGHPUT
+
+
+def test_figure3(report, benchmark):
+    result = benchmark.pedantic(
+        experiment_figure3, kwargs={"base_files": 850_000}, rounds=1,
+        iterations=1,
+    )
+    # Peak daily differences in the paper's ballpark (3.6M/day).
+    ratio = result.scaled_peak_diffs / result.paper_peak_diffs
+    assert 0.5 <= ratio <= 2.0
+    # The paper's arithmetic chain.
+    assert result.analysis.events_per_second_8h == pytest.approx(
+        3 * result.analysis.events_per_second_24h
+    )
+    assert result.analysis.aurora_factor == pytest.approx(21.1, abs=0.2)
+    report.add("Figure 3 - NERSC daily differences + scaling", result.render())
+
+
+def test_requirements_well_within_monitor_capability():
+    """'a rate sufficient to meet the predicted needs of the forthcoming
+    150PB Aurora file system' — extrapolated demand << Iota throughput."""
+    result = experiment_figure3(base_files=200_000)
+    aurora_demand = result.analysis.extrapolate()
+    assert aurora_demand < 0.8 * PAPER_MONITOR_THROUGHPUT["Iota"]
+
+
+def test_worst_case_concentration_factor():
+    """42 ev/s average vs 127 ev/s when concentrated into 8 hours."""
+    result = experiment_figure3(base_files=200_000)
+    assert (
+        result.analysis.events_per_second_8h
+        / result.analysis.events_per_second_24h
+    ) == pytest.approx(3.0)

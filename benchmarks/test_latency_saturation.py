@@ -1,0 +1,76 @@
+"""Extension experiment: event-delivery latency vs offered load.
+
+The paper reports throughput only; a natural operator question is *how
+stale is the stream* as load approaches the monitor's capacity.  This
+sweep drives the Iota model at increasing fractions of its measured
+capacity (~8.2k ev/s per-event, ~9.6k with the fix) and shows the
+classic saturation knee: sub-millisecond-to-ms latency while under
+capacity, unbounded backlog growth beyond it — and that the
+batching/caching fix moves the knee past the generation maximum.
+"""
+
+import pytest
+
+from repro.harness.reporting import render_table
+from repro.perf import IOTA, PipelineConfig, run_pipeline
+
+
+def run(arrival_rate, batch_size=1, cache_size=0, duration=20.0):
+    return run_pipeline(
+        PipelineConfig(
+            profile=IOTA, duration=duration, arrival_rate=arrival_rate,
+            batch_size=batch_size, cache_size=cache_size,
+        )
+    )
+
+
+def test_latency_vs_load(report, benchmark):
+    capacity = 8163.0  # measured single-MDS per-event capacity
+
+    def sweep():
+        rows = []
+        for fraction in (0.25, 0.5, 0.75, 0.9, 1.1):
+            result = run(arrival_rate=fraction * capacity)
+            rows.append((fraction, result))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["offered load (x capacity)", "delivered ev/s", "mean latency",
+         "p99 latency", "peak backlog"],
+        [
+            (
+                f"{fraction:.2f}",
+                f"{r.delivered_rate:,.0f}",
+                f"{r.latency.mean * 1000:.2f} ms",
+                f"{r.latency.percentile(0.99) * 1000:.2f} ms",
+                f"{r.changelog_backlog_peak:,}",
+            )
+            for fraction, r in rows
+        ],
+        title="Latency vs offered load (Iota model, per-event d2path)",
+    )
+    report.add("Extension - latency saturation knee", table)
+
+    by_fraction = dict(rows)
+    # Below capacity: stable latency, tiny backlog.
+    assert by_fraction[0.25].latency.mean < 0.005
+    assert by_fraction[0.25].changelog_backlog_peak < 10
+    # Beyond capacity: latency blows up with a growing backlog.
+    assert by_fraction[1.1].latency.mean > 10 * by_fraction[0.25].latency.mean
+    assert by_fraction[1.1].changelog_backlog_peak > 1000
+
+
+def test_fix_moves_knee_past_generation_max():
+    loaded = run(arrival_rate=9593.0, batch_size=64, cache_size=4096)
+    assert loaded.keeps_up
+    assert loaded.latency.percentile(0.99) < 0.05
+
+
+def test_latency_grows_linearly_once_saturated():
+    """In overload the queue grows at (arrival - capacity); latency of
+    the last delivered events ~ backlog/capacity, so doubling the run
+    roughly doubles the tail latency."""
+    short = run(arrival_rate=10_000, duration=10.0)
+    long = run(arrival_rate=10_000, duration=20.0)
+    assert long.latency.max_seen > 1.5 * short.latency.max_seen

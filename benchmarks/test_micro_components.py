@@ -1,0 +1,112 @@
+"""Component microbenchmarks: the hot paths of the live implementation."""
+
+import pytest
+
+from repro.cloudq import ReliableQueue
+from repro.core.events import EventType, FileEvent
+from repro.core.processor import PathCache
+from repro.core.store import EventStore
+from repro.lustre.fid import Fid
+from repro.msgq import Context
+
+
+def make_event(index):
+    return FileEvent(
+        event_type=EventType.CREATED, path=f"/d/f{index}", is_dir=False,
+        timestamp=float(index), name=f"f{index}", source="lustre",
+        fid=f"0x1:{index}:0x0", parent_fid="0x1:0x1:0x0",
+        mdt_index=0, record_index=index,
+    )
+
+
+class TestEventStoreBench:
+    def test_bench_append(self, benchmark):
+        store = EventStore(max_events=10_000)
+        counter = {"n": 0}
+
+        def append():
+            counter["n"] += 1
+            store.append(make_event(counter["n"]))
+
+        benchmark(append)
+
+    def test_bench_since_on_full_store(self, benchmark):
+        store = EventStore(max_events=10_000)
+        for index in range(10_000):
+            store.append(make_event(index))
+        result = benchmark(store.since, 9_900)
+        assert len(result) == 100
+
+    def test_bench_query_by_prefix(self, benchmark):
+        store = EventStore(max_events=10_000)
+        for index in range(10_000):
+            store.append(make_event(index))
+        result = benchmark(store.query, path_prefix="/d/f42", limit=10)
+        assert result
+
+
+class TestQueueBench:
+    def test_bench_sqs_send_receive_delete(self, benchmark):
+        queue = ReliableQueue("bench", visibility_timeout=60.0)
+
+        def round_trip():
+            queue.send({"k": 1})
+            (message,) = queue.receive()
+            queue.delete(message.receipt)
+
+        benchmark(round_trip)
+        assert queue.approximate_depth == 0
+
+    def test_bench_pubsub_fan_out_10(self, benchmark):
+        context = Context()
+        publisher = context.pub().bind("inproc://bench")
+        subscribers = [
+            context.sub(hwm=1_000_000).connect("inproc://bench").subscribe("")
+            for _ in range(10)
+        ]
+
+        def publish():
+            publisher.send("t", "payload")
+
+        benchmark(publish)
+        assert all(sub.pending > 0 for sub in subscribers)
+
+
+class TestPathCacheBench:
+    def test_bench_hit(self, benchmark):
+        cache = PathCache(capacity=4096)
+        fids = [Fid(1, index) for index in range(4096)]
+        for index, fid in enumerate(fids):
+            cache.put(fid, f"/dir{index}")
+        target = fids[123]
+        path = benchmark(cache.get, target)
+        assert path == "/dir123"
+
+    def test_bench_invalidate_prefix(self, benchmark):
+        def build_and_invalidate():
+            cache = PathCache(capacity=4096)
+            for index in range(2048):
+                cache.put(Fid(1, index), f"/tree/sub{index % 8}/d{index}")
+            return cache.invalidate_prefix("/tree/sub3")
+
+        removed = benchmark.pedantic(build_and_invalidate, rounds=20,
+                                     iterations=1)
+        assert removed == 256
+
+
+class TestChangelogPipelineBench:
+    def test_bench_lustre_create_op(self, benchmark):
+        from repro.lustre import LustreFilesystem
+
+        fs = LustreFilesystem()
+        fs.mkdir("/d")
+        user = fs.changelogs()[0].register_user()
+        counter = {"n": 0}
+
+        def create():
+            counter["n"] += 1
+            fs.create(f"/d/f{counter['n']}")
+            changelog = fs.changelogs()[0]
+            changelog.clear(user, changelog.last_index)
+
+        benchmark(create)

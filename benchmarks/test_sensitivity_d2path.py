@@ -1,0 +1,93 @@
+"""Model sensitivity: how the d2path cost *split* drives the fixes.
+
+The calibration pins overhead + per-FID = 1/8162 s on Iota, but the
+paper does not report the split.  This study sweeps the overhead
+fraction at constant total cost and shows which conclusions are robust
+to that unknown:
+
+* baseline (per-event) throughput is split-invariant — it depends only
+  on the total, so the headline 8162 ev/s reproduction does not rest on
+  the assumed split;
+* the *batching* fix's benefit grows with the overhead fraction (it
+  amortises exactly the overhead part);
+* the *caching* fix is split-invariant (a hit skips the whole call),
+  so caching is the robust recommendation when the split is unknown.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.reporting import render_table
+from repro.perf import IOTA, PipelineConfig, run_pipeline
+
+
+def profile_with_split(overhead_fraction: float):
+    total = IOTA.d2path_seconds_per_event
+    return dataclasses.replace(
+        IOTA,
+        d2path_overhead_seconds=total * overhead_fraction,
+        d2path_per_fid_seconds=total * (1.0 - overhead_fraction),
+    )
+
+
+def run(profile, **kwargs):
+    return run_pipeline(
+        PipelineConfig(profile=profile, duration=8.0, **kwargs)
+    )
+
+
+def test_sensitivity_to_overhead_fraction(report, benchmark):
+    fractions = (0.25, 0.5, 0.73, 0.9)  # 0.73 is the calibrated split
+
+    def sweep():
+        rows = []
+        for fraction in fractions:
+            profile = profile_with_split(fraction)
+            baseline = run(profile)
+            # Overdrive the batched/cached configurations so measured
+            # rates reflect true capacity, not the generation ceiling.
+            batched = run(profile, batch_size=64, arrival_rate=60_000.0)
+            cached = run(profile, cache_size=4096, arrival_rate=60_000.0)
+            rows.append((fraction, baseline, batched, cached))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["overhead fraction", "baseline ev/s", "batch=64 ev/s",
+         "cache=4096 ev/s"],
+        [
+            (
+                f"{fraction:.2f}",
+                f"{base.delivered_rate:,.0f}",
+                f"{batched.delivered_rate:,.0f}",
+                f"{cached.delivered_rate:,.0f}",
+            )
+            for fraction, base, batched, cached in rows
+        ],
+        title=(
+            "Sensitivity of the section-5.2 fixes to the (unreported) "
+            "d2path cost split (Iota, total cost held constant)"
+        ),
+    )
+    report.add("Sensitivity - d2path cost split", table)
+
+    baselines = [base.delivered_rate for _f, base, _b, _c in rows]
+    cached_rates = [c.delivered_rate for _f, _base, _b, c in rows]
+    # Baseline is split-invariant (within 1%).
+    assert max(baselines) - min(baselines) < 0.01 * max(baselines)
+    # Batching's benefit grows with the overhead fraction.
+    gains = [
+        batched.delivered_rate / base.delivered_rate
+        for _f, base, batched, _c in rows
+    ]
+    assert gains == sorted(gains)
+    # Caching is (nearly) split-invariant and always keeps up.
+    assert max(cached_rates) - min(cached_rates) < 0.02 * max(cached_rates)
+
+
+def test_headline_number_robust_to_split():
+    """8162 ev/s must reproduce for ANY split of the calibrated total."""
+    for fraction in (0.1, 0.5, 0.9):
+        result = run(profile_with_split(fraction))
+        assert result.delivered_rate == pytest.approx(8162, rel=0.02)

@@ -1,0 +1,64 @@
+"""E1 — Table 1: sample ChangeLog records.
+
+Reproduces the paper's example ChangeLog (CREAT data1.txt, MKDIR DataDir,
+UNLNK data1.txt with the UNLINK_LAST flag) and benchmarks the record
+format/parse path, which every collected event crosses.
+"""
+
+from repro.harness import experiment_table1, render_table
+from repro.lustre.changelog import ChangelogFlag, ChangelogRecord, RecordType
+from repro.lustre.fid import Fid
+
+
+def test_table1_sample_changelog(report, benchmark):
+    lines = benchmark.pedantic(experiment_table1, rounds=1, iterations=1)
+    assert len(lines) == 3
+    assert "01CREAT" in lines[0]
+    assert "02MKDIR" in lines[1]
+    assert "06UNLNK" in lines[2] and lines[2].split()[4] == "0x1"
+    paper_lines = [
+        "13106 01CREAT 20:15:37.1138 2017.09.06 0x0 "
+        "t=[0x200000402:0xa046:0x0] p=[0x200000007:0x1:0x0] data1.txt",
+        "13107 02MKDIR 20:15:37.5097 2017.09.06 0x0 "
+        "t=[0x200000420:0x3:0x0] p=[0x61b4:0xca2c7dde:0x0] DataDir",
+        "13108 06UNLNK 20:15:37.8869 2017.09.06 0x1 "
+        "t=[0x200000402:0xa048:0x0] p=[0x200000007:0x1:0x0] data1.txt",
+    ]
+    body = "paper:\n" + "\n".join(
+        f"  {line}" for line in paper_lines
+    ) + "\nreproduced:\n" + "\n".join(f"  {line}" for line in lines)
+    report.add("Table 1 - sample ChangeLog record", body)
+
+
+def test_bench_record_format(benchmark):
+    record = ChangelogRecord(
+        13106, RecordType.CREAT, 1_504_728_937.1138, ChangelogFlag.NONE,
+        Fid(0x200000402, 0xA046), Fid(0x200000007, 0x1), "data1.txt",
+    )
+    line = benchmark(record.format)
+    assert "01CREAT" in line
+
+
+def test_bench_record_parse(benchmark):
+    record = ChangelogRecord(
+        13106, RecordType.CREAT, 1_504_728_937.1138, ChangelogFlag.NONE,
+        Fid(0x200000402, 0xA046), Fid(0x200000007, 0x1), "data1.txt",
+    )
+    line = record.format()
+    parsed = benchmark(ChangelogRecord.parse, line)
+    assert parsed.rec_type is RecordType.CREAT
+
+
+def test_bench_changelog_append(benchmark):
+    from repro.lustre.changelog import ChangeLog
+    from repro.util.clock import ManualClock
+
+    changelog = ChangeLog(0, clock=ManualClock())
+    user = changelog.register_user()
+    target, parent = Fid(0x200000402, 1), Fid(0x200000007, 1)
+
+    def append_and_clear():
+        changelog.append(RecordType.CREAT, target, parent, "f")
+        changelog.clear(user, changelog.last_index)
+
+    benchmark(append_and_clear)

@@ -1,0 +1,32 @@
+"""E2 — Table 2: testbed performance characteristics.
+
+Runs the paper's 10,000-file create/modify/delete script against the
+Lustre model under each testbed's calibrated per-op latencies and checks
+the derived rates against Table 2 (see DESIGN.md for the calibration
+policy: per-op latencies and the combined maximum are testbed inputs;
+the per-phase record counts and rates are derived by the model).
+"""
+
+import pytest
+
+from repro.harness import experiment_table2
+from repro.perf import AWS, IOTA
+
+
+@pytest.mark.parametrize("profile", [AWS, IOTA], ids=["AWS", "Iota"])
+def test_table2(profile, report, benchmark):
+    result = benchmark.pedantic(
+        experiment_table2, args=(profile,), kwargs={"n_files": 10_000},
+        rounds=1, iterations=1,
+    )
+    assert result.created_per_s == pytest.approx(result.paper["created"], rel=0.01)
+    assert result.modified_per_s == pytest.approx(result.paper["modified"], rel=0.01)
+    assert result.deleted_per_s == pytest.approx(result.paper["deleted"], rel=0.01)
+    report.add(f"Table 2 - {profile.name} testbed characteristics", result.render())
+
+
+def test_table2_iota_dominates_aws(report):
+    aws = experiment_table2(AWS, n_files=2000)
+    iota = experiment_table2(IOTA, n_files=2000)
+    assert iota.created_per_s > 3 * aws.created_per_s
+    assert iota.total_per_s > 7 * aws.total_per_s

@@ -1,0 +1,42 @@
+"""E4 — Table 3: maximum monitor resource utilisation.
+
+Replays the Iota throughput run with per-component resource sampling and
+compares peak CPU% / memory against Table 3.  The *shape* assertions are
+the load-bearing ones: collector ≫ aggregator > consumer in CPU, and the
+aggregator's memory dominated by the rotating event store.
+"""
+
+import pytest
+
+from repro.harness import experiment_table3
+from repro.perf import IOTA, PipelineConfig, run_pipeline
+
+
+def test_table3(report, benchmark):
+    result = benchmark.pedantic(
+        experiment_table3, kwargs={"duration": 30.0}, rounds=1, iterations=1
+    )
+    collector_cpu, collector_mem = result.measured["collector"]
+    aggregator_cpu, aggregator_mem = result.measured["aggregator"]
+    consumer_cpu, consumer_mem = result.measured["consumer"]
+    # Paper values within tolerance.
+    assert collector_cpu == pytest.approx(6.667, rel=0.10)
+    assert aggregator_cpu == pytest.approx(0.059, rel=0.15)
+    assert consumer_cpu == pytest.approx(0.02, rel=0.15)
+    assert collector_mem == pytest.approx(281.6, rel=0.10)
+    assert aggregator_mem == pytest.approx(217.6, rel=0.10)
+    assert consumer_mem == pytest.approx(12.8, rel=0.10)
+    # Shape: ordering and smallness.
+    assert collector_cpu > 10 * aggregator_cpu > 10 * consumer_cpu / 10
+    assert collector_cpu < 10.0  # "the CPU cost of operating the monitor is small"
+    report.add("Table 3 - monitor resource utilisation (Iota)", result.render())
+
+
+def test_memory_dominated_by_event_store():
+    """Paper: 'The memory footprint is due to the use of a local store
+    that records a list of every event captured by the monitor' —
+    capping the store caps the memory."""
+    full = run_pipeline(PipelineConfig(profile=IOTA, duration=30.0))
+    aggregator_mem = full.resources["aggregator"].memory_mb
+    base = IOTA.aggregator_cost.base_memory_mb
+    assert aggregator_mem > 20 * base  # store dwarfs the base footprint

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Capacity planning: can the monitor keep up with Aurora? (paper §5.3)
+
+The paper's closing argument runs three analyses; this example chains
+them the way a facility operator would:
+
+1. **Demand** — difference 36 days of (synthetic) tlproject2 dumps to
+   find peak daily activity, spread it over 24 h and a worst-case 8 h
+   window, and extrapolate linearly to Aurora's 150 PB.
+2. **Supply** — run the monitor pipeline model on the Iota profile (the
+   same hardware generation as Aurora's store) to find sustained
+   throughput, with and without the batching/caching fix and with the
+   MDS count Aurora would actually have.
+3. **Verdict** — compare, with headroom factors.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.harness import experiment_figure3
+from repro.harness.reporting import render_table
+from repro.perf import IOTA, PipelineConfig, run_pipeline
+
+
+def main() -> None:
+    # -- 1. demand ---------------------------------------------------------
+    demand = experiment_figure3()
+    aurora_rate = demand.analysis.extrapolate()
+    print("demand (from dump differencing):")
+    print(f"  peak daily differences : {demand.scaled_peak_diffs:,}")
+    print(f"  averaged over 24h      : {demand.analysis.events_per_second_24h:,.0f} ev/s")
+    print(f"  8-hour worst case      : {demand.analysis.events_per_second_8h:,.0f} ev/s")
+    print(f"  Aurora 150PB estimate  : {aurora_rate:,.0f} ev/s")
+    print()
+
+    # -- 2. supply -----------------------------------------------------------
+    scenarios = [
+        ("paper config (1 MDS, per-event d2path)",
+         PipelineConfig(profile=IOTA, duration=20.0)),
+        ("batching + caching fix",
+         PipelineConfig(profile=IOTA, duration=20.0,
+                        batch_size=64, cache_size=4096)),
+        ("4 active MDS (Aurora-like metadata tier)",
+         PipelineConfig(profile=IOTA, duration=20.0, num_mds=4)),
+    ]
+    rows = []
+    supplies = {}
+    for label, config in scenarios:
+        result = run_pipeline(config)
+        supplies[label] = result.delivered_rate
+        rows.append(
+            (label, f"{result.delivered_rate:,.0f}",
+             f"{result.delivered_rate / aurora_rate:,.1f}x")
+        )
+    print(render_table(
+        ["monitor configuration", "sustained ev/s", "headroom vs Aurora demand"],
+        rows, title="supply (pipeline model, Iota hardware profile)",
+    ))
+    print()
+
+    # -- 3. verdict ------------------------------------------------------------
+    worst_supply = min(supplies.values())
+    print(f"verdict: even the paper's unoptimised configuration sustains "
+          f"{worst_supply:,.0f} ev/s,")
+    print(f"         {worst_supply / aurora_rate:,.1f}x the projected Aurora demand "
+          f"of {aurora_rate:,.0f} ev/s —")
+    print("         matching the paper's conclusion that the monitor meets the")
+    print("         predicted needs of the forthcoming 150PB Aurora file system.")
+    assert worst_supply > 2 * aurora_rate
+    print("capacity planning OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Site-wide purge policy: the workload inotify-based Ripple cannot do.
+
+The paper (§3, Limitations): "Ripple cannot enforce rules which are
+applied to many directories, such as site-wide purging policies" when it
+relies on targeted inotify watchers.  With the Lustre monitor the agent
+consumes *site-wide* events without placing a single watcher, so a
+purge-scratch-files policy spanning every project directory becomes one
+rule.
+
+This example also contrasts with the Robinhood baseline: the same purge
+expressed as a centralized bulk policy run, showing both approaches
+operating over identical activity (and what each costs).
+
+Run:  python examples/site_purge.py
+"""
+
+from repro.baselines import RobinhoodCollector, RobinhoodPolicy
+from repro.core import LustreMonitor
+from repro.core.events import EventType
+from repro.lustre import LustreFilesystem
+from repro.ripple import Action, RippleAgent, RippleService, Trigger
+from repro.util.clock import ManualClock
+
+
+def populate(fs: LustreFilesystem, n_projects: int = 5, files_each: int = 6) -> None:
+    """Create project trees mixing keep-files and scratch .tmp files."""
+    for project in range(n_projects):
+        base = f"/projects/p{project:02d}/scratch"
+        fs.makedirs(base)
+        for index in range(files_each):
+            fs.create(f"{base}/job_{index}.out", size=1024)
+            fs.create(f"{base}/job_{index}.tmp", size=4096)
+
+
+def main() -> None:
+    clock = ManualClock()
+    fs = LustreFilesystem(num_mds=2, clock=clock)
+
+    # Robinhood baseline registers BEFORE activity so its DB sees it all.
+    robinhood = RobinhoodCollector(fs, clock=clock)
+
+    monitor = LustreMonitor(fs)
+    service = RippleService(clock=clock)
+    agent = RippleAgent("site-store", filesystem=fs)
+    service.register_agent(agent)
+    agent.attach_lustre_monitor(monitor)
+
+    # ONE rule purges *.tmp anywhere under /projects, site-wide.
+    service.add_rule(
+        Trigger(agent_id="site-store", path_prefix="/projects",
+                name_pattern="*.tmp",
+                event_types=frozenset({EventType.CREATED})),
+        Action("command", "site-store", {"command": "delete", "src": "{path}"}),
+        name="purge-scratch-sitewide",
+    )
+
+    populate(fs)
+    clock.advance(3600.0)  # an hour of simulated time passes
+
+    # --- Ripple + monitor path: events stream in, the rule fires --------
+    monitor.drain()
+    service.run_until_quiet()
+    remaining_tmp = [
+        f"{dirpath}/{name}"
+        for dirpath, _dirs, files in fs.walk("/projects")
+        for name in files
+        if name.endswith(".tmp")
+    ]
+    print(f"[ripple]    tmp files remaining after streaming purge: "
+          f"{len(remaining_tmp)}")
+    print(f"[ripple]    actions executed: {agent.actions_executed}, "
+          f"watchers placed: 0 (site-wide via ChangeLog)")
+
+    # --- Robinhood path: bulk scan + policy run ----------------------------
+    robinhood.scan_once()
+    run = robinhood.run_policy(
+        RobinhoodPolicy(
+            name="purge-tmp",
+            name_pattern="*.tmp",
+            older_than=0.0,
+            # The Ripple rule already deleted them; Robinhood's sweep
+            # shows how the same policy would act (on a fresh tree it
+            # would unlink; here we just count matches).
+        )
+    )
+    print(f"[robinhood] database entries: {len(robinhood.database)}, "
+          f"policy scanned {run.scanned}, matched {run.matched}")
+    report = robinhood.usage_report()
+    print(f"[robinhood] usage report: {report}")
+
+    assert not remaining_tmp, "site-wide purge should have removed every .tmp"
+    # Robinhood saw the deletions through the same changelogs, so its DB
+    # no longer contains the purged files either.
+    assert run.matched == 0
+    print("site purge OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs cannot build an editable wheel.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to
+``setup.py develop``, which needs only setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

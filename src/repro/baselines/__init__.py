@@ -1,0 +1,31 @@
+"""Baseline event-detection approaches the paper compares against.
+
+* :class:`RobinhoodCollector` — a Robinhood-style *centralized* policy
+  engine: a single client sequentially extracts metadata from each MDS
+  ChangeLog into a database, over which policy queries run (paper §2).
+  Contrast with the monitor's distributed per-MDS collectors.
+* :class:`PollingMonitor` — the crawl-and-diff approach Ripple explored
+  and rejected: periodically walk the namespace, stat everything, and
+  diff against the previous snapshot ("prohibitively expensive over
+  large storage systems"; it also misses short-lived files, the same
+  limitation §5.3 notes for dump differencing).
+* :class:`InotifyMonitor` — the Watchdog-based agent detection from the
+  original Ripple, with its crawl-to-place-watchers setup cost and
+  per-watch kernel memory (unavailable on Lustre; included for the
+  comparison experiments on local filesystems).
+"""
+
+from repro.baselines.robinhood import PolicyRun, RobinhoodCollector, RobinhoodPolicy
+from repro.baselines.polling import PollingMonitor, SnapshotDiff
+from repro.baselines.inotify_monitor import InotifyMonitor
+from repro.baselines.irods_gateway import IngestGateway
+
+__all__ = [
+    "RobinhoodCollector",
+    "RobinhoodPolicy",
+    "PolicyRun",
+    "PollingMonitor",
+    "SnapshotDiff",
+    "InotifyMonitor",
+    "IngestGateway",
+]

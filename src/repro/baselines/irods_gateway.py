@@ -1,0 +1,124 @@
+"""An iRODS-style closed-ingest baseline (paper §2).
+
+"The integrated Rule-Oriented Data System works by ingesting data into
+a closed data grid such that it can manage the data and monitor events
+throughout the data lifecycle."  The approach sees every event for data
+that flows *through its API* — and nothing for data that does not.
+
+:class:`IngestGateway` wraps a filesystem: operations performed through
+the gateway are recorded and raise events; operations performed
+directly on the underlying filesystem are invisible to it.  The tests
+and comparison experiments use it to demonstrate the coverage gap the
+ChangeLog monitor closes (which sees *all* mutations, however they were
+made).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.core.events import EventType, FileEvent
+from repro.fs.memfs import MemoryFilesystem
+from repro.lustre.filesystem import LustreFilesystem
+
+AnyFilesystem = Union[MemoryFilesystem, LustreFilesystem]
+EventCallback = Callable[[FileEvent], None]
+
+
+class IngestGateway:
+    """Event detection limited to API-mediated operations."""
+
+    def __init__(self, filesystem: AnyFilesystem) -> None:
+        self.fs = filesystem
+        self._callbacks: list[EventCallback] = []
+        #: Paths registered in the grid's catalog (ingested through us).
+        self.catalog: set[str] = set()
+        self.events_raised = 0
+
+    def subscribe(self, callback: EventCallback) -> None:
+        """Deliver gateway-visible events to *callback*."""
+        self._callbacks.append(callback)
+
+    def _emit(self, event_type: EventType, path: str,
+              old_path: Optional[str] = None) -> None:
+        event = FileEvent(
+            event_type=event_type,
+            path=path,
+            is_dir=False,
+            timestamp=self.fs.clock.now()
+            if isinstance(self.fs, LustreFilesystem)
+            else 0.0,
+            name=path.rsplit("/", 1)[-1],
+            source="gateway",
+            old_path=old_path,
+        )
+        self.events_raised += 1
+        for callback in list(self._callbacks):
+            callback(event)
+
+    # -- mediated operations ------------------------------------------------
+
+    def _write(self, path: str, data: bytes) -> None:
+        if isinstance(self.fs, MemoryFilesystem):
+            self.fs.write(path, data)
+        else:
+            if not self.fs.exists(path):
+                self.fs.create(path, size=len(data))
+            else:
+                self.fs.write(path, len(data))
+
+    def ingest(self, path: str, data: bytes = b"") -> None:
+        """Put *path* into the grid: writes the file and catalogs it."""
+        directory = path.rsplit("/", 1)[0] or "/"
+        if directory != "/":
+            if isinstance(self.fs, MemoryFilesystem):
+                self.fs.makedirs(directory, exist_ok=True)
+            else:
+                self.fs.makedirs(directory)
+        self._write(path, data)
+        self.catalog.add(path)
+        self._emit(EventType.CREATED, path)
+
+    def update(self, path: str, data: bytes) -> None:
+        """Rewrite a cataloged object."""
+        self._require_cataloged(path)
+        self._write(path, data)
+        self._emit(EventType.MODIFIED, path)
+
+    def remove(self, path: str) -> None:
+        """Delete a cataloged object."""
+        self._require_cataloged(path)
+        self.fs.unlink(path)
+        self.catalog.discard(path)
+        self._emit(EventType.DELETED, path)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Move a cataloged object."""
+        self._require_cataloged(src)
+        self.fs.rename(src, dst)
+        self.catalog.discard(src)
+        self.catalog.add(dst)
+        self._emit(EventType.MOVED, dst, old_path=src)
+
+    def _require_cataloged(self, path: str) -> None:
+        if path not in self.catalog:
+            raise KeyError(
+                f"{path!r} is not in the grid catalog (was it created "
+                "outside the gateway?)"
+            )
+
+    # -- the coverage gap ---------------------------------------------------
+
+    def uncataloged_files(self, root: str = "/") -> list[str]:
+        """Files on disk the grid knows nothing about (out-of-band I/O).
+
+        Real deployments need periodic reconciliation scans exactly
+        because this set is invisible to the event stream.
+        """
+        missing = []
+        for dirpath, _dirs, files in self.fs.walk(root):
+            for name in files:
+                path = dirpath.rstrip("/") + "/" + name
+                if path not in self.catalog:
+                    missing.append(path)
+        return sorted(missing)

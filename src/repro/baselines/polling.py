@@ -1,0 +1,131 @@
+"""The polling/crawling baseline: snapshot the namespace and diff.
+
+Ripple "explored an alternative approach using a polling technique to
+detect file system changes.  However, crawling and recording file system
+data is prohibitively expensive over large storage systems."  This
+module implements that rejected approach so experiments can quantify
+both costs (stat operations per poll grow with namespace size, not with
+activity) and blindspots (files created *and* deleted between polls are
+never seen; multiple modifications collapse into one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+from repro.core.events import EventType, FileEvent
+from repro.fs.memfs import MemoryFilesystem
+from repro.lustre.filesystem import LustreFilesystem
+from repro.util.clock import Clock, WallClock
+
+AnyFilesystem = Union[MemoryFilesystem, LustreFilesystem]
+
+
+@dataclass(frozen=True)
+class _Snapshot:
+    """What one crawl saw: path -> (is_dir, mtime, size_or_ino)."""
+
+    entries: Dict[str, tuple[bool, float, int]]
+    stat_calls: int
+
+
+@dataclass
+class SnapshotDiff:
+    """Events inferred from two consecutive snapshots, plus crawl cost."""
+
+    events: list[FileEvent] = field(default_factory=list)
+    created: int = 0
+    deleted: int = 0
+    modified: int = 0
+    stat_calls: int = 0
+
+
+class PollingMonitor:
+    """Detect events by walking the tree and diffing against last poll."""
+
+    def __init__(
+        self,
+        filesystem: AnyFilesystem,
+        root: str = "/",
+        clock: Clock | None = None,
+    ) -> None:
+        self.fs = filesystem
+        self.root = root
+        self.clock = clock or WallClock()
+        self._previous: _Snapshot | None = None
+        # Cumulative cost counters.
+        self.total_stat_calls = 0
+        self.total_polls = 0
+
+    def _crawl(self) -> _Snapshot:
+        entries: Dict[str, tuple[bool, float, int]] = {}
+        stat_calls = 0
+        for dirpath, dirnames, filenames in self.fs.walk(self.root):
+            for name in dirnames:
+                path = dirpath.rstrip("/") + "/" + name
+                stat = self.fs.stat(path)
+                stat_calls += 1
+                entries[path] = (True, stat.mtime, 0)
+            for name in filenames:
+                path = dirpath.rstrip("/") + "/" + name
+                stat = self.fs.stat(path)
+                stat_calls += 1
+                entries[path] = (False, stat.mtime, stat.size)
+        return _Snapshot(entries, stat_calls)
+
+    def poll(self) -> SnapshotDiff:
+        """Crawl now and return the inferred events since the last poll.
+
+        The first poll establishes the baseline and reports no events
+        (everything already existed as far as the poller knows).
+        """
+        snapshot = self._crawl()
+        self.total_polls += 1
+        self.total_stat_calls += snapshot.stat_calls
+        diff = SnapshotDiff(stat_calls=snapshot.stat_calls)
+        now = self.clock.now()
+        previous = self._previous
+        self._previous = snapshot
+        if previous is None:
+            return diff
+        for path, (is_dir, mtime, size) in snapshot.entries.items():
+            old = previous.entries.get(path)
+            if old is None:
+                diff.created += 1
+                diff.events.append(
+                    FileEvent(
+                        event_type=EventType.CREATED,
+                        path=path,
+                        is_dir=is_dir,
+                        timestamp=now,
+                        name=path.rsplit("/", 1)[-1],
+                        source="polling",
+                    )
+                )
+            elif not is_dir and (old[1] != mtime or old[2] != size):
+                diff.modified += 1
+                diff.events.append(
+                    FileEvent(
+                        event_type=EventType.MODIFIED,
+                        path=path,
+                        is_dir=False,
+                        timestamp=now,
+                        name=path.rsplit("/", 1)[-1],
+                        source="polling",
+                    )
+                )
+        for path, (is_dir, _mtime, _size) in previous.entries.items():
+            if path not in snapshot.entries:
+                diff.deleted += 1
+                diff.events.append(
+                    FileEvent(
+                        event_type=EventType.DELETED,
+                        path=path,
+                        is_dir=is_dir,
+                        timestamp=now,
+                        name=path.rsplit("/", 1)[-1],
+                        source="polling",
+                    )
+                )
+        return diff

@@ -1,0 +1,176 @@
+"""A Robinhood-style centralized policy engine over Lustre ChangeLogs.
+
+Robinhood (Leibovici, 2015) maintains a database of filesystem entries
+fed by a **single client** that reads each MDS ChangeLog **sequentially**
+and applies bulk policies (migrate/purge stale data, usage reports).
+Two structural differences from the paper's monitor:
+
+* collection is centralized — one reader drains MDT after MDT, so with
+  N MDTs the per-MDT service rate is ~1/N of a dedicated collector's
+  (the A3 ablation measures this);
+* events feed a *database* for batch policy runs rather than being
+  published to live subscribers.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.lustre.changelog import RecordType
+from repro.lustre.filesystem import LustreFilesystem
+from repro.lustre.fid import Fid
+from repro.lustre.fid2path import FidResolver
+from repro.util.clock import Clock, WallClock
+
+
+@dataclass
+class EntryRow:
+    """One row of the Robinhood entry database."""
+
+    fid: str
+    path: Optional[str]
+    is_dir: bool
+    last_event: str
+    last_event_time: float
+    size_events: int = 0
+
+
+@dataclass(frozen=True)
+class RobinhoodPolicy:
+    """A bulk policy: act on entries matching age + name conditions.
+
+    ``older_than`` compares against the entry's last event time (a stand-
+    in for Robinhood's atime/mtime conditions, which our event-sourced
+    database tracks as last activity).
+    """
+
+    name: str
+    name_pattern: str = "*"
+    older_than: float = 0.0
+    action: Optional[Callable[[EntryRow], None]] = None
+
+
+@dataclass
+class PolicyRun:
+    """Outcome of one policy sweep."""
+
+    policy: str
+    scanned: int
+    matched: int
+    acted: int
+
+
+class RobinhoodCollector:
+    """Centralized changelog reader + entry database + policy runner."""
+
+    def __init__(
+        self,
+        filesystem: LustreFilesystem,
+        clock: Clock | None = None,
+        read_batch: int = 256,
+    ) -> None:
+        self.fs = filesystem
+        self.clock = clock or WallClock()
+        self.read_batch = read_batch
+        self.resolver = FidResolver(filesystem)
+        # One registered user per MDT, all drained by this single client.
+        self._users: Dict[int, str] = {
+            mdt.index: mdt.changelog.register_user()
+            for mdt in filesystem.cluster.all_mdts()
+        }
+        self.database: Dict[str, EntryRow] = {}
+        self.records_ingested = 0
+
+    # -- collection (sequential, single reader) ----------------------------
+
+    def scan_once(self) -> int:
+        """One sequential pass over every MDT ChangeLog.
+
+        Unlike the monitor's concurrent per-MDS collectors, this drains
+        MDT 0 fully, then MDT 1, and so on — the centralized pattern.
+        Returns records ingested.
+        """
+        ingested = 0
+        for mdt in self.fs.cluster.all_mdts():
+            user = self._users[mdt.index]
+            while True:
+                records = mdt.changelog.read(user, max_records=self.read_batch)
+                if not records:
+                    break
+                for record in records:
+                    self._apply(record)
+                    ingested += 1
+                mdt.changelog.clear(user, records[-1].index)
+        self.records_ingested += ingested
+        return ingested
+
+    def _apply(self, record) -> None:
+        fid_key = record.target_fid.short()
+        if record.rec_type in (RecordType.UNLNK, RecordType.RMDIR):
+            self.database.pop(fid_key, None)
+            return
+        try:
+            path = self.resolver.resolve(record.target_fid)
+        except Exception:
+            path = None
+        row = self.database.get(fid_key)
+        if row is None:
+            row = EntryRow(
+                fid=fid_key,
+                path=path,
+                is_dir=record.rec_type is RecordType.MKDIR,
+                last_event=record.rec_type.mnemonic,
+                last_event_time=record.timestamp,
+            )
+            self.database[fid_key] = row
+        else:
+            row.path = path or row.path
+            row.last_event = record.rec_type.mnemonic
+            row.last_event_time = record.timestamp
+        if record.rec_type in (RecordType.CLOSE, RecordType.TRUNC):
+            row.size_events += 1
+
+    # -- policy runs ---------------------------------------------------------
+
+    def run_policy(self, policy: RobinhoodPolicy) -> PolicyRun:
+        """Sweep the database and apply *policy* to matching entries."""
+        now = self.clock.now()
+        scanned = matched = acted = 0
+        for row in list(self.database.values()):
+            scanned += 1
+            if row.is_dir:
+                continue
+            name = (row.path or "").rsplit("/", 1)[-1]
+            if not fnmatch.fnmatch(name, policy.name_pattern):
+                continue
+            if now - row.last_event_time < policy.older_than:
+                continue
+            matched += 1
+            if policy.action is not None:
+                policy.action(row)
+                acted += 1
+        return PolicyRun(policy.name, scanned, matched, acted)
+
+    # -- reports ----------------------------------------------------------------
+
+    def usage_report(self) -> dict[str, int]:
+        """Counts by top-level directory (Robinhood-style usage report)."""
+        report: dict[str, int] = {}
+        for row in self.database.values():
+            if row.is_dir or not row.path:
+                continue
+            top = "/" + (row.path.split("/", 2)[1] if row.path.count("/") > 1 else "")
+            report[top] = report.get(top, 0) + 1
+        return report
+
+    def find(self, pattern: str) -> list[str]:
+        """Paths of database entries whose name matches *pattern*."""
+        out = []
+        for row in self.database.values():
+            if row.path is None:
+                continue
+            if fnmatch.fnmatch(row.path.rsplit("/", 1)[-1], pattern):
+                out.append(row.path)
+        return sorted(out)

@@ -1,0 +1,254 @@
+"""Command-line interface: run experiments and demos from a shell.
+
+Usage (also via ``python -m repro``):
+
+    repro experiments list
+    repro experiments run table2 --testbed iota
+    repro experiments run all
+    repro throughput --testbed aws --duration 20 --batch-size 64
+    repro figure3 --days 36
+    repro changelog-demo
+
+Every subcommand prints the same tables the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.harness import (
+    experiment_figure3,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+    experiment_throughput,
+)
+from repro.perf import AWS, IOTA, TestbedProfile
+
+_PROFILES: Dict[str, TestbedProfile] = {"aws": AWS, "iota": IOTA}
+
+
+def _profile(name: str) -> TestbedProfile:
+    try:
+        return _PROFILES[name.lower()]
+    except KeyError:
+        raise SystemExit(
+            f"unknown testbed {name!r}; choose from {sorted(_PROFILES)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    runners: Dict[str, Callable[[], str]] = {
+        "table1": lambda: "\n".join(experiment_table1()),
+        "table2": lambda: "\n\n".join(
+            experiment_table2(profile).render() for profile in (AWS, IOTA)
+        ),
+        "throughput": lambda: "\n\n".join(
+            experiment_throughput(profile, duration=args.duration).render()
+            for profile in (AWS, IOTA)
+        ),
+        "table3": lambda: experiment_table3(duration=args.duration).render(),
+        "figure3": lambda: experiment_figure3().render(),
+    }
+    if args.action == "list":
+        print("available experiments:")
+        for name in runners:
+            print(f"  {name}")
+        print("  all")
+        return 0
+    targets = list(runners) if args.name == "all" else [args.name]
+    for target in targets:
+        runner = runners.get(target)
+        if runner is None:
+            print(
+                f"unknown experiment {target!r}; try 'experiments list'",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"=== {target} ===")
+        print(runner())
+        print()
+    return 0
+
+
+def cmd_throughput(args: argparse.Namespace) -> int:
+    report = experiment_throughput(
+        _profile(args.testbed),
+        duration=args.duration,
+        batch_size=args.batch_size,
+        cache_size=args.cache_size,
+        num_mds=args.num_mds,
+        transport=args.transport,
+    )
+    print(report.render())
+    return 0
+
+
+def cmd_figure3(args: argparse.Namespace) -> int:
+    report = experiment_figure3(days=args.days, base_files=args.base_files,
+                                seed=args.seed)
+    print(report.render())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Generate or replay operation traces."""
+    from repro.workloads.traces import TraceOp, TraceReplayer, synthetic_trace
+
+    if args.trace_action == "generate":
+        count = 0
+        with open(args.output, "w", encoding="utf-8") as handle:
+            for op in synthetic_trace(args.ops, seed=args.seed,
+                                      n_directories=args.directories):
+                handle.write(op.to_line() + "\n")
+                count += 1
+        print(f"wrote {count} operations to {args.output}")
+        return 0
+    # replay
+    from repro.lustre import LustreFilesystem
+    from repro.util.clock import ManualClock
+
+    fs = LustreFilesystem(num_mds=args.num_mds, clock=ManualClock())
+    replayer = TraceReplayer(fs)
+    with open(args.path, "r", encoding="utf-8") as handle:
+        ops = [TraceOp.from_line(line) for line in handle if line.strip()]
+    applied = replayer.replay(ops)
+    print(f"replayed {applied}/{len(ops)} operations "
+          f"({replayer.skipped} skipped)")
+    print(f"changelog records generated: {fs.total_changelog_records()}")
+    for changelog in fs.changelogs():
+        print(f"  MDT{changelog.mdt_index}: {changelog.total_appended}")
+    return 0
+
+
+def cmd_rules(args: argparse.Namespace) -> int:
+    """Validate a rules file written in the WHEN/THEN DSL."""
+    from repro.errors import RuleValidationError
+    from repro.ripple.dsl import parse_rules
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        rules = parse_rules(text)
+    except RuleValidationError as exc:
+        print(f"invalid rules file: {exc}", file=sys.stderr)
+        return 1
+    print(f"{len(rules)} rule(s) OK")
+    for rule in rules:
+        print(f"  {rule.describe()}")
+    return 0
+
+
+def cmd_changelog_demo(args: argparse.Namespace) -> int:
+    """Create a tiny filesystem and dump its ChangeLog (Table 1 style)."""
+    from repro.lustre import LustreFilesystem
+    from repro.util.clock import ManualClock
+
+    fs = LustreFilesystem(num_mds=args.num_mds, clock=ManualClock())
+    fs.makedirs("/demo/data")
+    with fs.job("demo.1"):
+        fs.create("/demo/data/data1.txt", size=1024)
+        fs.write("/demo/data/data1.txt", 2048)
+        fs.rename("/demo/data/data1.txt", "/demo/data/data2.txt")
+        fs.unlink("/demo/data/data2.txt")
+    for changelog in fs.changelogs():
+        if changelog.backlog:
+            print(f"-- MDT{changelog.mdt_index} ChangeLog --")
+            for line in changelog.dump():
+                print(line)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SDCI / scalable Lustre monitor reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="run the paper's tables/figures"
+    )
+    experiments_sub = experiments.add_subparsers(dest="action", required=True)
+    experiments_sub.add_parser("list", help="list available experiments")
+    run = experiments_sub.add_parser("run", help="run one experiment (or all)")
+    run.add_argument("name", help="experiment name or 'all'")
+    run.add_argument("--duration", type=float, default=30.0,
+                     help="virtual seconds for model runs")
+    experiments.set_defaults(func=cmd_experiments)
+
+    throughput = subparsers.add_parser(
+        "throughput", help="run the throughput model with custom knobs"
+    )
+    throughput.add_argument("--testbed", default="iota",
+                            help="aws or iota")
+    throughput.add_argument("--duration", type=float, default=30.0)
+    throughput.add_argument("--batch-size", type=int, default=1)
+    throughput.add_argument("--cache-size", type=int, default=0)
+    throughput.add_argument("--num-mds", type=int, default=1)
+    throughput.add_argument("--transport", default="pushpull",
+                            choices=("pushpull", "pubsub", "reqrep"))
+    throughput.set_defaults(func=cmd_throughput)
+
+    figure3 = subparsers.add_parser(
+        "figure3", help="NERSC dump differencing + scaling analysis"
+    )
+    figure3.add_argument("--days", type=int, default=36)
+    figure3.add_argument("--base-files", type=int, default=850_000)
+    figure3.add_argument("--seed", type=int, default=7)
+    figure3.set_defaults(func=cmd_figure3)
+
+    trace = subparsers.add_parser(
+        "trace", help="generate or replay operation traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_action", required=True)
+    generate = trace_sub.add_parser("generate", help="write a synthetic trace")
+    generate.add_argument("--ops", type=int, default=1000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--directories", type=int, default=8)
+    generate.add_argument("-o", "--output", required=True)
+    replay = trace_sub.add_parser("replay", help="replay a trace on a fresh fs")
+    replay.add_argument("path")
+    replay.add_argument("--num-mds", type=int, default=1)
+    trace.set_defaults(func=cmd_trace)
+
+    rules = subparsers.add_parser(
+        "rules", help="validate a WHEN/THEN rules file"
+    )
+    rules.add_argument("path", help="rules file to validate")
+    rules.set_defaults(func=cmd_rules)
+
+    demo = subparsers.add_parser(
+        "changelog-demo", help="dump a sample ChangeLog (Table 1 style)"
+    )
+    demo.add_argument("--num-mds", type=int, default=1)
+    demo.set_defaults(func=cmd_changelog_demo)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Cloud substrate: a reliable queue (SQS model) and serverless workers.
+
+Ripple's cloud service places every reported event in a reliable Simple
+Queue Service queue; Lambda functions process entries and delete them on
+success; a periodic cleanup function re-drives entries whose processing
+failed.  This package models the semantics that reliability story
+depends on:
+
+* :class:`ReliableQueue` — at-least-once delivery with visibility
+  timeouts, receipt handles, per-message receive counts and an optional
+  dead-letter queue.
+* :class:`ServerlessExecutor` — a pool of Lambda-style workers that pull
+  a queue and invoke a handler; success deletes the message, failure
+  leaves it to reappear after its visibility timeout.
+* :class:`CleanupFunction` — the paper's periodic sweeper: re-drives
+  stuck (in-flight too long) messages immediately.
+"""
+
+from repro.cloudq.sqs import Message, QueueService, ReliableQueue
+from repro.cloudq.serverless import CleanupFunction, ServerlessExecutor
+
+__all__ = [
+    "ReliableQueue",
+    "QueueService",
+    "Message",
+    "ServerlessExecutor",
+    "CleanupFunction",
+]

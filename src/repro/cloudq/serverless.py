@@ -1,0 +1,176 @@
+"""Lambda-style workers over a reliable queue, plus the cleanup sweeper.
+
+Ripple's cloud service (Figure 1) is: events land in an SQS queue,
+serverless functions act on queue entries and remove them once
+successfully processed, and a cleanup function periodically re-drives
+entries whose processing failed.  :class:`ServerlessExecutor` and
+:class:`CleanupFunction` model exactly that loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+from repro.errors import ReceiptInvalid
+from repro.cloudq.sqs import ReliableQueue
+from repro.util.logging import get_logger
+
+
+class ServerlessExecutor:
+    """A pool of Lambda-style workers pulling *queue* and calling *handler*.
+
+    On handler success the message is deleted; on handler exception the
+    message is left in flight and reappears after its visibility timeout
+    (at-least-once processing).  Workers run as daemon threads in live
+    mode; tests can instead call :meth:`poll_once` for deterministic
+    single-stepping.
+    """
+
+    def __init__(
+        self,
+        queue: ReliableQueue,
+        handler: Callable[[Any], None],
+        concurrency: int = 2,
+        batch_size: int = 10,
+        poll_interval: float = 0.005,
+        on_error: Optional[Callable[[Any, BaseException], None]] = None,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1: {concurrency}")
+        self.queue = queue
+        self.handler = handler
+        self.concurrency = concurrency
+        self.batch_size = batch_size
+        self.poll_interval = poll_interval
+        self.on_error = on_error
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        # Counters.
+        self.invocations = 0
+        self.successes = 0
+        self.failures = 0
+        self._counter_lock = threading.Lock()
+
+    # -- deterministic single-step mode -----------------------------------
+
+    def poll_once(self) -> int:
+        """Receive one batch and process it synchronously.
+
+        Returns the number of successfully processed messages.  Used by
+        tests and virtual-time drivers.
+        """
+        processed = 0
+        for message in self.queue.receive(max_messages=self.batch_size):
+            with self._counter_lock:
+                self.invocations += 1
+            try:
+                self.handler(message.body)
+            except Exception as exc:
+                with self._counter_lock:
+                    self.failures += 1
+                if self.on_error is not None:
+                    self.on_error(message.body, exc)
+                continue  # leave in flight; visibility timeout re-drives
+            try:
+                assert message.receipt is not None
+                self.queue.delete(message.receipt)
+            except ReceiptInvalid:
+                # Someone else already completed this delivery (the
+                # at-least-once race); the work was done, count success.
+                pass
+            with self._counter_lock:
+                self.successes += 1
+            processed += 1
+        return processed
+
+    def drain(self, max_rounds: int = 1000) -> int:
+        """Poll until the queue shows no visible messages; returns total."""
+        total = 0
+        for _ in range(max_rounds):
+            processed = self.poll_once()
+            total += processed
+            if self.queue.visible_depth == 0:
+                break
+        return total
+
+    # -- live threaded mode -----------------------------------------------
+
+    def start(self) -> None:
+        """Start *concurrency* daemon worker threads."""
+        if self._threads:
+            return
+        self._stop.clear()
+        for index in range(self.concurrency):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"lambda-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            if self.poll_once() == 0:
+                self._stop.wait(self.poll_interval)
+
+    def stop(self) -> None:
+        """Stop the worker threads."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._threads.clear()
+
+
+class CleanupFunction:
+    """The periodic sweeper that re-drives stalled in-flight messages.
+
+    The paper: "A cleanup function periodically iterates through the
+    queue and initiates additional processing for events that were
+    unsuccessfully processed."
+    """
+
+    def __init__(
+        self,
+        queue: ReliableQueue,
+        stall_threshold: float = 5.0,
+        period: float = 10.0,
+    ) -> None:
+        self.queue = queue
+        self.stall_threshold = stall_threshold
+        self.period = period
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.total_redriven = 0
+
+    def sweep_once(self) -> int:
+        """One sweep: re-drive messages in flight longer than the threshold."""
+        redriven = self.queue.redrive_stuck(self.stall_threshold)
+        if redriven:
+            get_logger("cloudq.cleanup").info(
+                "re-drove %d stalled message(s) on %s", redriven,
+                self.queue.name,
+            )
+        self.total_redriven += redriven
+        return redriven
+
+    def start(self) -> None:
+        """Run sweeps every *period* seconds in a daemon thread."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def _loop() -> None:
+            while not self._stop.is_set():
+                self._stop.wait(self.period)
+                if not self._stop.is_set():
+                    self.sweep_once()
+
+        self._thread = threading.Thread(target=_loop, name="cleanup", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5)
+        self._thread = None

@@ -1,0 +1,203 @@
+"""The Aggregator: fan-in, durable store, live publication, historic API.
+
+Paper §4, step 3: "A publisher-subscriber message queue is used to pass
+messages between the Collectors and the Aggregator.  Once an event is
+reported to the Aggregator it is immediately placed in a queue to be
+processed.  The Aggregator is multi-threaded, enabling it to both
+publish events to subscribed consumers and store the events in a local
+database with minimal overhead.  The Aggregator maintains this database
+and exposes an API to enable consumers to retrieve historic events."
+
+Structure here:
+
+* an inbound PULL endpoint collectors PUSH event batches to;
+* an internal queue feeding two worker threads — one stores into the
+  rotating :class:`EventStore`, one publishes on a PUB endpoint under
+  topic ``events`` (subscribers filter client-side);
+* a REP endpoint serving the historic-event API (``since``/``recent``/
+  ``query`` requests).
+
+Deterministic mode: :meth:`pump_once` performs receive→store→publish
+synchronously, which tests and virtual-time drivers use.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.events import EventType, FileEvent
+from repro.core.store import EventStore
+from repro.errors import WouldBlock
+from repro.msgq import Context
+
+
+@dataclass(frozen=True)
+class AggregatorConfig:
+    """Aggregator knobs."""
+
+    inbound_endpoint: str = "inproc://aggregator"
+    publish_endpoint: str = "inproc://events"
+    api_endpoint: str = "inproc://history-api"
+    store_max_events: int = 100_000
+    publish_topic: str = "events"
+    hwm: int = 100_000
+    #: When True, events are published under per-subtree topics
+    #: (``events./projects``), so subscribers interested in one subtree
+    #: filter *at the fabric* instead of discarding after delivery.
+    topic_by_path: bool = False
+
+
+class Aggregator:
+    """Receives event batches, stores them, and publishes them."""
+
+    def __init__(
+        self,
+        context: Context,
+        config: AggregatorConfig | None = None,
+        store: EventStore | None = None,
+    ) -> None:
+        self.context = context
+        self.config = config or AggregatorConfig()
+        #: The rotating catalog; pass a restored store (EventStore.load)
+        #: to resume after a restart with history intact.
+        self.store = store or EventStore(max_events=self.config.store_max_events)
+        self.inbound = context.pull(hwm=self.config.hwm).bind(
+            self.config.inbound_endpoint
+        )
+        self.publisher = context.pub(hwm=self.config.hwm).bind(
+            self.config.publish_endpoint
+        )
+        self.api = context.rep().bind(self.config.api_endpoint)
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        # Counters.
+        self.batches_received = 0
+        self.events_stored = 0
+        self.events_published = 0
+
+    # -- deterministic mode ----------------------------------------------------
+
+    def pump_once(self, timeout: float = 0.0) -> int:
+        """Receive pending batches and store+publish them synchronously.
+
+        Returns the number of events handled.
+        """
+        handled = 0
+        while True:
+            try:
+                batch: list[FileEvent] = self.inbound.recv(
+                    timeout=timeout, block=timeout > 0
+                )
+            except WouldBlock:
+                break
+            handled += self._handle_batch(batch)
+            timeout = 0.0  # only wait for the first batch
+        return handled
+
+    def serve_api_once(self, timeout: float = 0.0) -> bool:
+        """Answer one pending historic-API request (False if none)."""
+        try:
+            request, channel = self.api.recv(timeout=timeout)
+        except WouldBlock:
+            return False
+        try:
+            channel.send(self._answer(request))
+        except Exception as exc:
+            channel.send(exc)
+        return True
+
+    def _topic_for(self, event: FileEvent) -> str:
+        if not self.config.topic_by_path:
+            return self.config.publish_topic
+        path = event.path or event.old_path or "/"
+        parts = path.split("/", 2)
+        top = "/" + parts[1] if len(parts) > 1 and parts[1] else "/"
+        return f"{self.config.publish_topic}.{top}"
+
+    def _handle_batch(self, batch: list[FileEvent]) -> int:
+        self.batches_received += 1
+        for event in batch:
+            seq = self.store.append(event)
+            self.events_stored += 1
+            self.publisher.send(self._topic_for(event), (seq, event))
+            self.events_published += 1
+        return len(batch)
+
+    # -- historic API ------------------------------------------------------------
+
+    def _answer(self, request: dict[str, Any]) -> Any:
+        """Dispatch a historic-API request.
+
+        Requests are dicts: ``{'op': 'since', 'seq': N, 'limit': M}``,
+        ``{'op': 'recent', 'count': N}``, ``{'op': 'query', ...filters}``
+        or ``{'op': 'last_seq'}``.
+        """
+        op = request.get("op")
+        if op == "since":
+            return self.store.since(request["seq"], limit=request.get("limit"))
+        if op == "recent":
+            return self.store.recent(request["count"])
+        if op == "last_seq":
+            return self.store.last_seq
+        if op == "stats":
+            return {
+                "batches_received": self.batches_received,
+                "events_stored": self.events_stored,
+                "events_published": self.events_published,
+                "store_len": len(self.store),
+                "store_last_seq": self.store.last_seq,
+                "store_rotated": self.store.total_rotated,
+                "store_memory_bytes": self.store.approximate_memory_bytes(),
+            }
+        if op == "query":
+            event_type = request.get("event_type")
+            return self.store.query(
+                path_prefix=request.get("path_prefix"),
+                event_type=EventType(event_type) if event_type else None,
+                since_time=request.get("since_time"),
+                until_time=request.get("until_time"),
+                limit=request.get("limit"),
+            )
+        raise ValueError(f"unknown API op: {op!r}")
+
+    # -- live threaded mode -------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the store/publish pump and the API server threads."""
+        if self._threads:
+            return
+        self._stop.clear()
+
+        def _pump_loop() -> None:
+            while not self._stop.is_set():
+                if self.pump_once(timeout=0.01) == 0:
+                    continue
+            self.pump_once()  # final flush
+
+        def _api_loop() -> None:
+            while not self._stop.is_set():
+                self.serve_api_once(timeout=0.01)
+
+        for name, target in (("aggregator-pump", _pump_loop), ("aggregator-api", _api_loop)):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        """Stop worker threads, flushing pending batches."""
+        if not self._threads:
+            return
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=10)
+        self._threads.clear()
+        self.pump_once()
+
+    def close(self) -> None:
+        """Stop and release every socket."""
+        self.stop()
+        self.inbound.close()
+        self.publisher.close()
+        self.api.close()

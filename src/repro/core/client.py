@@ -1,0 +1,116 @@
+"""MonitorClient: a convenience wrapper over the Aggregator's APIs.
+
+Consumers embed a :class:`~repro.core.consumer.Consumer` for the live
+stream; tools and dashboards often just want to *query* — "what
+happened under /projects in the last hour?".  MonitorClient speaks the
+historic-event REQ/REP API without subscribing to the live stream.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.core.aggregator import Aggregator, AggregatorConfig
+from repro.core.events import EventType, FileEvent
+from repro.msgq import Context
+
+
+class MonitorClient:
+    """Query-only access to a monitor's historic event catalog."""
+
+    def __init__(
+        self,
+        context: Context,
+        config: AggregatorConfig | None = None,
+        timeout: float = 5.0,
+    ) -> None:
+        self.config = config or AggregatorConfig()
+        self.timeout = timeout
+        self._socket = context.req().connect(self.config.api_endpoint)
+        #: When set (deterministic mode), requests are answered by this
+        #: aggregator inline instead of by its API thread.
+        self.api_server: Optional[Aggregator] = None
+
+    @classmethod
+    def for_monitor(cls, monitor, timeout: float = 5.0) -> "MonitorClient":
+        """Build a client wired to a LustreMonitor (deterministic mode)."""
+        client = cls(monitor.context, monitor.config.aggregator, timeout)
+        client.api_server = monitor.aggregator
+        return client
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request(self, payload: dict[str, Any]) -> Any:
+        if self.api_server is None:
+            return self._socket.request(payload, timeout=self.timeout)
+        # Deterministic mode: issue the request from a helper thread and
+        # serve it inline (REQ/REP stays lock-step).
+        box: list[Any] = []
+        error: list[BaseException] = []
+
+        def _ask() -> None:
+            try:
+                box.append(self._socket.request(payload, timeout=self.timeout))
+            except BaseException as exc:  # propagated below
+                error.append(exc)
+
+        asker = threading.Thread(target=_ask, daemon=True)
+        asker.start()
+        while asker.is_alive():
+            self.api_server.serve_api_once(timeout=0.05)
+            asker.join(timeout=0.001)
+        if error:
+            raise error[0]
+        return box[0]
+
+    # -- queries ----------------------------------------------------------------
+
+    def last_seq(self) -> int:
+        """Highest sequence number the aggregator has stored."""
+        return self._request({"op": "last_seq"})
+
+    def events_since(
+        self, seq: int, limit: Optional[int] = None
+    ) -> list[tuple[int, FileEvent]]:
+        """Events newer than *seq* (the catch-up primitive)."""
+        return self._request({"op": "since", "seq": seq, "limit": limit})
+
+    def recent(self, count: int) -> list[tuple[int, FileEvent]]:
+        """The most recent *count* events."""
+        return self._request({"op": "recent", "count": count})
+
+    def query(
+        self,
+        path_prefix: Optional[str] = None,
+        event_type: Optional[EventType] = None,
+        since_time: Optional[float] = None,
+        until_time: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> list[tuple[int, FileEvent]]:
+        """Filtered retrieval over the retained window."""
+        return self._request(
+            {
+                "op": "query",
+                "path_prefix": path_prefix,
+                "event_type": event_type.value if event_type else None,
+                "since_time": since_time,
+                "until_time": until_time,
+                "limit": limit,
+            }
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregator-side counters (store size, rotation, throughput)."""
+        return self._request({"op": "stats"})
+
+    def activity_summary(self, path_prefix: str = "/") -> dict[str, int]:
+        """Counts by event type under *path_prefix* (retained window)."""
+        counts: dict[str, int] = {}
+        for _seq, event in self.query(path_prefix=path_prefix):
+            key = event.event_type.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def close(self) -> None:
+        self._socket.close()

@@ -1,0 +1,195 @@
+"""Consumers: subscribers to the Aggregator's live stream + historic API.
+
+A consumer (e.g. a Ripple agent) subscribes to the Aggregator's PUB
+endpoint for the live stream and tracks the last sequence number it has
+seen.  After a disconnect (or on startup) it calls :meth:`catch_up`,
+which uses the historic-event API to fetch what it missed — the
+fault-tolerance mechanism the paper describes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.core.aggregator import AggregatorConfig
+from repro.core.events import FileEvent
+from repro.errors import WouldBlock
+from repro.msgq import Context
+
+EventCallback = Callable[[int, FileEvent], None]
+
+
+class Consumer:
+    """A subscribed event consumer with catch-up support."""
+
+    def __init__(
+        self,
+        context: Context,
+        callback: EventCallback,
+        config: AggregatorConfig | None = None,
+        name: str = "consumer",
+        topic: Optional[str] = None,
+    ) -> None:
+        self.context = context
+        self.config = config or AggregatorConfig()
+        self.callback = callback
+        self.name = name
+        #: Topic prefix filter; with ``topic_by_path`` aggregators, pass
+        #: e.g. ``"events./projects"`` to receive only that subtree.
+        self.topic = topic if topic is not None else self.config.publish_topic
+        self.subscription = (
+            context.sub(hwm=self.config.hwm)
+            .connect(self.config.publish_endpoint)
+            .subscribe(self.topic)
+        )
+        self.api = context.req().connect(self.config.api_endpoint)
+        self.last_seq = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        # Counters.
+        self.events_consumed = 0
+        self.duplicates_skipped = 0
+        self.catch_ups = 0
+        #: Optional end-to-end latency tracking (operation timestamp ->
+        #: delivery); assign a LatencyHistogram to enable.  Only
+        #: meaningful when the filesystem and consumer share a clock
+        #: domain (both wall-clock, or both on one ManualClock).
+        self.latency = None
+        self._latency_clock = None
+
+    def track_latency(self, clock=None) -> "Consumer":
+        """Enable per-event delivery-latency recording; returns self."""
+        from repro.metrics.histogram import LatencyHistogram
+        from repro.util.clock import WallClock
+
+        self.latency = LatencyHistogram()
+        self._latency_clock = clock or WallClock()
+        return self
+
+    # -- delivery -------------------------------------------------------------
+
+    def _deliver(self, seq: int, event: FileEvent) -> None:
+        if seq <= self.last_seq:
+            # Duplicate (e.g. replayed during catch-up); idempotent skip.
+            self.duplicates_skipped += 1
+            return
+        self.last_seq = seq
+        self.events_consumed += 1
+        if self.latency is not None and event.timestamp:
+            self.latency.record(
+                max(0.0, self._latency_clock.now() - event.timestamp)
+            )
+        self.callback(seq, event)
+
+    def poll_once(self, timeout: float = 0.0) -> int:
+        """Drain pending live events; returns the number delivered."""
+        delivered = 0
+        while True:
+            try:
+                _topic, (seq, event) = self.subscription.recv(
+                    timeout=timeout, block=timeout > 0
+                )
+            except WouldBlock:
+                break
+            self._deliver(seq, event)
+            delivered += 1
+            timeout = 0.0
+        return delivered
+
+    def catch_up(self, api_server=None) -> int:
+        """Fetch events missed since ``last_seq`` via the historic API.
+
+        In live mode the Aggregator's API thread answers; deterministic
+        tests pass the aggregator as *api_server* so the request is
+        answered synchronously (the request is issued from a helper
+        thread to keep REQ/REP lock-step semantics intact).
+        """
+        self.catch_ups += 1
+        request = {"op": "since", "seq": self.last_seq}
+        if api_server is None:
+            missed = self.api.request(request, timeout=5.0)
+        else:
+            result_box: list = []
+
+            def _ask() -> None:
+                result_box.append(self.api.request(request, timeout=5.0))
+
+            asker = threading.Thread(target=_ask, daemon=True)
+            asker.start()
+            while asker.is_alive():
+                api_server.serve_api_once(timeout=0.05)
+                asker.join(timeout=0.001)
+            missed = result_box[0]
+        for seq, event in missed:
+            self._deliver(seq, event)
+        return len(missed)
+
+    @property
+    def dropped(self) -> int:
+        """Live messages dropped at this consumer's subscription queue.
+
+        A non-zero value means :meth:`catch_up` is needed — the exact
+        scenario the historic API exists for.
+        """
+        return self.subscription.dropped
+
+    # -- live threaded mode ------------------------------------------------------
+
+    def start(self, poll_interval: float = 0.005) -> None:
+        """Consume continuously in a daemon thread."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def _loop() -> None:
+            while not self._stop.is_set():
+                if self.poll_once(timeout=poll_interval) == 0:
+                    continue
+            self.poll_once()
+
+        self._thread = threading.Thread(
+            target=_loop, name=f"consumer-{self.name}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=10)
+        self._thread = None
+
+    def close(self) -> None:
+        self.stop()
+        self.subscription.close()
+        self.api.close()
+
+
+class DedupingConsumer(Consumer):
+    """A consumer that suppresses collector-level redeliveries.
+
+    Collector crashes between report and clear cause the same ChangeLog
+    records to be reported twice — with *new* aggregator sequence
+    numbers, so sequence tracking alone cannot catch them.  This
+    consumer additionally remembers the last record index seen per MDT
+    (record indices are monotone within an MDT) and drops events at or
+    below it.  Local-filesystem events carry no record identity and are
+    passed through.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._record_high_water: dict[int, int] = {}
+        self.redeliveries_suppressed = 0
+
+    def _deliver(self, seq: int, event: FileEvent) -> None:
+        if event.mdt_index is not None and event.record_index is not None:
+            high_water = self._record_high_water.get(event.mdt_index, 0)
+            if event.record_index <= high_water:
+                self.redeliveries_suppressed += 1
+                # Still advance the sequence cursor so catch-up works.
+                self.last_seq = max(self.last_seq, seq)
+                return
+            self._record_high_water[event.mdt_index] = event.record_index
+        super()._deliver(seq, event)

@@ -1,0 +1,166 @@
+"""The normalized file-event vocabulary shared by the whole system.
+
+Ripple agents consume events from two very different detectors — local
+inotify/watchdog observers and the Lustre ChangeLog monitor — so both are
+normalized into :class:`FileEvent`, carrying the user-friendly absolute
+path (the whole point of the monitor's processing step) plus enough
+provenance (FIDs, MDT index, record index) for debugging and exactly-once
+bookkeeping downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from enum import Enum
+from typing import Any, Optional
+
+from repro.lustre.changelog import ChangelogRecord, RecordType
+
+
+class EventType(Enum):
+    """Normalized event kinds."""
+
+    CREATED = "created"
+    DELETED = "deleted"
+    MODIFIED = "modified"
+    ATTRIB = "attrib"
+    MOVED = "moved"
+    OTHER = "other"
+
+
+#: How ChangeLog record types map onto the normalized vocabulary.
+RECORD_TYPE_MAP: dict[RecordType, EventType] = {
+    RecordType.CREAT: EventType.CREATED,
+    RecordType.MKDIR: EventType.CREATED,
+    RecordType.HLINK: EventType.CREATED,
+    RecordType.SLINK: EventType.CREATED,
+    RecordType.MKNOD: EventType.CREATED,
+    RecordType.UNLNK: EventType.DELETED,
+    RecordType.RMDIR: EventType.DELETED,
+    RecordType.RENME: EventType.MOVED,
+    RecordType.RNMTO: EventType.MOVED,
+    RecordType.CLOSE: EventType.MODIFIED,
+    RecordType.TRUNC: EventType.MODIFIED,
+    RecordType.MTIME: EventType.MODIFIED,
+    RecordType.LYOUT: EventType.MODIFIED,
+    RecordType.SATTR: EventType.ATTRIB,
+    RecordType.XATTR: EventType.ATTRIB,
+    RecordType.CTIME: EventType.ATTRIB,
+    RecordType.ATIME: EventType.ATTRIB,
+    RecordType.MARK: EventType.OTHER,
+    RecordType.OPEN: EventType.OTHER,
+    RecordType.HSM: EventType.OTHER,
+}
+
+#: Directory-producing record types (is_dir derivation).
+_DIR_RECORD_TYPES = frozenset({RecordType.MKDIR, RecordType.RMDIR})
+
+
+@dataclass(frozen=True)
+class FileEvent:
+    """One normalized file event.
+
+    ``path`` may be None when FID resolution failed (e.g. the file was
+    deleted before its creation record was processed) — consumers decide
+    whether such events are still actionable via ``name``/``parent_fid``.
+    """
+
+    event_type: EventType
+    path: Optional[str]
+    is_dir: bool
+    timestamp: float
+    name: str
+    source: str  # 'lustre' | 'inotify'
+    fid: Optional[str] = None
+    parent_fid: Optional[str] = None
+    mdt_index: Optional[int] = None
+    record_index: Optional[int] = None
+    record_type: Optional[str] = None
+    old_path: Optional[str] = None  # MOVED: the pre-rename path
+    #: JobID of the originating client operation, when jobstats tagged it.
+    jobid: Optional[str] = None
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_changelog(
+        cls,
+        record: ChangelogRecord,
+        path: Optional[str],
+        mdt_index: int,
+        old_path: Optional[str] = None,
+    ) -> "FileEvent":
+        """Build an event from a ChangeLog record plus resolved path(s)."""
+        event_type = RECORD_TYPE_MAP.get(record.rec_type, EventType.OTHER)
+        return cls(
+            event_type=event_type,
+            path=path,
+            is_dir=record.rec_type in _DIR_RECORD_TYPES,
+            timestamp=record.timestamp,
+            name=record.name,
+            source="lustre",
+            fid=record.target_fid.short(),
+            parent_fid=record.parent_fid.short(),
+            mdt_index=mdt_index,
+            record_index=record.index,
+            record_type=record.rec_type.mnemonic,
+            old_path=old_path,
+            jobid=record.jobid,
+        )
+
+    @classmethod
+    def from_watchdog(cls, event: Any) -> "FileEvent":
+        """Build an event from a watchdog-style FileSystemEvent."""
+        mapping = {
+            "created": EventType.CREATED,
+            "deleted": EventType.DELETED,
+            "modified": EventType.MODIFIED,
+            "attrib": EventType.ATTRIB,
+            "moved": EventType.MOVED,
+        }
+        event_type = mapping.get(event.event_type, EventType.OTHER)
+        path = event.dest_path if event.event_type == "moved" else event.src_path
+        old_path = event.src_path if event.event_type == "moved" else None
+        name = path.rsplit("/", 1)[-1] if path else ""
+        return cls(
+            event_type=event_type,
+            path=path,
+            is_dir=event.is_directory,
+            timestamp=event.timestamp,
+            name=name,
+            source="inotify",
+            old_path=old_path,
+        )
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe dict (enums become their string values)."""
+        data = asdict(self)
+        data["event_type"] = self.event_type.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FileEvent":
+        """Inverse of :meth:`to_dict`."""
+        payload = dict(data)
+        payload["event_type"] = EventType(payload["event_type"])
+        return cls(**payload)
+
+    # -- convenience ---------------------------------------------------------
+
+    @property
+    def resolved(self) -> bool:
+        """True when the event carries a usable absolute path."""
+        return self.path is not None
+
+    def matches_prefix(self, prefix: str) -> bool:
+        """True if the event's path (or old path) is under *prefix*."""
+        for candidate in (self.path, self.old_path):
+            if candidate is None:
+                continue
+            if prefix == "/" or candidate == prefix or candidate.startswith(
+                prefix.rstrip("/") + "/"
+            ):
+                return True
+        return False

@@ -1,0 +1,270 @@
+"""FSMonitor-style facade: one monitoring interface, many backends.
+
+The authors' follow-up work (FSMonitor) generalises event capture
+across storage systems behind a single API.  :class:`StorageMonitor`
+is that facade here: given *any* supported filesystem it picks the
+right detection backend —
+
+* :class:`LustreFilesystem` → the scalable ChangeLog monitor (the
+  paper's contribution; complete stream, site-wide);
+* :class:`MemoryFilesystem` → watchdog/inotify observation (personal
+  devices; per-directory watches, lossy under burst);
+* anything walkable, as an explicit opt-in → the polling baseline
+  (portable, expensive, misses short-lived files).
+
+All backends deliver the same normalized :class:`FileEvent` stream via
+``subscribe(callback)`` and support step (``drain``) and live
+(``start``/``stop``) operation, so a Ripple agent — or any consumer —
+is written once.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, Union
+
+from repro.baselines.polling import PollingMonitor
+from repro.core.events import FileEvent
+from repro.core.monitor import LustreMonitor, MonitorConfig
+from repro.errors import MonitorError
+from repro.fs.memfs import MemoryFilesystem
+from repro.fs.watchdog import FileSystemEvent, FileSystemEventHandler, Observer
+from repro.lustre.filesystem import LustreFilesystem
+
+EventCallback = Callable[[FileEvent], None]
+
+
+class _Backend:
+    """Backend interface (duck-typed; documented for implementers)."""
+
+    name: str
+
+    def subscribe(self, callback: EventCallback) -> None:
+        raise NotImplementedError
+
+    def watch(self, path: str) -> None:
+        raise NotImplementedError
+
+    def drain(self) -> int:
+        raise NotImplementedError
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class _ChangelogBackend(_Backend):
+    """Site-wide detection through the scalable Lustre monitor."""
+
+    name = "changelog"
+
+    def __init__(self, fs: LustreFilesystem, config: MonitorConfig | None) -> None:
+        self.monitor = LustreMonitor(fs, config)
+        self._callbacks: list[EventCallback] = []
+        self.monitor.subscribe(self._fan_out, name="fsmonitor")
+
+    def _fan_out(self, _seq: int, event: FileEvent) -> None:
+        for callback in list(self._callbacks):
+            callback(event)
+
+    def subscribe(self, callback: EventCallback) -> None:
+        self._callbacks.append(callback)
+
+    def watch(self, path: str) -> None:
+        # The ChangeLog is inherently site-wide; nothing to place.
+        pass
+
+    def drain(self) -> int:
+        return self.monitor.drain()
+
+    def start(self) -> None:
+        self.monitor.start()
+
+    def stop(self) -> None:
+        self.monitor.stop()
+
+    def close(self) -> None:
+        self.monitor.shutdown()
+
+
+class _WatchdogBackend(_Backend):
+    """Targeted detection via the inotify/watchdog observer."""
+
+    name = "inotify"
+
+    def __init__(self, fs: MemoryFilesystem) -> None:
+        self.observer = Observer(fs)
+        self._callbacks: list[EventCallback] = []
+        backend = self
+
+        class _Handler(FileSystemEventHandler):
+            def on_any_event(self, event: FileSystemEvent) -> None:
+                if event.event_type == "overflow":
+                    return
+                normalized = FileEvent.from_watchdog(event)
+                for callback in list(backend._callbacks):
+                    callback(normalized)
+
+        self._handler = _Handler()
+        self._watched: set[str] = set()
+
+    def subscribe(self, callback: EventCallback) -> None:
+        self._callbacks.append(callback)
+
+    def watch(self, path: str) -> None:
+        if path not in self._watched:
+            self.observer.schedule(self._handler, path, recursive=True)
+            self._watched.add(path)
+
+    def drain(self) -> int:
+        return self.observer.drain()
+
+    def start(self) -> None:
+        self.observer.start()
+
+    def stop(self) -> None:
+        self.observer.stop()
+
+    def close(self) -> None:
+        self.observer.close()
+
+
+class _PollingBackend(_Backend):
+    """Crawl-and-diff detection (portable last resort)."""
+
+    name = "polling"
+
+    def __init__(self, fs, interval: float) -> None:
+        self.fs = fs
+        self.interval = interval
+        self._monitors: dict[str, PollingMonitor] = {}
+        self._callbacks: list[EventCallback] = []
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    def subscribe(self, callback: EventCallback) -> None:
+        self._callbacks.append(callback)
+
+    def watch(self, path: str) -> None:
+        if path not in self._monitors:
+            monitor = PollingMonitor(self.fs, root=path)
+            monitor.poll()  # establish the baseline snapshot
+            self._monitors[path] = monitor
+
+    def drain(self) -> int:
+        delivered = 0
+        for monitor in self._monitors.values():
+            for event in monitor.poll().events:
+                for callback in list(self._callbacks):
+                    callback(event)
+                delivered += 1
+        return delivered
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def _loop() -> None:
+            while not self._stop.is_set():
+                self.drain()
+                self._stop.wait(self.interval)
+
+        self._thread = threading.Thread(target=_loop, name="poller", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5)
+        self._thread = None
+
+    def close(self) -> None:
+        self.stop()
+        self._monitors.clear()
+
+
+class StorageMonitor:
+    """One monitoring API over heterogeneous storage backends."""
+
+    def __init__(self, backend: _Backend) -> None:
+        self._backend = backend
+        self.events_delivered = 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def for_filesystem(
+        cls,
+        fs: Union[LustreFilesystem, MemoryFilesystem],
+        backend: Optional[str] = None,
+        monitor_config: MonitorConfig | None = None,
+        poll_interval: float = 1.0,
+    ) -> "StorageMonitor":
+        """Pick (or force, via *backend*) the right backend for *fs*.
+
+        ``backend`` may be ``"changelog"``, ``"inotify"`` or
+        ``"polling"``; by default Lustre gets the ChangeLog monitor and
+        local filesystems get watchdog.
+        """
+        if backend is None:
+            backend = (
+                "changelog" if isinstance(fs, LustreFilesystem) else "inotify"
+            )
+        if backend == "changelog":
+            if not isinstance(fs, LustreFilesystem):
+                raise MonitorError(
+                    "the changelog backend requires a LustreFilesystem"
+                )
+            return cls(_ChangelogBackend(fs, monitor_config))
+        if backend == "inotify":
+            if not isinstance(fs, MemoryFilesystem):
+                raise MonitorError(
+                    "the inotify backend requires a local MemoryFilesystem"
+                )
+            return cls(_WatchdogBackend(fs))
+        if backend == "polling":
+            return cls(_PollingBackend(fs, poll_interval))
+        raise MonitorError(f"unknown backend {backend!r}")
+
+    # -- the uniform API ------------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        """Which detection technology this monitor uses."""
+        return self._backend.name
+
+    def subscribe(self, callback: EventCallback) -> None:
+        """Deliver every detected event to *callback*."""
+
+        def counting(event: FileEvent) -> None:
+            self.events_delivered += 1
+            callback(event)
+
+        self._backend.subscribe(counting)
+
+    def watch(self, path: str = "/") -> None:
+        """Ensure *path* is covered (no-op for site-wide backends)."""
+        self._backend.watch(path)
+
+    def drain(self) -> int:
+        """Deterministically deliver pending events; returns the count."""
+        return self._backend.drain()
+
+    def start(self) -> None:
+        """Begin live (threaded) detection."""
+        self._backend.start()
+
+    def stop(self) -> None:
+        """Stop live detection (events already captured still drain)."""
+        self._backend.stop()
+
+    def close(self) -> None:
+        """Release all detection resources."""
+        self._backend.close()

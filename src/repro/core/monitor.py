@@ -1,0 +1,198 @@
+"""The LustreMonitor orchestrator: wire collectors + aggregator + consumers.
+
+This is the top-level object a deployment creates (Figure 2): it builds
+one :class:`Collector` per MDS of the target filesystem, a single
+:class:`Aggregator`, and hands out :class:`Consumer` subscriptions.  It
+supports both live threaded operation (``start()``/``stop()``) and
+deterministic stepping (``pump()``), and aggregates pipeline statistics
+for the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.aggregator import Aggregator, AggregatorConfig
+from repro.core.collector import Collector, CollectorConfig
+from repro.core.consumer import Consumer, EventCallback
+from repro.core.events import FileEvent
+from repro.lustre.fid2path import FidResolver
+from repro.lustre.filesystem import LustreFilesystem
+from repro.msgq import Context
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Monitor-wide configuration."""
+
+    collector: CollectorConfig = CollectorConfig()
+    aggregator: AggregatorConfig = AggregatorConfig()
+    #: Share one FidResolver across collectors (single-MDS testbeds) or
+    #: give each collector its own (models per-MDS d2path distribution).
+    shared_resolver: bool = False
+    #: How long a collector's report may block on a full transport
+    #: queue before failing (and retrying on the next poll).
+    report_timeout: float = 5.0
+
+
+class _PushSink:
+    """EventSink adapter over a PUSH socket."""
+
+    def __init__(self, socket, timeout: float = 5.0) -> None:
+        self.socket = socket
+        self.timeout = timeout
+
+    def send(self, payload: list[FileEvent]) -> None:
+        self.socket.send(payload, timeout=self.timeout)
+
+
+@dataclass
+class MonitorStats:
+    """A snapshot of pipeline counters."""
+
+    records_read: int = 0
+    events_reported: int = 0
+    events_stored: int = 0
+    events_published: int = 0
+    resolver_invocations: int = 0
+    resolver_failures: int = 0
+    unresolved_events: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    store_len: int = 0
+    per_collector: dict = field(default_factory=dict)
+
+
+class LustreMonitor:
+    """The complete monitor attached to one Lustre filesystem."""
+
+    def __init__(
+        self,
+        filesystem: LustreFilesystem,
+        config: MonitorConfig | None = None,
+        context: Context | None = None,
+    ) -> None:
+        self.fs = filesystem
+        self.config = config or MonitorConfig()
+        self.context = context or Context()
+        self.aggregator = Aggregator(self.context, self.config.aggregator)
+        shared = (
+            FidResolver(filesystem) if self.config.shared_resolver else None
+        )
+        self.collectors: list[Collector] = []
+        for server in filesystem.cluster.servers:
+            push = self.context.push(hwm=self.config.aggregator.hwm).connect(
+                self.config.aggregator.inbound_endpoint
+            )
+            collector = Collector(
+                name=server.name,
+                filesystem=filesystem,
+                mds=server,
+                sink=_PushSink(push, timeout=self.config.report_timeout),
+                config=self.config.collector,
+                resolver=shared or FidResolver(filesystem),
+            )
+            self.collectors.append(collector)
+        self.consumers: list[Consumer] = []
+        self._running = False
+
+    # -- consumers ---------------------------------------------------------------
+
+    def subscribe(self, callback: EventCallback, name: str = "consumer") -> Consumer:
+        """Attach a new consumer to the live stream.
+
+        Note the slow-joiner property: the consumer sees only events
+        published after this call; use :meth:`Consumer.catch_up` to
+        backfill from the historic API.
+        """
+        consumer = Consumer(
+            self.context, callback, config=self.config.aggregator, name=name
+        )
+        self.consumers.append(consumer)
+        if self._running:
+            consumer.start()
+        return consumer
+
+    # -- deterministic stepping -----------------------------------------------------
+
+    def pump(self, consumer_poll: bool = True) -> int:
+        """One synchronous sweep of the entire pipeline.
+
+        Collect from every MDS, aggregate (store+publish), then deliver
+        to consumers.  Returns the number of events that moved through
+        the aggregation stage.
+        """
+        for collector in self.collectors:
+            collector.poll_once()
+        handled = self.aggregator.pump_once()
+        if consumer_poll:
+            for consumer in self.consumers:
+                consumer.poll_once()
+        return handled
+
+    def drain(self, max_rounds: int = 10_000) -> int:
+        """Pump until no events remain anywhere in the pipeline."""
+        total = 0
+        for _ in range(max_rounds):
+            moved = self.pump()
+            total += moved
+            if moved == 0:
+                break
+        return total
+
+    # -- live threaded mode ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start aggregator, collectors and subscribed consumers."""
+        if self._running:
+            return
+        self.aggregator.start()
+        for collector in self.collectors:
+            collector.start()
+        for consumer in self.consumers:
+            consumer.start()
+        self._running = True
+
+    def stop(self) -> None:
+        """Stop everything in dependency order, flushing in-flight events."""
+        if not self._running:
+            return
+        for collector in self.collectors:
+            collector.stop()
+        self.aggregator.stop()
+        for consumer in self.consumers:
+            consumer.stop()
+        self._running = False
+
+    def shutdown(self) -> None:
+        """Stop and release changelog users and sockets."""
+        self.stop()
+        for collector in self.collectors:
+            collector.shutdown()
+        for consumer in self.consumers:
+            consumer.close()
+        self.aggregator.close()
+
+    # -- statistics ------------------------------------------------------------------
+
+    def stats(self) -> MonitorStats:
+        """Aggregate pipeline counters (for experiments and debugging)."""
+        stats = MonitorStats()
+        for collector in self.collectors:
+            stats.records_read += collector.records_read
+            stats.events_reported += collector.events_reported
+            stats.resolver_invocations += collector.resolver.invocations
+            stats.resolver_failures += collector.resolver.failures
+            stats.unresolved_events += collector.processor.unresolved
+            if collector.processor.cache is not None:
+                stats.cache_hits += collector.processor.cache.hits
+                stats.cache_misses += collector.processor.cache.misses
+            stats.per_collector[collector.name] = {
+                "records_read": collector.records_read,
+                "events_reported": collector.events_reported,
+                "resolver_invocations": collector.resolver.invocations,
+            }
+        stats.events_stored = self.aggregator.events_stored
+        stats.events_published = self.aggregator.events_published
+        stats.store_len = len(self.aggregator.store)
+        return stats

@@ -1,0 +1,249 @@
+"""The processing stage: FID → path resolution with batching and caching.
+
+The paper (§5.2) measures this stage as the monitor's bottleneck — the
+"repetitive use of the d2path tool when resolving an event's absolute
+path" — and proposes two mitigations it left to future work:
+
+* **Batching** — "process events in batches, rather than independently";
+  :class:`EventProcessor` resolves all FIDs of a batch with one
+  :meth:`~repro.lustre.fid2path.FidResolver.resolve_many` call.
+* **Caching** — "temporarily cache path mappings to minimize the number
+  of invocations"; :class:`PathCache` is an LRU of *parent directory*
+  FID → path mappings (directories repeat across events far more than
+  file FIDs do), with prefix invalidation on renames/removals so cached
+  paths never go stale.
+
+Both are off by default (``ProcessorConfig()`` reproduces the paper's
+measured configuration); the ablation benchmark A1 turns them on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import UnknownFid
+from repro.lustre.changelog import ChangelogRecord, RecordType
+from repro.lustre.fid import Fid
+from repro.lustre.fid2path import FidResolver
+from repro.core.events import FileEvent
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Processing-stage knobs.
+
+    batch_size:
+        Records resolved per ``resolve_many`` call; 1 disables batching
+        (each event's FIDs resolved independently, the paper's measured
+        behaviour).
+    cache_size:
+        LRU entries for the parent-path cache; 0 disables caching.
+    """
+
+    batch_size: int = 1
+    cache_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1: {self.batch_size}")
+        if self.cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0: {self.cache_size}")
+
+
+class PathCache:
+    """An LRU cache of FID → absolute directory path.
+
+    Rename and removal of directories invalidate every cached path under
+    the affected subtree (``invalidate_prefix``), so a hit is always
+    current.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Fid, str] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, fid: Fid) -> Optional[str]:
+        """Cached path for *fid*, refreshing its LRU position."""
+        path = self._entries.get(fid)
+        if path is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(fid)
+        self.hits += 1
+        return path
+
+    def peek(self, fid: Fid) -> Optional[str]:
+        """Like :meth:`get` but without touching LRU order or counters."""
+        return self._entries.get(fid)
+
+    def put(self, fid: Fid, path: str) -> None:
+        """Insert/update a mapping, evicting the LRU entry when full."""
+        self._entries[fid] = path
+        self._entries.move_to_end(fid)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, fid: Fid) -> None:
+        """Drop the entry for *fid* if present."""
+        self._entries.pop(fid, None)
+
+    def invalidate_prefix(self, prefix: str) -> int:
+        """Drop every cached path equal to or under *prefix*."""
+        doomed = [
+            fid
+            for fid, path in self._entries.items()
+            if path == prefix or path.startswith(prefix.rstrip("/") + "/")
+        ]
+        for fid in doomed:
+            del self._entries[fid]
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class EventProcessor:
+    """Turns raw ChangeLog records into path-resolved :class:`FileEvent`\\ s.
+
+    The resolution strategy per record:
+
+    * The event path is ``resolve(parent_fid) + '/' + name`` — resolving
+      the *parent* works even for UNLNK/RMDIR records whose target FID
+      no longer exists (resolving the target FID of a deleted file is
+      exactly how a naive implementation loses delete events).
+    * MOVED records additionally resolve the *source* parent to build
+      ``old_path``.
+    * A root-parent record resolves trivially.
+    """
+
+    def __init__(
+        self,
+        resolver: FidResolver,
+        config: ProcessorConfig | None = None,
+    ) -> None:
+        self.resolver = resolver
+        self.config = config or ProcessorConfig()
+        self.cache: Optional[PathCache] = (
+            PathCache(self.config.cache_size) if self.config.cache_size else None
+        )
+        # Counters.
+        self.records_processed = 0
+        self.unresolved = 0
+
+    # -- single-record path assembly ----------------------------------------
+
+    def _lookup_dir(self, fid: Fid, prefetched: dict[Fid, Optional[str]]) -> Optional[str]:
+        """Resolve a directory FID via cache, batch-prefetch or the tool."""
+        if self.cache is not None:
+            cached = self.cache.get(fid)
+            if cached is not None:
+                return cached
+        if fid in prefetched:
+            path = prefetched[fid]
+        else:
+            try:
+                path = self.resolver.resolve(fid)
+            except UnknownFid:
+                path = None
+        if path is not None and self.cache is not None:
+            self.cache.put(fid, path)
+        return path
+
+    @staticmethod
+    def _join(parent_path: Optional[str], name: str) -> Optional[str]:
+        if parent_path is None:
+            return None
+        if parent_path == "/":
+            return "/" + name
+        return parent_path + "/" + name
+
+    def _maintain_cache(self, record: ChangelogRecord, new_path: Optional[str]) -> None:
+        """Keep cached directory paths consistent with namespace changes."""
+        if self.cache is None:
+            return
+        if record.rec_type is RecordType.RMDIR:
+            self.cache.invalidate(record.target_fid)
+            if new_path is not None:
+                self.cache.invalidate_prefix(new_path)
+        elif record.rec_type in (RecordType.RENME, RecordType.RNMTO):
+            # A renamed directory moves its whole cached subtree; the
+            # cheap, always-correct policy is to drop affected entries.
+            self.cache.invalidate(record.target_fid)
+            if record.source_parent_fid is not None and record.source_name:
+                # Invalidate by old path if we can reconstruct it.
+                old_parent = self.cache.peek(record.source_parent_fid)
+                if old_parent is not None:
+                    old_path = self._join(old_parent, record.source_name)
+                    if old_path is not None:
+                        self.cache.invalidate_prefix(old_path)
+            if new_path is not None:
+                self.cache.invalidate_prefix(new_path)
+
+    # -- batch API -------------------------------------------------------------
+
+    def process(
+        self, records: list[ChangelogRecord], mdt_index: int
+    ) -> list[FileEvent]:
+        """Process *records* (from one MDT) into events, in order."""
+        events: list[FileEvent] = []
+        for start in range(0, len(records), self.config.batch_size):
+            chunk = records[start : start + self.config.batch_size]
+            events.extend(self._process_chunk(chunk, mdt_index))
+        return events
+
+    def _process_chunk(
+        self, records: list[ChangelogRecord], mdt_index: int
+    ) -> list[FileEvent]:
+        prefetched: dict[Fid, Optional[str]] = {}
+        if self.config.batch_size > 1 and len(records) > 1:
+            wanted: list[Fid] = []
+            for record in records:
+                if self.cache is None or self.cache.peek(record.parent_fid) is None:
+                    wanted.append(record.parent_fid)
+                if (
+                    record.source_parent_fid is not None
+                    and (
+                        self.cache is None
+                        or self.cache.peek(record.source_parent_fid) is None
+                    )
+                ):
+                    wanted.append(record.source_parent_fid)
+            if wanted:
+                prefetched = self.resolver.resolve_many(wanted)
+
+        events: list[FileEvent] = []
+        for record in records:
+            parent_path = self._lookup_dir(record.parent_fid, prefetched)
+            path = self._join(parent_path, record.name)
+            old_path: Optional[str] = None
+            if (
+                record.rec_type in (RecordType.RENME, RecordType.RNMTO)
+                and record.source_parent_fid is not None
+                and record.source_name
+            ):
+                source_parent = self._lookup_dir(
+                    record.source_parent_fid, prefetched
+                )
+                old_path = self._join(source_parent, record.source_name)
+            self._maintain_cache(record, path)
+            if path is None:
+                self.unresolved += 1
+            self.records_processed += 1
+            events.append(
+                FileEvent.from_changelog(
+                    record, path, mdt_index, old_path=old_path
+                )
+            )
+        return events

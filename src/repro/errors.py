@@ -1,0 +1,197 @@
+"""Exception hierarchy for the SDCI reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Filesystem substrate errors (repro.fs, repro.lustre)
+# ---------------------------------------------------------------------------
+
+
+class FilesystemError(ReproError):
+    """Base class for filesystem-related errors."""
+
+    def __init__(self, path: str, message: str) -> None:
+        super().__init__(f"{message}: {path!r}")
+        self.path = path
+
+
+class FileNotFound(FilesystemError):
+    """A path component or the target itself does not exist (ENOENT)."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path, "no such file or directory")
+
+
+class FileExists(FilesystemError):
+    """The target already exists (EEXIST)."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path, "file exists")
+
+
+class NotADirectory(FilesystemError):
+    """A non-directory was used as a path component (ENOTDIR)."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path, "not a directory")
+
+
+class IsADirectory(FilesystemError):
+    """A directory was used where a file was required (EISDIR)."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path, "is a directory")
+
+
+class DirectoryNotEmpty(FilesystemError):
+    """rmdir on a non-empty directory (ENOTEMPTY)."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path, "directory not empty")
+
+
+class InvalidPath(FilesystemError):
+    """The path is syntactically invalid for this filesystem."""
+
+    def __init__(self, path: str, reason: str = "invalid path") -> None:
+        super().__init__(path, reason)
+
+
+# ---------------------------------------------------------------------------
+# inotify emulation errors
+# ---------------------------------------------------------------------------
+
+
+class InotifyError(ReproError):
+    """Base class for inotify emulation failures."""
+
+
+class WatchLimitExceeded(InotifyError):
+    """The per-instance watch limit (max_user_watches) was reached."""
+
+
+class EventQueueOverflow(InotifyError):
+    """The inotify event queue overflowed and events were dropped."""
+
+
+class UnknownWatch(InotifyError):
+    """An operation referenced a watch descriptor that does not exist."""
+
+
+# ---------------------------------------------------------------------------
+# Lustre substrate errors
+# ---------------------------------------------------------------------------
+
+
+class LustreError(ReproError):
+    """Base class for Lustre model errors."""
+
+
+class UnknownFid(LustreError):
+    """A FID could not be resolved (stale or never allocated)."""
+
+
+class ChangelogError(LustreError):
+    """Errors interacting with an MDT ChangeLog."""
+
+
+class ChangelogUserError(ChangelogError):
+    """A changelog reader id is unknown or already deregistered."""
+
+
+# ---------------------------------------------------------------------------
+# Messaging substrate errors
+# ---------------------------------------------------------------------------
+
+
+class MessagingError(ReproError):
+    """Base class for message-fabric errors."""
+
+
+class SocketClosed(MessagingError):
+    """An operation was attempted on a closed socket."""
+
+
+class AddressInUse(MessagingError):
+    """A bind collided with an already-bound endpoint."""
+
+
+class AddressNotFound(MessagingError):
+    """A connect referenced an endpoint nobody has bound."""
+
+
+class WouldBlock(MessagingError):
+    """A non-blocking receive found no message (EAGAIN analogue)."""
+
+
+# ---------------------------------------------------------------------------
+# Cloud substrate errors
+# ---------------------------------------------------------------------------
+
+
+class CloudError(ReproError):
+    """Base class for cloud-substrate (queue / worker) errors."""
+
+
+class QueueNotFound(CloudError):
+    """An operation referenced a queue that does not exist."""
+
+
+class ReceiptInvalid(CloudError):
+    """A delete/extend used an expired or unknown receipt handle."""
+
+
+# ---------------------------------------------------------------------------
+# Monitor and Ripple errors
+# ---------------------------------------------------------------------------
+
+
+class MonitorError(ReproError):
+    """Base class for monitor pipeline errors."""
+
+
+class CollectorError(MonitorError):
+    """A collector failed to read or purge its ChangeLog."""
+
+
+class AggregatorError(MonitorError):
+    """The aggregator failed to store or publish an event."""
+
+
+class RippleError(ReproError):
+    """Base class for Ripple rule/agent/service errors."""
+
+
+class RuleValidationError(RippleError):
+    """A rule definition is malformed."""
+
+
+class ActionError(RippleError):
+    """An action failed to execute."""
+
+
+class AgentNotFound(RippleError):
+    """An action was routed to an agent id that is not registered."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation engine errors
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event engine errors."""
+
+
+class StopSimulation(SimulationError):
+    """Raised internally to halt :meth:`Environment.run` early."""

@@ -1,0 +1,58 @@
+"""Local-filesystem substrate: in-memory POSIX namespace + inotify.
+
+This package stands in for the personal-device storage that Ripple's
+original implementation monitored with the Python Watchdog module (inotify
+on Linux, kqueue on BSD/macOS).  It provides:
+
+* :class:`MemoryFilesystem` — an in-memory POSIX-style namespace with
+  files, directories, rename, attribute changes and mutation hooks.
+* :class:`InotifyInstance` — an emulation of the Linux inotify API
+  (watch descriptors, event masks, bounded event queue with overflow,
+  kernel-memory accounting: the paper notes each watch costs ~1 KiB of
+  unswappable kernel memory).
+* :class:`Observer` / :class:`FileSystemEventHandler` — a Watchdog-style
+  recursive observer built on the inotify emulation, the interface the
+  Ripple agent consumes.
+"""
+
+from repro.fs.memfs import FileStat, MemoryFilesystem, MutationRecord
+from repro.fs.inotify import (
+    IN_ATTRIB,
+    IN_CLOSE_WRITE,
+    IN_CREATE,
+    IN_DELETE,
+    IN_ISDIR,
+    IN_MODIFY,
+    IN_MOVED_FROM,
+    IN_MOVED_TO,
+    IN_Q_OVERFLOW,
+    InotifyEvent,
+    InotifyInstance,
+)
+from repro.fs.watchdog import (
+    FileSystemEvent,
+    FileSystemEventHandler,
+    Observer,
+    PatternMatchingEventHandler,
+)
+
+__all__ = [
+    "MemoryFilesystem",
+    "FileStat",
+    "MutationRecord",
+    "InotifyInstance",
+    "InotifyEvent",
+    "IN_CREATE",
+    "IN_DELETE",
+    "IN_MODIFY",
+    "IN_ATTRIB",
+    "IN_MOVED_FROM",
+    "IN_MOVED_TO",
+    "IN_CLOSE_WRITE",
+    "IN_ISDIR",
+    "IN_Q_OVERFLOW",
+    "Observer",
+    "FileSystemEventHandler",
+    "PatternMatchingEventHandler",
+    "FileSystemEvent",
+]

@@ -1,0 +1,295 @@
+"""An emulation of the Linux inotify API over :class:`MemoryFilesystem`.
+
+The emulation reproduces the properties the paper leans on when arguing
+that inotify does not scale to parallel filesystems:
+
+* **Per-directory watches.**  A watch observes exactly one directory
+  (non-recursively); monitoring a tree requires one watch per directory,
+  which is why Watchdog-style observers must crawl the tree at startup.
+* **Kernel memory cost.**  Each watch accounts ``WATCH_MEMORY_BYTES``
+  (1 KiB on 64-bit Linux, per the paper) of unswappable memory; the
+  instance exposes the total so experiments can reproduce the
+  "512 MB for 524,288 directories" arithmetic.
+* **Watch limits.**  ``max_user_watches`` bounds the number of watches
+  (default 524,288, the Linux default cited in the paper).
+* **Bounded event queue.**  At most ``max_queued_events`` events are
+  buffered (Linux default 16,384); further events are dropped and a
+  single ``IN_Q_OVERFLOW`` event is queued — the lossy behaviour that
+  motivates the ChangeLog-based monitor's stronger guarantees.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import FileNotFound, NotADirectory, UnknownWatch, WatchLimitExceeded
+from repro.fs.memfs import MemoryFilesystem, MutationKind, MutationRecord
+from repro.util.paths import dirname, normalize
+
+# Event mask bits (values match the Linux ABI for familiarity).
+IN_CREATE = 0x00000100
+IN_DELETE = 0x00000200
+IN_MODIFY = 0x00000002
+IN_ATTRIB = 0x00000004
+IN_MOVED_FROM = 0x00000040
+IN_MOVED_TO = 0x00000080
+IN_CLOSE_WRITE = 0x00000008
+IN_ISDIR = 0x40000000
+IN_Q_OVERFLOW = 0x00004000
+
+IN_ALL_EVENTS = (
+    IN_CREATE
+    | IN_DELETE
+    | IN_MODIFY
+    | IN_ATTRIB
+    | IN_MOVED_FROM
+    | IN_MOVED_TO
+    | IN_CLOSE_WRITE
+)
+
+#: Unswappable kernel memory per watch on a 64-bit machine (paper, §3).
+WATCH_MEMORY_BYTES = 1024
+
+#: Linux defaults cited by the paper.
+DEFAULT_MAX_USER_WATCHES = 524_288
+DEFAULT_MAX_QUEUED_EVENTS = 16_384
+
+_KIND_TO_MASK = {
+    MutationKind.CREATE: IN_CREATE,
+    MutationKind.MKDIR: IN_CREATE | IN_ISDIR,
+    MutationKind.WRITE: IN_MODIFY,
+    MutationKind.TRUNCATE: IN_MODIFY,
+    MutationKind.SETATTR: IN_ATTRIB,
+    MutationKind.UNLINK: IN_DELETE,
+    MutationKind.RMDIR: IN_DELETE | IN_ISDIR,
+}
+
+
+def mask_names(mask: int) -> list[str]:
+    """Human-readable names of the bits set in *mask* (for logs/tests)."""
+    names = []
+    for name in (
+        "IN_CREATE",
+        "IN_DELETE",
+        "IN_MODIFY",
+        "IN_ATTRIB",
+        "IN_MOVED_FROM",
+        "IN_MOVED_TO",
+        "IN_CLOSE_WRITE",
+        "IN_ISDIR",
+        "IN_Q_OVERFLOW",
+    ):
+        if mask & globals()[name]:
+            names.append(name)
+    return names
+
+
+@dataclass(frozen=True)
+class InotifyEvent:
+    """One event read from an inotify instance.
+
+    ``wd`` is the watch descriptor the event was delivered on; ``name`` is
+    the entry name within the watched directory (empty for overflow).
+    ``cookie`` pairs the MOVED_FROM/MOVED_TO halves of a rename, exactly
+    as the kernel API does.
+    """
+
+    wd: int
+    mask: int
+    name: str
+    cookie: int = 0
+    timestamp: float = 0.0
+
+    @property
+    def is_dir(self) -> bool:
+        return bool(self.mask & IN_ISDIR)
+
+    @property
+    def is_overflow(self) -> bool:
+        return bool(self.mask & IN_Q_OVERFLOW)
+
+
+@dataclass
+class _Watch:
+    wd: int
+    path: str
+    mask: int
+
+
+class InotifyInstance:
+    """One inotify file-descriptor-equivalent bound to a filesystem.
+
+    Events are buffered internally and drained with :meth:`read_events`
+    (the analogue of ``read(2)`` on the inotify fd).
+    """
+
+    def __init__(
+        self,
+        filesystem: MemoryFilesystem,
+        max_user_watches: int = DEFAULT_MAX_USER_WATCHES,
+        max_queued_events: int = DEFAULT_MAX_QUEUED_EVENTS,
+    ) -> None:
+        self.fs = filesystem
+        self.max_user_watches = max_user_watches
+        self.max_queued_events = max_queued_events
+        self._lock = threading.Lock()
+        self._watches: Dict[int, _Watch] = {}
+        self._by_path: Dict[str, int] = {}
+        self._queue: list[InotifyEvent] = []
+        self._overflowed = False
+        self._next_wd = 1
+        self._next_cookie = 1
+        self._closed = False
+        #: Events dropped due to queue overflow (observability for tests).
+        self.dropped_events = 0
+        filesystem.add_hook(self._on_mutation)
+
+    # -- watch management ------------------------------------------------
+
+    @property
+    def watch_count(self) -> int:
+        """Number of active watches."""
+        with self._lock:
+            return len(self._watches)
+
+    @property
+    def kernel_memory_bytes(self) -> int:
+        """Unswappable kernel memory charged for the active watches."""
+        return self.watch_count * WATCH_MEMORY_BYTES
+
+    def add_watch(self, path: str, mask: int = IN_ALL_EVENTS) -> int:
+        """Watch directory *path* for the events in *mask*; return the wd.
+
+        Re-watching an already watched path replaces its mask and returns
+        the existing descriptor, as the kernel API does.
+        """
+        norm = normalize(path)
+        if not self.fs.exists(norm):
+            raise FileNotFound(norm)
+        if not self.fs.is_dir(norm):
+            raise NotADirectory(norm)
+        with self._lock:
+            existing = self._by_path.get(norm)
+            if existing is not None:
+                self._watches[existing].mask = mask
+                return existing
+            if len(self._watches) >= self.max_user_watches:
+                raise WatchLimitExceeded(
+                    f"max_user_watches={self.max_user_watches} reached"
+                )
+            wd = self._next_wd
+            self._next_wd += 1
+            self._watches[wd] = _Watch(wd, norm, mask)
+            self._by_path[norm] = wd
+            return wd
+
+    def rm_watch(self, wd: int) -> None:
+        """Remove watch descriptor *wd*."""
+        with self._lock:
+            watch = self._watches.pop(wd, None)
+            if watch is None:
+                raise UnknownWatch(f"unknown watch descriptor {wd}")
+            del self._by_path[watch.path]
+
+    def path_for(self, wd: int) -> str:
+        """The directory path watched by *wd*."""
+        with self._lock:
+            watch = self._watches.get(wd)
+            if watch is None:
+                raise UnknownWatch(f"unknown watch descriptor {wd}")
+            return watch.path
+
+    # -- event delivery -----------------------------------------------------
+
+    def _enqueue(self, event: InotifyEvent) -> None:
+        if len(self._queue) >= self.max_queued_events:
+            self.dropped_events += 1
+            if not self._overflowed:
+                self._overflowed = True
+                self._queue.append(
+                    InotifyEvent(
+                        wd=-1,
+                        mask=IN_Q_OVERFLOW,
+                        name="",
+                        timestamp=event.timestamp,
+                    )
+                )
+            return
+        self._queue.append(event)
+
+    def _deliver(
+        self, directory: str, mask: int, name: str, cookie: int, timestamp: float
+    ) -> None:
+        wd = self._by_path.get(directory)
+        if wd is None:
+            return
+        watch = self._watches[wd]
+        if not (watch.mask & (mask & ~IN_ISDIR)):
+            return  # the watcher did not ask for this event kind
+        self._enqueue(
+            InotifyEvent(wd=wd, mask=mask, name=name, cookie=cookie, timestamp=timestamp)
+        )
+
+    def _on_mutation(self, record: MutationRecord) -> None:
+        if self._closed:
+            return
+        with self._lock:
+            if record.kind is MutationKind.RENAME:
+                cookie = self._next_cookie
+                self._next_cookie += 1
+                dir_bit = IN_ISDIR if record.is_dir else 0
+                assert record.old_path is not None
+                src_dir = dirname(record.old_path)
+                src_name = record.old_path.rsplit("/", 1)[-1]
+                dst_dir = dirname(record.path)
+                dst_name = record.path.rsplit("/", 1)[-1]
+                self._deliver(
+                    src_dir,
+                    IN_MOVED_FROM | dir_bit,
+                    src_name,
+                    cookie,
+                    record.timestamp,
+                )
+                self._deliver(
+                    dst_dir, IN_MOVED_TO | dir_bit, dst_name, cookie, record.timestamp
+                )
+                return
+            mask = _KIND_TO_MASK[record.kind]
+            directory = dirname(record.path)
+            name = record.path.rsplit("/", 1)[-1]
+            self._deliver(directory, mask, name, 0, record.timestamp)
+            # Writes also produce IN_CLOSE_WRITE on close; our write op is
+            # open-write-close, so synthesise it when the watcher asked.
+            if record.kind in (MutationKind.WRITE, MutationKind.TRUNCATE):
+                self._deliver(
+                    directory, IN_CLOSE_WRITE, name, 0, record.timestamp
+                )
+
+    def read_events(self, max_events: Optional[int] = None) -> list[InotifyEvent]:
+        """Drain and return buffered events (up to *max_events*)."""
+        with self._lock:
+            if max_events is None or max_events >= len(self._queue):
+                events, self._queue = self._queue, []
+            else:
+                events = self._queue[:max_events]
+                self._queue = self._queue[max_events:]
+            if not self._queue:
+                self._overflowed = False
+            return events
+
+    @property
+    def pending(self) -> int:
+        """Events currently buffered."""
+        with self._lock:
+            return len(self._queue)
+
+    def close(self) -> None:
+        """Detach from the filesystem and drop all watches."""
+        self._closed = True
+        self.fs.remove_hook(self._on_mutation)
+        with self._lock:
+            self._watches.clear()
+            self._by_path.clear()
+            self._queue.clear()

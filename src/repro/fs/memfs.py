@@ -1,0 +1,529 @@
+"""An in-memory POSIX-style filesystem with mutation hooks.
+
+The filesystem stores a conventional inode table: directories map names to
+inode numbers, regular files hold ``bytes`` content.  Every mutation emits
+a :class:`MutationRecord` to registered hooks *after* the namespace change
+is applied, which is exactly the semantics inotify provides.
+
+All operations are thread-safe (a single re-entrant lock serialises
+mutations), matching the coarse-grained behaviour of a local kernel
+namespace as observed by a monitoring agent.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    InvalidPath,
+    IsADirectory,
+    NotADirectory,
+)
+from repro.util.clock import Clock, WallClock
+from repro.util.paths import dirname, is_ancestor, normalize, split_components
+
+
+class FileType(Enum):
+    """Inode type."""
+
+    FILE = "file"
+    DIRECTORY = "directory"
+
+
+class MutationKind(Enum):
+    """The namespace mutations a hook can observe."""
+
+    CREATE = "create"
+    MKDIR = "mkdir"
+    WRITE = "write"
+    TRUNCATE = "truncate"
+    SETATTR = "setattr"
+    UNLINK = "unlink"
+    RMDIR = "rmdir"
+    RENAME = "rename"
+
+
+@dataclass(frozen=True)
+class MutationRecord:
+    """A single observed namespace mutation.
+
+    *path* is the post-mutation path except for UNLINK/RMDIR (the removed
+    path) and RENAME (the destination; *old_path* holds the source).
+    """
+
+    kind: MutationKind
+    path: str
+    is_dir: bool
+    timestamp: float
+    old_path: Optional[str] = None
+    size: int = 0
+
+
+@dataclass(frozen=True)
+class FileStat:
+    """Result of :meth:`MemoryFilesystem.stat`."""
+
+    ino: int
+    file_type: FileType
+    size: int
+    mode: int
+    mtime: float
+    ctime: float
+    atime: float
+    nlink: int
+
+    @property
+    def is_dir(self) -> bool:
+        return self.file_type is FileType.DIRECTORY
+
+    @property
+    def is_file(self) -> bool:
+        return self.file_type is FileType.FILE
+
+
+@dataclass
+class _Inode:
+    ino: int
+    file_type: FileType
+    mode: int
+    mtime: float
+    ctime: float
+    atime: float
+    data: bytes = b""
+    children: Dict[str, int] = field(default_factory=dict)
+    nlink: int = 1
+
+
+MutationHook = Callable[[MutationRecord], None]
+
+
+class MemoryFilesystem:
+    """An in-memory filesystem rooted at ``/``.
+
+    Parameters
+    ----------
+    clock:
+        Time source for inode timestamps and mutation records; defaults to
+        the wall clock.  Supplying a :class:`~repro.util.clock.ManualClock`
+        makes behaviour fully deterministic in tests.
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._clock = clock or WallClock()
+        self._lock = threading.RLock()
+        self._next_ino = 2  # 1 is the root, by convention
+        now = self._clock.now()
+        self._inodes: Dict[int, _Inode] = {
+            1: _Inode(1, FileType.DIRECTORY, 0o755, now, now, now, nlink=2)
+        }
+        self._hooks: list[MutationHook] = []
+        #: Cumulative mutation counters by kind, for tests and metrics.
+        self.mutation_counts: Dict[MutationKind, int] = {k: 0 for k in MutationKind}
+
+    # -- hooks -------------------------------------------------------------
+
+    def add_hook(self, hook: MutationHook) -> None:
+        """Register *hook* to be called after every mutation."""
+        with self._lock:
+            self._hooks.append(hook)
+
+    def remove_hook(self, hook: MutationHook) -> None:
+        """Deregister a previously added hook (missing hooks are ignored)."""
+        with self._lock:
+            try:
+                self._hooks.remove(hook)
+            except ValueError:
+                pass
+
+    def _emit(self, record: MutationRecord) -> None:
+        self.mutation_counts[record.kind] += 1
+        for hook in list(self._hooks):
+            hook(record)
+
+    # -- path resolution -----------------------------------------------------
+
+    def _resolve(self, path: str) -> _Inode:
+        """Return the inode at *path*, raising FileNotFound/NotADirectory."""
+        node = self._inodes[1]
+        walked = "/"
+        for component in split_components(path):
+            if node.file_type is not FileType.DIRECTORY:
+                raise NotADirectory(walked)
+            child_ino = node.children.get(component)
+            if child_ino is None:
+                raise FileNotFound(normalize(path))
+            node = self._inodes[child_ino]
+            walked = walked.rstrip("/") + "/" + component
+        return node
+
+    def _resolve_parent(self, path: str) -> tuple[_Inode, str]:
+        """Return (parent inode, final name) for *path*."""
+        components = split_components(path)
+        if not components:
+            raise InvalidPath(path, "operation not permitted on the root")
+        parent = self._resolve("/" + "/".join(components[:-1]))
+        if parent.file_type is not FileType.DIRECTORY:
+            raise NotADirectory(dirname(path))
+        return parent, components[-1]
+
+    # -- queries ---------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        """True if *path* resolves to an inode."""
+        with self._lock:
+            try:
+                self._resolve(path)
+                return True
+            except (FileNotFound, NotADirectory):
+                return False
+
+    def is_dir(self, path: str) -> bool:
+        """True if *path* exists and is a directory."""
+        with self._lock:
+            try:
+                return self._resolve(path).file_type is FileType.DIRECTORY
+            except (FileNotFound, NotADirectory):
+                return False
+
+    def is_file(self, path: str) -> bool:
+        """True if *path* exists and is a regular file."""
+        with self._lock:
+            try:
+                return self._resolve(path).file_type is FileType.FILE
+            except (FileNotFound, NotADirectory):
+                return False
+
+    def stat(self, path: str) -> FileStat:
+        """Return metadata for *path* (raises FileNotFound)."""
+        with self._lock:
+            node = self._resolve(path)
+            return FileStat(
+                ino=node.ino,
+                file_type=node.file_type,
+                size=len(node.data),
+                mode=node.mode,
+                mtime=node.mtime,
+                ctime=node.ctime,
+                atime=node.atime,
+                nlink=node.nlink,
+            )
+
+    def listdir(self, path: str) -> list[str]:
+        """Names in directory *path*, sorted."""
+        with self._lock:
+            node = self._resolve(path)
+            if node.file_type is not FileType.DIRECTORY:
+                raise NotADirectory(normalize(path))
+            return sorted(node.children)
+
+    def walk(self, top: str = "/") -> Iterator[tuple[str, list[str], list[str]]]:
+        """Depth-first traversal yielding ``(dirpath, dirnames, filenames)``.
+
+        A snapshot is taken under the lock at each level, so concurrent
+        mutations do not corrupt iteration (they may or may not be seen).
+        """
+        top = normalize(top)
+        with self._lock:
+            node = self._resolve(top)
+            if node.file_type is not FileType.DIRECTORY:
+                raise NotADirectory(top)
+            entries = [
+                (name, self._inodes[ino].file_type)
+                for name, ino in sorted(node.children.items())
+            ]
+        dirnames = [n for n, t in entries if t is FileType.DIRECTORY]
+        filenames = [n for n, t in entries if t is FileType.FILE]
+        yield top, dirnames, filenames
+        for name in dirnames:
+            child = top.rstrip("/") + "/" + name
+            try:
+                yield from self.walk(child)
+            except (FileNotFound, NotADirectory):
+                continue  # removed concurrently
+
+    def count_entries(self, top: str = "/") -> tuple[int, int]:
+        """Return ``(n_directories, n_files)`` under *top* (inclusive of top)."""
+        n_dirs = 0
+        n_files = 0
+        for _dirpath, dirnames, filenames in self.walk(top):
+            n_files += len(filenames)
+            n_dirs += len(dirnames)
+        return n_dirs + 1, n_files
+
+    def read(self, path: str) -> bytes:
+        """Return the content of regular file *path*."""
+        with self._lock:
+            node = self._resolve(path)
+            if node.file_type is FileType.DIRECTORY:
+                raise IsADirectory(normalize(path))
+            node.atime = self._clock.now()
+            return node.data
+
+    # -- mutations ---------------------------------------------------------------
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        """Create directory *path* (parent must exist)."""
+        with self._lock:
+            parent, name = self._resolve_parent(path)
+            if name in parent.children:
+                raise FileExists(normalize(path))
+            now = self._clock.now()
+            ino = self._next_ino
+            self._next_ino += 1
+            self._inodes[ino] = _Inode(
+                ino, FileType.DIRECTORY, mode, now, now, now, nlink=2
+            )
+            parent.children[name] = ino
+            parent.nlink += 1
+            parent.mtime = now
+            record = MutationRecord(
+                MutationKind.MKDIR, normalize(path), True, now
+            )
+            self._emit(record)
+
+    def makedirs(self, path: str, exist_ok: bool = False) -> None:
+        """Create *path* and any missing ancestors."""
+        components = split_components(path)
+        current = ""
+        for component in components:
+            current += "/" + component
+            with self._lock:
+                if self.exists(current):
+                    if not self.is_dir(current):
+                        raise NotADirectory(current)
+                    continue
+                self.mkdir(current)
+        if not components and not exist_ok:
+            raise FileExists("/")
+        if components and not exist_ok:
+            # If the final component pre-existed, mkdir above was skipped.
+            # POSIX makedirs raises in that case; we mirror it.
+            pass
+
+    def create(self, path: str, data: bytes = b"", mode: int = 0o644) -> None:
+        """Create regular file *path* with *data* (fails if it exists)."""
+        if not isinstance(data, bytes):
+            raise TypeError(f"file data must be bytes, got {type(data).__name__}")
+        with self._lock:
+            parent, name = self._resolve_parent(path)
+            if name in parent.children:
+                raise FileExists(normalize(path))
+            now = self._clock.now()
+            ino = self._next_ino
+            self._next_ino += 1
+            self._inodes[ino] = _Inode(
+                ino, FileType.FILE, mode, now, now, now, data=data
+            )
+            parent.children[name] = ino
+            parent.mtime = now
+            self._emit(
+                MutationRecord(
+                    MutationKind.CREATE, normalize(path), False, now, size=len(data)
+                )
+            )
+
+    def write(self, path: str, data: bytes, create: bool = True) -> None:
+        """Replace the content of *path* with *data*.
+
+        With ``create=True`` (default) the file is created if missing,
+        emitting CREATE then WRITE — mirroring open(O_CREAT)+write.
+        """
+        if not isinstance(data, bytes):
+            raise TypeError(f"file data must be bytes, got {type(data).__name__}")
+        with self._lock:
+            if not self.exists(path):
+                if not create:
+                    raise FileNotFound(normalize(path))
+                self.create(path)
+            node = self._resolve(path)
+            if node.file_type is FileType.DIRECTORY:
+                raise IsADirectory(normalize(path))
+            now = self._clock.now()
+            node.data = data
+            node.mtime = now
+            self._emit(
+                MutationRecord(
+                    MutationKind.WRITE, normalize(path), False, now, size=len(data)
+                )
+            )
+
+    def append(self, path: str, data: bytes) -> None:
+        """Append *data* to existing file *path* (emits WRITE)."""
+        with self._lock:
+            node = self._resolve(path)
+            if node.file_type is FileType.DIRECTORY:
+                raise IsADirectory(normalize(path))
+            now = self._clock.now()
+            node.data += data
+            node.mtime = now
+            self._emit(
+                MutationRecord(
+                    MutationKind.WRITE,
+                    normalize(path),
+                    False,
+                    now,
+                    size=len(node.data),
+                )
+            )
+
+    def truncate(self, path: str, length: int = 0) -> None:
+        """Truncate file *path* to *length* bytes."""
+        if length < 0:
+            raise ValueError(f"negative truncate length: {length}")
+        with self._lock:
+            node = self._resolve(path)
+            if node.file_type is FileType.DIRECTORY:
+                raise IsADirectory(normalize(path))
+            now = self._clock.now()
+            node.data = node.data[:length].ljust(length, b"\x00")
+            node.mtime = now
+            self._emit(
+                MutationRecord(
+                    MutationKind.TRUNCATE, normalize(path), False, now, size=length
+                )
+            )
+
+    def setattr(self, path: str, mode: int | None = None) -> None:
+        """Change attributes (currently the mode) of *path*; emits SETATTR."""
+        with self._lock:
+            node = self._resolve(path)
+            now = self._clock.now()
+            if mode is not None:
+                node.mode = mode
+            node.ctime = now
+            self._emit(
+                MutationRecord(
+                    MutationKind.SETATTR,
+                    normalize(path),
+                    node.file_type is FileType.DIRECTORY,
+                    now,
+                )
+            )
+
+    def touch(self, path: str) -> None:
+        """Create *path* if missing, else bump its mtime (SETATTR)."""
+        with self._lock:
+            if not self.exists(path):
+                self.create(path)
+                return
+            node = self._resolve(path)
+            now = self._clock.now()
+            node.mtime = now
+            self._emit(
+                MutationRecord(
+                    MutationKind.SETATTR,
+                    normalize(path),
+                    node.file_type is FileType.DIRECTORY,
+                    now,
+                )
+            )
+
+    def unlink(self, path: str) -> None:
+        """Remove regular file *path*."""
+        with self._lock:
+            parent, name = self._resolve_parent(path)
+            ino = parent.children.get(name)
+            if ino is None:
+                raise FileNotFound(normalize(path))
+            node = self._inodes[ino]
+            if node.file_type is FileType.DIRECTORY:
+                raise IsADirectory(normalize(path))
+            now = self._clock.now()
+            del parent.children[name]
+            del self._inodes[ino]
+            parent.mtime = now
+            self._emit(
+                MutationRecord(MutationKind.UNLINK, normalize(path), False, now)
+            )
+
+    def rmdir(self, path: str) -> None:
+        """Remove empty directory *path*."""
+        with self._lock:
+            parent, name = self._resolve_parent(path)
+            ino = parent.children.get(name)
+            if ino is None:
+                raise FileNotFound(normalize(path))
+            node = self._inodes[ino]
+            if node.file_type is not FileType.DIRECTORY:
+                raise NotADirectory(normalize(path))
+            if node.children:
+                raise DirectoryNotEmpty(normalize(path))
+            now = self._clock.now()
+            del parent.children[name]
+            del self._inodes[ino]
+            parent.nlink -= 1
+            parent.mtime = now
+            self._emit(
+                MutationRecord(MutationKind.RMDIR, normalize(path), True, now)
+            )
+
+    def rmtree(self, path: str) -> None:
+        """Recursively remove *path* (directory or file)."""
+        with self._lock:
+            node = self._resolve(path)
+            if node.file_type is FileType.FILE:
+                self.unlink(path)
+                return
+            for name in list(node.children):
+                self.rmtree(normalize(path).rstrip("/") + "/" + name)
+            if normalize(path) != "/":
+                self.rmdir(path)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Atomically move *src* to *dst* (POSIX rename semantics).
+
+        An existing *dst* file is replaced; renaming a directory onto an
+        existing non-empty directory fails.
+        """
+        with self._lock:
+            src_norm, dst_norm = normalize(src), normalize(dst)
+            if src_norm == "/":
+                raise InvalidPath(src, "cannot rename the root")
+            src_parent, src_name = self._resolve_parent(src)
+            src_ino = src_parent.children.get(src_name)
+            if src_ino is None:
+                raise FileNotFound(src_norm)
+            src_node = self._inodes[src_ino]
+            if src_node.file_type is FileType.DIRECTORY and is_ancestor(
+                src_norm, dst_norm
+            ):
+                raise InvalidPath(dst, "cannot move a directory into itself")
+            dst_parent, dst_name = self._resolve_parent(dst)
+            existing_ino = dst_parent.children.get(dst_name)
+            if existing_ino is not None:
+                existing = self._inodes[existing_ino]
+                if existing.file_type is FileType.DIRECTORY:
+                    if src_node.file_type is not FileType.DIRECTORY:
+                        raise IsADirectory(dst_norm)
+                    if existing.children:
+                        raise DirectoryNotEmpty(dst_norm)
+                    del self._inodes[existing_ino]
+                    dst_parent.nlink -= 1
+                else:
+                    if src_node.file_type is FileType.DIRECTORY:
+                        raise NotADirectory(dst_norm)
+                    del self._inodes[existing_ino]
+            now = self._clock.now()
+            del src_parent.children[src_name]
+            dst_parent.children[dst_name] = src_ino
+            if src_node.file_type is FileType.DIRECTORY:
+                src_parent.nlink -= 1
+                dst_parent.nlink += 1
+            src_parent.mtime = now
+            dst_parent.mtime = now
+            src_node.ctime = now
+            self._emit(
+                MutationRecord(
+                    MutationKind.RENAME,
+                    dst_norm,
+                    src_node.file_type is FileType.DIRECTORY,
+                    now,
+                    old_path=src_norm,
+                )
+            )

@@ -1,0 +1,297 @@
+"""A Watchdog-style observer layer over the inotify emulation.
+
+Ripple's original event detection used the Python *watchdog* package,
+which places recursive watchers on directories relevant to a rule and
+dispatches typed events to handler objects.  This module reproduces that
+interface:
+
+* :class:`FileSystemEventHandler` — subclass and override ``on_created``,
+  ``on_deleted``, ``on_modified``, ``on_moved``, ``on_attrib``.
+* :class:`Observer` — schedules handlers on directory trees.  At schedule
+  time it **crawls** the tree to place one inotify watch per directory
+  (the setup cost the paper calls out), and it adds watches for
+  directories created later so recursion stays complete.
+
+Dispatch is pull-based for determinism: call :meth:`Observer.drain` to
+deliver pending events, or run the observer's background thread with
+:meth:`start` for live operation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.fs.inotify import (
+    IN_ALL_EVENTS,
+    IN_ATTRIB,
+    IN_CREATE,
+    IN_DELETE,
+    IN_ISDIR,
+    IN_MODIFY,
+    IN_MOVED_FROM,
+    IN_MOVED_TO,
+    InotifyEvent,
+    InotifyInstance,
+)
+from repro.fs.memfs import MemoryFilesystem
+from repro.util.paths import is_ancestor, join, normalize
+
+
+@dataclass(frozen=True)
+class FileSystemEvent:
+    """A watchdog-style event delivered to handlers."""
+
+    event_type: str  # created | deleted | modified | moved | attrib | overflow
+    src_path: str
+    is_directory: bool
+    timestamp: float
+    dest_path: Optional[str] = None  # only for 'moved'
+
+
+class FileSystemEventHandler:
+    """Base handler: override the ``on_*`` hooks you care about.
+
+    ``dispatch`` routes an event to the matching hook and also calls
+    ``on_any_event`` first, mirroring the watchdog package.
+    """
+
+    def dispatch(self, event: FileSystemEvent) -> None:
+        self.on_any_event(event)
+        hook = getattr(self, f"on_{event.event_type}", None)
+        if hook is not None:
+            hook(event)
+
+    def on_any_event(self, event: FileSystemEvent) -> None:
+        """Called for every event before the specific hook."""
+
+    def on_created(self, event: FileSystemEvent) -> None:
+        """A file or directory was created."""
+
+    def on_deleted(self, event: FileSystemEvent) -> None:
+        """A file or directory was deleted."""
+
+    def on_modified(self, event: FileSystemEvent) -> None:
+        """A file's content changed."""
+
+    def on_moved(self, event: FileSystemEvent) -> None:
+        """A file or directory was renamed (src_path -> dest_path)."""
+
+    def on_attrib(self, event: FileSystemEvent) -> None:
+        """A file's attributes changed."""
+
+    def on_overflow(self, event: FileSystemEvent) -> None:
+        """The kernel queue overflowed; events were lost."""
+
+
+class PatternMatchingEventHandler(FileSystemEventHandler):
+    """A handler that filters by filename glob before dispatching.
+
+    Mirrors the watchdog package's handler of the same name: *patterns*
+    must match (any of), *ignore_patterns* must not (none of), and
+    directory events can be excluded wholesale.
+    """
+
+    def __init__(
+        self,
+        patterns: Optional[list[str]] = None,
+        ignore_patterns: Optional[list[str]] = None,
+        ignore_directories: bool = False,
+    ) -> None:
+        self.patterns = list(patterns) if patterns else ["*"]
+        self.ignore_patterns = list(ignore_patterns or [])
+        self.ignore_directories = ignore_directories
+
+    def _matches(self, event: FileSystemEvent) -> bool:
+        import fnmatch
+
+        if event.event_type == "overflow":
+            return True
+        if event.is_directory and self.ignore_directories:
+            return False
+        candidates = [p for p in (event.src_path, event.dest_path) if p]
+        names = [path.rsplit("/", 1)[-1] for path in candidates]
+        if not any(
+            fnmatch.fnmatch(name, pattern)
+            for name in names
+            for pattern in self.patterns
+        ):
+            return False
+        if any(
+            fnmatch.fnmatch(name, pattern)
+            for name in names
+            for pattern in self.ignore_patterns
+        ):
+            return False
+        return True
+
+    def dispatch(self, event: FileSystemEvent) -> None:
+        if self._matches(event):
+            super().dispatch(event)
+
+
+@dataclass
+class _Schedule:
+    handler: FileSystemEventHandler
+    root: str
+    recursive: bool
+
+
+class Observer:
+    """Schedules handlers over directory trees of a MemoryFilesystem."""
+
+    def __init__(self, filesystem: MemoryFilesystem) -> None:
+        self.fs = filesystem
+        self.inotify = InotifyInstance(filesystem)
+        self._schedules: list[_Schedule] = []
+        self._lock = threading.RLock()
+        self._pending_moves: Dict[int, InotifyEvent] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        #: Number of directories crawled when placing watches (setup cost).
+        self.directories_watched = 0
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(
+        self,
+        handler: FileSystemEventHandler,
+        path: str,
+        recursive: bool = True,
+    ) -> _Schedule:
+        """Watch *path* (and its subtree if *recursive*) with *handler*.
+
+        Placing watches requires crawling every directory below *path*,
+        which is the startup cost the paper attributes to inotify-based
+        monitoring.
+        """
+        root = normalize(path)
+        with self._lock:
+            schedule = _Schedule(handler, root, recursive)
+            self._schedules.append(schedule)
+            self._watch_tree(root, recursive)
+            return schedule
+
+    def unschedule(self, schedule: _Schedule) -> None:
+        """Remove a previously scheduled handler."""
+        with self._lock:
+            try:
+                self._schedules.remove(schedule)
+            except ValueError:
+                pass
+
+    def _watch_tree(self, root: str, recursive: bool) -> None:
+        self.inotify.add_watch(root, IN_ALL_EVENTS)
+        self.directories_watched += 1
+        if not recursive:
+            return
+        for dirpath, dirnames, _filenames in self.fs.walk(root):
+            for name in dirnames:
+                self.inotify.add_watch(join(dirpath, name), IN_ALL_EVENTS)
+                self.directories_watched += 1
+
+    # -- event pump -----------------------------------------------------------
+
+    def drain(self) -> int:
+        """Deliver all pending events synchronously; return the count."""
+        delivered = 0
+        for raw in self.inotify.read_events():
+            for event in self._translate(raw):
+                self._dispatch(event)
+                delivered += 1
+        return delivered
+
+    def _translate(self, raw: InotifyEvent) -> list[FileSystemEvent]:
+        if raw.is_overflow:
+            return [
+                FileSystemEvent("overflow", "", False, raw.timestamp)
+            ]
+        base = self.inotify.path_for(raw.wd) if raw.wd > 0 else "/"
+        path = join(base, raw.name) if raw.name else base
+        is_dir = bool(raw.mask & IN_ISDIR)
+        events: list[FileSystemEvent] = []
+        if raw.mask & IN_CREATE:
+            events.append(FileSystemEvent("created", path, is_dir, raw.timestamp))
+            # Keep recursion complete: watch newly created directories.
+            if is_dir:
+                with self._lock:
+                    for schedule in self._schedules:
+                        if schedule.recursive and is_ancestor(schedule.root, path):
+                            try:
+                                self.inotify.add_watch(path, IN_ALL_EVENTS)
+                                self.directories_watched += 1
+                            except Exception:
+                                pass
+                            break
+        if raw.mask & IN_DELETE:
+            events.append(FileSystemEvent("deleted", path, is_dir, raw.timestamp))
+        if raw.mask & IN_MODIFY:
+            events.append(FileSystemEvent("modified", path, is_dir, raw.timestamp))
+        if raw.mask & IN_ATTRIB:
+            events.append(FileSystemEvent("attrib", path, is_dir, raw.timestamp))
+        if raw.mask & IN_MOVED_FROM:
+            # Hold until the matching MOVED_TO arrives (same cookie).
+            self._pending_moves[raw.cookie] = raw
+        if raw.mask & IN_MOVED_TO:
+            src = self._pending_moves.pop(raw.cookie, None)
+            if src is not None:
+                src_base = self.inotify.path_for(src.wd)
+                src_path = join(src_base, src.name)
+                events.append(
+                    FileSystemEvent(
+                        "moved", src_path, is_dir, raw.timestamp, dest_path=path
+                    )
+                )
+            else:
+                # Moved in from outside the watched tree: acts as a create.
+                events.append(
+                    FileSystemEvent("created", path, is_dir, raw.timestamp)
+                )
+        return events
+
+    def _dispatch(self, event: FileSystemEvent) -> None:
+        with self._lock:
+            schedules = list(self._schedules)
+        for schedule in schedules:
+            if event.event_type == "overflow":
+                schedule.handler.dispatch(event)
+                continue
+            anchor = event.src_path or "/"
+            if not is_ancestor(schedule.root, anchor):
+                continue
+            if not schedule.recursive:
+                parent = anchor.rsplit("/", 1)[0] or "/"
+                if parent != schedule.root:
+                    continue
+            schedule.handler.dispatch(event)
+
+    # -- background operation -----------------------------------------------
+
+    def start(self, poll_interval: float = 0.005) -> None:
+        """Run a background thread draining events every *poll_interval*."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def _pump() -> None:
+            while not self._stop.is_set():
+                self.drain()
+                self._stop.wait(poll_interval)
+            self.drain()
+
+        self._thread = threading.Thread(target=_pump, name="observer", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the background thread (if running) and flush events."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5)
+        self._thread = None
+
+    def close(self) -> None:
+        """Stop and release the inotify instance."""
+        self.stop()
+        self.inotify.close()

@@ -1,0 +1,33 @@
+"""Experiment harness: one runner per paper table/figure + reporting."""
+
+from repro.harness.reporting import (
+    ascii_chart,
+    comparison_table,
+    render_table,
+)
+from repro.harness.experiments import (
+    Figure3Report,
+    Table2Report,
+    Table3Report,
+    ThroughputReport,
+    experiment_figure3,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+    experiment_throughput,
+)
+
+__all__ = [
+    "render_table",
+    "comparison_table",
+    "ascii_chart",
+    "experiment_table1",
+    "experiment_table2",
+    "experiment_table3",
+    "experiment_throughput",
+    "experiment_figure3",
+    "Table2Report",
+    "Table3Report",
+    "ThroughputReport",
+    "Figure3Report",
+]

@@ -1,0 +1,93 @@
+"""Plain-text rendering of tables and figures for the benchmarks.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output readable in a terminal and in the
+captured ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def comparison_table(
+    rows: Iterable[tuple[str, float, float]],
+    title: str = "",
+    paper_label: str = "paper",
+    measured_label: str = "measured",
+) -> str:
+    """Render (metric, paper value, measured value, ratio) rows."""
+    rendered = []
+    for name, paper, measured in rows:
+        ratio = measured / paper if paper else float("nan")
+        rendered.append(
+            (name, f"{paper:,.2f}", f"{measured:,.2f}", f"{ratio:.3f}x")
+        )
+    return render_table(
+        ["metric", paper_label, measured_label, "ratio"], rendered, title=title
+    )
+
+
+def ascii_chart(
+    series: dict[str, Sequence[float]],
+    width: int = 70,
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """A multi-series ASCII chart (Figure 3 style).
+
+    Each series gets its own glyph; the x axis is the sample index.
+    """
+    glyphs = "*o+x#@"
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        return title + "\n(no data)"
+    peak = max(all_values) or 1.0
+    n_points = max(len(values) for values in series.values())
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (_name, values) in enumerate(sorted(series.items())):
+        glyph = glyphs[series_index % len(glyphs)]
+        for point_index, value in enumerate(values):
+            x = (
+                int(point_index * (width - 1) / (n_points - 1))
+                if n_points > 1
+                else 0
+            )
+            y = height - 1 - int((value / peak) * (height - 1))
+            grid[y][x] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"{y_label} (peak = {peak:,.0f})")
+    for row_index, row in enumerate(grid):
+        margin = f"{peak * (height - 1 - row_index) / (height - 1):>12,.0f} |"
+        lines.append(margin + "".join(row))
+    lines.append(" " * 13 + "+" + "-" * width)
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} = {name}"
+        for i, name in enumerate(sorted(series))
+    )
+    lines.append(" " * 14 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""An in-memory model of the Lustre filesystem.
+
+This substrate reproduces the pieces of Lustre the paper's monitor
+depends on:
+
+* :class:`Fid` — Lustre File Identifiers (``[seq:oid:ver]``), allocated
+  from per-MDT sequence ranges.
+* :class:`ChangeLog` — the per-MDT metadata catalog: an append-only log
+  of namespace mutations with registered reader ids and purge pointers
+  (``lctl changelog_clear`` semantics).
+* :class:`MetadataServer` / :class:`MetadataTarget` — MDS hosts serving
+  one or more MDTs; DNE (Distributed NamEspace) placement policies
+  spread directories across MDTs.
+* :class:`ObjectStorageServer` / OSTs with round-robin striping.
+* :class:`LustreFilesystem` — the client-visible API (mkdir, create,
+  write, unlink, rename, setattr, ...) that drives changelog records
+  into the owning MDT, exactly as client RPCs do.
+* :class:`FidResolver` — the ``fid2path`` tool used by the monitor's
+  processing step, with invocation accounting so experiments can model
+  its cost (the paper's measured bottleneck).
+"""
+
+from repro.lustre.fid import Fid, FidSequenceAllocator
+from repro.lustre.changelog import (
+    ChangeLog,
+    ChangelogFlag,
+    ChangelogRecord,
+    RecordType,
+)
+from repro.lustre.mds import DnePolicy, MetadataServer, MetadataTarget
+from repro.lustre.oss import ObjectStorageServer, ObjectStorageTarget, StripeLayout
+from repro.lustre.filesystem import LustreFilesystem
+from repro.lustre.fid2path import FidResolver
+from repro.lustre.lctl import LctlAdmin, LfsClient
+
+__all__ = [
+    "LctlAdmin",
+    "LfsClient",
+    "Fid",
+    "FidSequenceAllocator",
+    "ChangeLog",
+    "ChangelogRecord",
+    "RecordType",
+    "ChangelogFlag",
+    "MetadataServer",
+    "MetadataTarget",
+    "DnePolicy",
+    "ObjectStorageServer",
+    "ObjectStorageTarget",
+    "StripeLayout",
+    "LustreFilesystem",
+    "FidResolver",
+]

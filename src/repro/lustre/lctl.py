@@ -1,0 +1,182 @@
+"""Operator-facing facades mirroring the ``lctl`` and ``lfs`` tools.
+
+The library's Python API is what programs use; administrators know
+Lustre through ``lctl`` (server control: changelog users, tunables) and
+``lfs`` (client utilities: df, getstripe, fid2path).  These facades
+expose the model through those idioms — string MDT names, string
+parameters — which keeps runbooks and examples recognisable to Lustre
+operators and gives tests an end-to-end "operator path" to exercise.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Optional, Union
+
+from repro.errors import LustreError
+from repro.lustre.changelog import RecordType
+from repro.lustre.fid import Fid
+from repro.lustre.filesystem import LustreFilesystem
+
+#: Filesystem name used in target labels (lustre-MDT0000 style).
+FSNAME = "lustre"
+
+
+def _mdt_label(index: int) -> str:
+    return f"{FSNAME}-MDT{index:04x}"
+
+
+def _parse_mdt(target: str) -> int:
+    """Accept 'lustre-MDT0000', 'MDT0000' or a bare index string."""
+    name = target.rsplit("-", 1)[-1]
+    if name.upper().startswith("MDT"):
+        return int(name[3:], 16)
+    return int(target)
+
+
+class LctlAdmin:
+    """``lctl``-style server administration over a LustreFilesystem."""
+
+    def __init__(self, filesystem: LustreFilesystem) -> None:
+        self.fs = filesystem
+
+    # -- device listing ------------------------------------------------------
+
+    def dl(self) -> list[str]:
+        """List devices (``lctl dl``): MDTs then OSTs."""
+        lines = []
+        for mdt in self.fs.cluster.all_mdts():
+            server = self.fs.cluster.server_for_mdt(mdt.index)
+            lines.append(f"{_mdt_label(mdt.index)} mdt {server.name} UP")
+        for index in sorted(self.fs.osts._osts):
+            lines.append(f"{FSNAME}-OST{index:04x} ost UP")
+        return lines
+
+    # -- changelog administration ---------------------------------------------
+
+    def changelog_register(self, target: str) -> str:
+        """``lctl --device <mdt> changelog_register``; returns clN."""
+        mdt = self.fs.cluster.mdt(_parse_mdt(target))
+        return mdt.changelog.register_user()
+
+    def changelog_deregister(self, target: str, user: str) -> None:
+        """``lctl --device <mdt> changelog_deregister <user>``."""
+        mdt = self.fs.cluster.mdt(_parse_mdt(target))
+        mdt.changelog.deregister_user(user)
+
+    def changelog(self, target: str, user: str,
+                  max_records: Optional[int] = None) -> list[str]:
+        """Read records for *user* (like ``lfs changelog``)."""
+        mdt = self.fs.cluster.mdt(_parse_mdt(target))
+        return [
+            record.format()
+            for record in mdt.changelog.read(user, max_records=max_records)
+        ]
+
+    def changelog_clear(self, target: str, user: str, index: int) -> None:
+        """``lfs changelog_clear <mdt> <user> <index>``."""
+        mdt = self.fs.cluster.mdt(_parse_mdt(target))
+        mdt.changelog.clear(user, index)
+
+    # -- tunables ------------------------------------------------------------
+
+    def set_param(self, name: str, value: str) -> int:
+        """``lctl set_param`` — supported: ``mdd.*.changelog_mask``.
+
+        The value is a space-separated list of record-type names
+        (``"CREAT MKDIR UNLNK"``); the glob in the parameter name
+        selects MDTs.  Returns the number of MDTs updated.
+        """
+        parts = name.split(".")
+        if len(parts) != 3 or parts[0] != "mdd" or parts[2] != "changelog_mask":
+            raise LustreError(f"unsupported parameter {name!r}")
+        try:
+            types = {RecordType[token.upper()] for token in value.split()}
+        except KeyError as exc:
+            raise LustreError(f"unknown record type in mask: {exc}") from None
+        updated = 0
+        for mdt in self.fs.cluster.all_mdts():
+            if fnmatch.fnmatch(_mdt_label(mdt.index), parts[1]):
+                mdt.changelog.set_mask(types)
+                updated += 1
+        if updated == 0:
+            raise LustreError(f"no MDT matches {parts[1]!r}")
+        return updated
+
+    def get_param(self, name: str) -> dict[str, str]:
+        """``lctl get_param`` for ``mdd.*.changelog_mask``."""
+        parts = name.split(".")
+        if len(parts) != 3 or parts[0] != "mdd" or parts[2] != "changelog_mask":
+            raise LustreError(f"unsupported parameter {name!r}")
+        result = {}
+        for mdt in self.fs.cluster.all_mdts():
+            label = _mdt_label(mdt.index)
+            if fnmatch.fnmatch(label, parts[1]):
+                names = sorted(
+                    record_type.name for record_type in mdt.changelog.mask
+                )
+                result[f"mdd.{label}.changelog_mask"] = " ".join(names)
+        return result
+
+
+class LfsClient:
+    """``lfs``-style client utilities over a LustreFilesystem."""
+
+    def __init__(self, filesystem: LustreFilesystem) -> None:
+        self.fs = filesystem
+
+    def df(self) -> list[str]:
+        """``lfs df``: per-OST usage plus a summary line."""
+        lines = []
+        total_used = 0
+        total_capacity: Union[int, None] = 0
+        for index in sorted(self.fs.osts._osts):
+            ost = self.fs.osts.ost(index)
+            capacity = ost.capacity_bytes
+            total_used += ost.used_bytes
+            if total_capacity is not None:
+                total_capacity = (
+                    total_capacity + capacity if capacity is not None else None
+                )
+            capacity_text = str(capacity) if capacity is not None else "-"
+            lines.append(
+                f"{FSNAME}-OST{index:04x}  used={ost.used_bytes}  "
+                f"capacity={capacity_text}  objects={ost.object_count}"
+            )
+        capacity_text = str(total_capacity) if total_capacity is not None else "-"
+        lines.append(f"filesystem_summary  used={total_used}  "
+                     f"capacity={capacity_text}")
+        return lines
+
+    def getstripe(self, path: str) -> dict[str, object]:
+        """``lfs getstripe``: layout of a file or default of a directory."""
+        stat = self.fs.stat(path)
+        if stat.is_dir:
+            return {
+                "path": path,
+                "stripe_count": self.fs.get_stripe(path),
+                "default": True,
+            }
+        entry = self.fs._resolve(path)
+        assert entry.layout is not None
+        return {
+            "path": path,
+            "stripe_count": entry.layout.stripe_count,
+            "stripe_size": entry.layout.stripe_size,
+            "objects": list(entry.layout.objects),
+            "default": False,
+        }
+
+    def setstripe(self, path: str, stripe_count: int) -> None:
+        """``lfs setstripe -c <n> <dir>``."""
+        self.fs.set_stripe(path, stripe_count)
+
+    def path2fid(self, path: str) -> str:
+        """``lfs path2fid``."""
+        return str(self.fs.fid_of(path))
+
+    def fid2path(self, fid: Union[str, Fid]) -> str:
+        """``lfs fid2path``."""
+        if isinstance(fid, str):
+            fid = Fid.parse(fid)
+        return self.fs.path_of(fid)

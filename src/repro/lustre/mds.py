@@ -1,0 +1,200 @@
+"""Metadata servers (MDS) and metadata targets (MDT), with DNE placement.
+
+A Lustre filesystem's namespace is served by one or more MDTs, each
+hosted on an MDS.  Every MDT owns a FID sequence range and keeps its own
+ChangeLog; a namespace operation is recorded in the ChangeLog of the MDT
+that serves it.  DNE (Distributed NamEspace) spreads directories across
+MDTs; the placement policy is modelled here.
+
+The paper's testbeds: AWS had a single MDS; Iota had four MDS but was
+configured to use only one (its tests ran single-MDS).  The multi-MDS
+ablation (A2 in DESIGN.md) exercises the >1 case.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.errors import LustreError
+from repro.lustre.changelog import ChangeLog
+from repro.lustre.fid import Fid, FidSequenceAllocator
+from repro.util.clock import Clock, WallClock
+
+
+class DnePolicy(Enum):
+    """How new directories are placed across MDTs."""
+
+    #: All directories on MDT 0 (pre-DNE behaviour; paper's configuration).
+    SINGLE = "single"
+    #: Child directory inherits the parent directory's MDT.
+    INHERIT = "inherit"
+    #: Directories placed by hash of their name (DNE striped-dir style).
+    HASH = "hash"
+    #: Directories placed round-robin across MDTs.
+    ROUND_ROBIN = "round_robin"
+
+
+@dataclass
+class MdtStats:
+    """Operation counters for one MDT."""
+
+    opens: int = 0
+    creates: int = 0
+    mkdirs: int = 0
+    unlinks: int = 0
+    rmdirs: int = 0
+    renames: int = 0
+    setattrs: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.opens
+            + self.creates
+            + self.mkdirs
+            + self.unlinks
+            + self.rmdirs
+            + self.renames
+            + self.setattrs
+            + self.writes
+        )
+
+
+class MetadataTarget:
+    """One MDT: a FID allocator plus a ChangeLog plus counters."""
+
+    def __init__(
+        self,
+        index: int,
+        clock: Clock | None = None,
+        changelog_capacity: Optional[int] = None,
+    ) -> None:
+        self.index = index
+        self.allocator = FidSequenceAllocator(index)
+        self.changelog = ChangeLog(index, clock=clock, capacity=changelog_capacity)
+        self.stats = MdtStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MetadataTarget(index={self.index}, backlog={self.changelog.backlog})"
+
+
+class MetadataServer:
+    """An MDS host serving one or more MDTs.
+
+    The host identity matters to the monitor: one Collector is deployed
+    per MDS, reading the ChangeLogs of every MDT the host serves.
+    """
+
+    def __init__(self, name: str, mdts: list[MetadataTarget]) -> None:
+        if not mdts:
+            raise LustreError(f"MDS {name!r} must serve at least one MDT")
+        self.name = name
+        self.mdts = list(mdts)
+
+    @property
+    def mdt_indices(self) -> list[int]:
+        return [mdt.index for mdt in self.mdts]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MetadataServer(name={self.name!r}, mdts={self.mdt_indices})"
+
+
+class MdtCluster:
+    """The full set of MDTs plus the DNE placement policy.
+
+    Construction helper: ``MdtCluster.build(num_mds=4, mdts_per_mds=1)``
+    creates MDS hosts named ``mds0`` .. ``mds3`` with consecutively
+    numbered MDTs.
+    """
+
+    def __init__(
+        self,
+        servers: list[MetadataServer],
+        policy: DnePolicy = DnePolicy.SINGLE,
+    ) -> None:
+        if not servers:
+            raise LustreError("cluster needs at least one MDS")
+        self.servers = list(servers)
+        self.policy = policy
+        self._mdts: Dict[int, MetadataTarget] = {}
+        for server in servers:
+            for mdt in server.mdts:
+                if mdt.index in self._mdts:
+                    raise LustreError(f"duplicate MDT index {mdt.index}")
+                self._mdts[mdt.index] = mdt
+        if 0 not in self._mdts:
+            raise LustreError("MDT 0 (root MDT) must exist")
+        self._rr_lock = threading.Lock()
+        self._rr_next = 0
+
+    @classmethod
+    def build(
+        cls,
+        num_mds: int = 1,
+        mdts_per_mds: int = 1,
+        policy: DnePolicy = DnePolicy.SINGLE,
+        clock: Clock | None = None,
+        changelog_capacity: Optional[int] = None,
+    ) -> "MdtCluster":
+        clock = clock or WallClock()
+        servers = []
+        index = 0
+        for host in range(num_mds):
+            mdts = []
+            for _ in range(mdts_per_mds):
+                mdts.append(
+                    MetadataTarget(
+                        index, clock=clock, changelog_capacity=changelog_capacity
+                    )
+                )
+                index += 1
+            servers.append(MetadataServer(f"mds{host}", mdts))
+        return cls(servers, policy=policy)
+
+    # -- lookup --------------------------------------------------------------
+
+    @property
+    def mdt_count(self) -> int:
+        return len(self._mdts)
+
+    def mdt(self, index: int) -> MetadataTarget:
+        """The MDT with the given index."""
+        try:
+            return self._mdts[index]
+        except KeyError:
+            raise LustreError(f"no MDT with index {index}") from None
+
+    def all_mdts(self) -> list[MetadataTarget]:
+        """All MDTs, ordered by index."""
+        return [self._mdts[i] for i in sorted(self._mdts)]
+
+    def server_for_mdt(self, index: int) -> MetadataServer:
+        """The MDS host serving MDT *index*."""
+        for server in self.servers:
+            if index in server.mdt_indices:
+                return server
+        raise LustreError(f"no MDS serves MDT {index}")
+
+    # -- DNE placement ----------------------------------------------------------
+
+    def place_directory(self, parent_mdt: int, name: str) -> int:
+        """Choose the MDT index for a new directory per the DNE policy."""
+        if self.policy is DnePolicy.SINGLE:
+            return 0
+        if self.policy is DnePolicy.INHERIT:
+            return parent_mdt
+        if self.policy is DnePolicy.HASH:
+            return zlib.crc32(name.encode()) % self.mdt_count
+        with self._rr_lock:
+            chosen = self._rr_next % self.mdt_count
+            self._rr_next += 1
+            return chosen
+
+    def place_file(self, parent_mdt: int) -> int:
+        """Files are always served by their parent directory's MDT."""
+        return parent_mdt

@@ -1,0 +1,13 @@
+"""Measurement utilities: throughput meters, histograms, resource samples."""
+
+from repro.metrics.throughput import RateMeter, StageTimer
+from repro.metrics.histogram import LatencyHistogram
+from repro.metrics.resources import ResourceSample, ResourceUsageModel
+
+__all__ = [
+    "RateMeter",
+    "StageTimer",
+    "LatencyHistogram",
+    "ResourceSample",
+    "ResourceUsageModel",
+]

@@ -1,0 +1,75 @@
+"""A simple log-bucketed latency histogram."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+class LatencyHistogram:
+    """Log2-bucketed histogram of latencies (seconds).
+
+    Buckets span from *min_latency* upward, doubling each bucket, which
+    gives constant relative precision over many orders of magnitude —
+    suitable for event pipeline latencies ranging from microseconds to
+    seconds.
+    """
+
+    def __init__(self, min_latency: float = 1e-6, buckets: int = 40) -> None:
+        if min_latency <= 0:
+            raise ValueError(f"min_latency must be positive: {min_latency}")
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1: {buckets}")
+        self.min_latency = min_latency
+        self.bucket_count = buckets
+        self._counts = [0] * buckets
+        self.total = 0
+        self.sum = 0.0
+        self.max_seen = 0.0
+        self.min_seen: Optional[float] = None
+
+    def _bucket_for(self, latency: float) -> int:
+        if latency <= self.min_latency:
+            return 0
+        index = int(math.log2(latency / self.min_latency)) + 1
+        return min(index, self.bucket_count - 1)
+
+    def record(self, latency: float) -> None:
+        """Add one observation."""
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        self._counts[self._bucket_for(latency)] += 1
+        self.total += 1
+        self.sum += latency
+        self.max_seen = max(self.max_seen, latency)
+        self.min_seen = latency if self.min_seen is None else min(self.min_seen, latency)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations."""
+        return self.sum / self.total if self.total else 0.0
+
+    def bucket_bounds(self, index: int) -> tuple[float, float]:
+        """(low, high) latency bounds of bucket *index*."""
+        if index == 0:
+            return (0.0, self.min_latency)
+        low = self.min_latency * 2 ** (index - 1)
+        return (low, low * 2)
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile (upper bound of the containing bucket)."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1]: {fraction}")
+        if self.total == 0:
+            return 0.0
+        threshold = fraction * self.total
+        cumulative = 0
+        for index, count in enumerate(self._counts):
+            cumulative += count
+            if cumulative >= threshold:
+                return self.bucket_bounds(index)[1]
+        return self.max_seen
+
+    def counts(self) -> list[int]:
+        """A copy of the raw bucket counts."""
+        return list(self._counts)

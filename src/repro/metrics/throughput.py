@@ -1,0 +1,104 @@
+"""Throughput measurement: rate meters and per-stage timers."""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.util.clock import Clock, WallClock
+
+
+class RateMeter:
+    """Counts events against a clock and reports rates.
+
+    Works with either the wall clock (live benchmarks) or a manual /
+    virtual clock (calibrated experiments).
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock or WallClock()
+        self._lock = threading.Lock()
+        self.count = 0
+        self.started_at = self.clock.now()
+        self.last_at = self.started_at
+
+    def mark(self, n: int = 1) -> None:
+        """Record *n* occurrences."""
+        with self._lock:
+            self.count += n
+            self.last_at = self.clock.now()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds from start to the most recent mark."""
+        return max(0.0, self.last_at - self.started_at)
+
+    @property
+    def rate(self) -> float:
+        """Occurrences per second over the active window."""
+        elapsed = self.elapsed
+        return self.count / elapsed if elapsed > 0 else 0.0
+
+    def rate_over(self, elapsed: float) -> float:
+        """Occurrences per second over an externally supplied window."""
+        return self.count / elapsed if elapsed > 0 else 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.started_at = self.clock.now()
+            self.last_at = self.started_at
+
+
+@dataclass
+class StageTimer:
+    """Accumulates wall time per named pipeline stage.
+
+    Used by the live throughput benchmark to attribute cost to the
+    detect / process / report stages the way the paper's bottleneck
+    analysis does.
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    class _Span:
+        def __init__(self, timer: "StageTimer", stage: str) -> None:
+            self.timer = timer
+            self.stage = stage
+            self.start = 0.0
+
+        def __enter__(self) -> "StageTimer._Span":
+            self.start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc: object) -> None:
+            elapsed = time.perf_counter() - self.start
+            self.timer.totals[self.stage] = (
+                self.timer.totals.get(self.stage, 0.0) + elapsed
+            )
+            self.timer.counts[self.stage] = self.timer.counts.get(self.stage, 0) + 1
+
+    def stage(self, name: str) -> "_Span":
+        """Context manager timing one execution of stage *name*."""
+        return self._Span(self, name)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per execution of stage *name*."""
+        count = self.counts.get(name, 0)
+        return self.totals.get(name, 0.0) / count if count else 0.0
+
+    def breakdown(self) -> Dict[str, float]:
+        """Fraction of total timed cost per stage."""
+        total = sum(self.totals.values())
+        if total <= 0:
+            return {name: 0.0 for name in self.totals}
+        return {name: value / total for name, value in self.totals.items()}
+
+    def dominant_stage(self) -> str | None:
+        """The stage with the largest accumulated cost (the bottleneck)."""
+        if not self.totals:
+            return None
+        return max(self.totals, key=lambda name: self.totals[name])

@@ -1,0 +1,40 @@
+"""An in-process message fabric with ZeroMQ-style socket semantics.
+
+The paper's monitor moves events from Collectors to the Aggregator and
+from the Aggregator to subscribed consumers over ZeroMQ.  This package
+reproduces the messaging *semantics* the design depends on, in-process:
+
+* :class:`Context` — owns named endpoints; sockets bind/connect to
+  ``inproc://name`` style addresses.
+* ``PUB``/``SUB`` — fan-out with topic prefix filtering; subscribers
+  that have not connected yet miss messages (the "slow joiner" property
+  real deployments must design around); a bounded high-water mark drops
+  messages to slow subscribers (observable, so tests can assert on it).
+* ``PUSH``/``PULL`` — fair-queued fan-in/fan-out pipelines with blocking
+  or non-blocking receive; used Collector→Aggregator.
+* ``REQ``/``REP`` — lock-step request/reply, used for the Aggregator's
+  historic-event retrieval API.
+
+The ablation A4 (DESIGN.md) compares these transports for the
+collection path, per the paper's future work.
+"""
+
+from repro.msgq.context import Context
+from repro.msgq.sockets import (
+    PubSocket,
+    PullSocket,
+    PushSocket,
+    RepSocket,
+    ReqSocket,
+    SubSocket,
+)
+
+__all__ = [
+    "Context",
+    "PubSocket",
+    "SubSocket",
+    "PushSocket",
+    "PullSocket",
+    "ReqSocket",
+    "RepSocket",
+]

@@ -1,0 +1,97 @@
+"""The messaging context: endpoint registry and socket factory."""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Dict
+
+from repro.errors import AddressInUse, AddressNotFound, MessagingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.msgq.sockets import Socket
+
+
+class Context:
+    """Owns the endpoint namespace for one messaging domain.
+
+    Endpoints are plain strings (conventionally ``inproc://collector0``).
+    A bind claims the endpoint; connects resolve it.  The context is
+    thread-safe: sockets are created and wired from any thread.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._bindings: Dict[str, "Socket"] = {}
+        self._closed = False
+
+    # -- socket factory -----------------------------------------------------
+
+    def pub(self, hwm: int = 10_000) -> "PubSocket":
+        """Create a PUB socket (see :class:`~repro.msgq.sockets.PubSocket`)."""
+        from repro.msgq.sockets import PubSocket
+
+        return PubSocket(self, hwm=hwm)
+
+    def sub(self, hwm: int = 10_000) -> "SubSocket":
+        """Create a SUB socket."""
+        from repro.msgq.sockets import SubSocket
+
+        return SubSocket(self, hwm=hwm)
+
+    def push(self, hwm: int = 10_000) -> "PushSocket":
+        """Create a PUSH socket."""
+        from repro.msgq.sockets import PushSocket
+
+        return PushSocket(self, hwm=hwm)
+
+    def pull(self, hwm: int = 10_000) -> "PullSocket":
+        """Create a PULL socket."""
+        from repro.msgq.sockets import PullSocket
+
+        return PullSocket(self, hwm=hwm)
+
+    def req(self, timeout: float | None = None) -> "ReqSocket":
+        """Create a REQ socket."""
+        from repro.msgq.sockets import ReqSocket
+
+        return ReqSocket(self, timeout=timeout)
+
+    def rep(self) -> "RepSocket":
+        """Create a REP socket."""
+        from repro.msgq.sockets import RepSocket
+
+        return RepSocket(self)
+
+    # -- endpoint registry -----------------------------------------------------
+
+    def _bind(self, endpoint: str, socket: "Socket") -> None:
+        with self._lock:
+            if self._closed:
+                raise MessagingError("context is closed")
+            if endpoint in self._bindings:
+                raise AddressInUse(f"endpoint already bound: {endpoint!r}")
+            self._bindings[endpoint] = socket
+
+    def _unbind(self, endpoint: str) -> None:
+        with self._lock:
+            self._bindings.pop(endpoint, None)
+
+    def _lookup(self, endpoint: str) -> "Socket":
+        with self._lock:
+            socket = self._bindings.get(endpoint)
+            if socket is None:
+                raise AddressNotFound(f"nothing bound at {endpoint!r}")
+            return socket
+
+    def endpoints(self) -> list[str]:
+        """Currently bound endpoints (diagnostics)."""
+        with self._lock:
+            return sorted(self._bindings)
+
+    def close(self) -> None:
+        """Close every bound socket and refuse further binds."""
+        with self._lock:
+            sockets = list(self._bindings.values())
+            self._closed = True
+        for socket in sockets:
+            socket.close()

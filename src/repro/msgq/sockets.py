@@ -1,0 +1,386 @@
+"""Socket implementations for the in-process message fabric.
+
+Messages are arbitrary Python objects plus a topic string (PUB/SUB only).
+Delivery is push-based into per-receiver bounded queues guarded by
+condition variables, giving the same backpressure/drop behaviour as
+ZeroMQ's high-water marks:
+
+* PUSH blocks when every connected PULL queue is full (ZeroMQ blocks or
+  drops depending on socket type; pipelines block).
+* PUB never blocks: messages to a full SUB queue are dropped and counted
+  on the subscriber (``dropped`` attribute) — ZeroMQ's documented PUB
+  behaviour.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import MessagingError, SocketClosed, WouldBlock
+from repro.msgq.context import Context
+
+
+class Socket:
+    """Common socket machinery: lifecycle and identity."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, context: Context) -> None:
+        self.context = context
+        self.socket_id = next(self._ids)
+        self.closed = False
+        self._bound_endpoints: list[str] = []
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SocketClosed(f"socket {self.socket_id} is closed")
+
+    def close(self) -> None:
+        """Close the socket and release its endpoints."""
+        if self.closed:
+            return
+        self.closed = True
+        for endpoint in self._bound_endpoints:
+            self.context._unbind(endpoint)
+        self._bound_endpoints.clear()
+        self._on_close()
+
+    def _on_close(self) -> None:
+        """Subclass hook for close-time cleanup."""
+
+    def __enter__(self) -> "Socket":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class _Mailbox:
+    """A bounded thread-safe FIFO with blocking receive."""
+
+    def __init__(self, hwm: int) -> None:
+        if hwm < 1:
+            raise MessagingError(f"hwm must be >= 1: {hwm}")
+        self.hwm = hwm
+        self._queue: Deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._space = threading.Condition(self._lock)
+        self.dropped = 0
+        self.delivered = 0
+
+    def offer(self, item: Any) -> bool:
+        """Non-blocking put; returns False (counting a drop) when full."""
+        with self._lock:
+            if len(self._queue) >= self.hwm:
+                self.dropped += 1
+                return False
+            self._queue.append(item)
+            self.delivered += 1
+            self._ready.notify()
+            return True
+
+    def put(self, item: Any, timeout: Optional[float] = None) -> bool:
+        """Blocking put; waits for space up to *timeout* seconds."""
+        with self._lock:
+            if len(self._queue) >= self.hwm:
+                if not self._space.wait_for(
+                    lambda: len(self._queue) < self.hwm, timeout=timeout
+                ):
+                    return False
+            self._queue.append(item)
+            self.delivered += 1
+            self._ready.notify()
+            return True
+
+    def get(self, timeout: Optional[float] = None, block: bool = True) -> Any:
+        """Receive the next item; raises WouldBlock on timeout/empty."""
+        with self._lock:
+            if not block:
+                if not self._queue:
+                    raise WouldBlock("no message available")
+            else:
+                if not self._ready.wait_for(
+                    lambda: bool(self._queue), timeout=timeout
+                ):
+                    raise WouldBlock("receive timed out")
+            item = self._queue.popleft()
+            self._space.notify()
+            return item
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+
+# ---------------------------------------------------------------------------
+# PUB / SUB
+# ---------------------------------------------------------------------------
+
+
+class PubSocket(Socket):
+    """Publisher: fan-out with topic prefix filtering, never blocks."""
+
+    def __init__(self, context: Context, hwm: int = 10_000) -> None:
+        super().__init__(context)
+        self.hwm = hwm
+        self._lock = threading.Lock()
+        self._subscribers: list["SubSocket"] = []
+        self.published = 0
+
+    def bind(self, endpoint: str) -> "PubSocket":
+        """Claim *endpoint* so SUB sockets can connect to it."""
+        self._check_open()
+        self.context._bind(endpoint, self)
+        self._bound_endpoints.append(endpoint)
+        return self
+
+    def _attach(self, subscriber: "SubSocket") -> None:
+        with self._lock:
+            self._subscribers.append(subscriber)
+
+    def _detach(self, subscriber: "SubSocket") -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(subscriber)
+            except ValueError:
+                pass
+
+    def send(self, topic: str, payload: Any) -> int:
+        """Publish *payload* under *topic*; returns matched subscribers.
+
+        Subscribers whose queues are full drop the message (counted on
+        the subscriber), matching ZeroMQ PUB semantics.
+        """
+        self._check_open()
+        self.published += 1
+        with self._lock:
+            subscribers = list(self._subscribers)
+        matched = 0
+        for subscriber in subscribers:
+            if subscriber._matches(topic):
+                matched += 1
+                subscriber._mailbox.offer((topic, payload))
+        return matched
+
+    def _on_close(self) -> None:
+        with self._lock:
+            self._subscribers.clear()
+
+
+class SubSocket(Socket):
+    """Subscriber: receives (topic, payload) pairs matching its prefixes."""
+
+    def __init__(self, context: Context, hwm: int = 10_000) -> None:
+        super().__init__(context)
+        self._mailbox = _Mailbox(hwm)
+        self._topics: list[str] = []
+        self._publishers: list[PubSocket] = []
+
+    def connect(self, endpoint: str) -> "SubSocket":
+        """Attach to the PUB socket bound at *endpoint*."""
+        self._check_open()
+        publisher = self.context._lookup(endpoint)
+        if not isinstance(publisher, PubSocket):
+            raise MessagingError(f"{endpoint!r} is not a PUB endpoint")
+        publisher._attach(self)
+        self._publishers.append(publisher)
+        return self
+
+    def subscribe(self, prefix: str = "") -> "SubSocket":
+        """Add a topic prefix filter ('' matches everything)."""
+        self._check_open()
+        if prefix not in self._topics:
+            self._topics.append(prefix)
+        return self
+
+    def unsubscribe(self, prefix: str) -> None:
+        """Remove a previously added prefix."""
+        try:
+            self._topics.remove(prefix)
+        except ValueError:
+            pass
+
+    def _matches(self, topic: str) -> bool:
+        return any(topic.startswith(prefix) for prefix in self._topics)
+
+    def recv(
+        self, timeout: Optional[float] = None, block: bool = True
+    ) -> tuple[str, Any]:
+        """Receive the next (topic, payload); raises WouldBlock if none."""
+        self._check_open()
+        return self._mailbox.get(timeout=timeout, block=block)
+
+    @property
+    def pending(self) -> int:
+        """Messages buffered and not yet received."""
+        return len(self._mailbox)
+
+    @property
+    def dropped(self) -> int:
+        """Messages dropped because this subscriber's queue was full."""
+        return self._mailbox.dropped
+
+    def _on_close(self) -> None:
+        for publisher in self._publishers:
+            publisher._detach(self)
+        self._publishers.clear()
+
+
+# ---------------------------------------------------------------------------
+# PUSH / PULL
+# ---------------------------------------------------------------------------
+
+
+class PullSocket(Socket):
+    """Pipeline sink: fair-queued fan-in from any number of pushers."""
+
+    def __init__(self, context: Context, hwm: int = 10_000) -> None:
+        super().__init__(context)
+        self._mailbox = _Mailbox(hwm)
+
+    def bind(self, endpoint: str) -> "PullSocket":
+        """Claim *endpoint* so PUSH sockets can connect."""
+        self._check_open()
+        self.context._bind(endpoint, self)
+        self._bound_endpoints.append(endpoint)
+        return self
+
+    def recv(self, timeout: Optional[float] = None, block: bool = True) -> Any:
+        """Receive the next message; raises WouldBlock if none in time."""
+        self._check_open()
+        return self._mailbox.get(timeout=timeout, block=block)
+
+    @property
+    def pending(self) -> int:
+        return len(self._mailbox)
+
+    @property
+    def received(self) -> int:
+        """Total messages accepted into the mailbox."""
+        return self._mailbox.delivered
+
+
+class PushSocket(Socket):
+    """Pipeline source: round-robins messages across connected sinks."""
+
+    def __init__(self, context: Context, hwm: int = 10_000) -> None:
+        super().__init__(context)
+        self.hwm = hwm
+        self._sinks: list[PullSocket] = []
+        self._rr = 0
+        self.sent = 0
+
+    def connect(self, endpoint: str) -> "PushSocket":
+        """Attach to the PULL socket bound at *endpoint*."""
+        self._check_open()
+        sink = self.context._lookup(endpoint)
+        if not isinstance(sink, PullSocket):
+            raise MessagingError(f"{endpoint!r} is not a PULL endpoint")
+        self._sinks.append(sink)
+        return self
+
+    def send(self, payload: Any, timeout: Optional[float] = None) -> None:
+        """Send to the next sink round-robin, blocking while it is full."""
+        self._check_open()
+        if not self._sinks:
+            raise MessagingError("PUSH socket has no connected sinks")
+        sink = self._sinks[self._rr % len(self._sinks)]
+        self._rr += 1
+        if not sink._mailbox.put(payload, timeout=timeout):
+            raise WouldBlock("downstream queue full (send timed out)")
+        self.sent += 1
+
+
+# ---------------------------------------------------------------------------
+# REQ / REP
+# ---------------------------------------------------------------------------
+
+
+class RepSocket(Socket):
+    """Reply side of a lock-step request/reply channel."""
+
+    def __init__(self, context: Context) -> None:
+        super().__init__(context)
+        self._requests = _Mailbox(hwm=10_000)
+
+    def bind(self, endpoint: str) -> "RepSocket":
+        """Claim *endpoint* so REQ sockets can connect."""
+        self._check_open()
+        self.context._bind(endpoint, self)
+        self._bound_endpoints.append(endpoint)
+        return self
+
+    def recv(self, timeout: Optional[float] = None) -> tuple[Any, "_ReplyChannel"]:
+        """Receive ``(request, reply_channel)``; call channel.send(reply)."""
+        self._check_open()
+        return self._requests.get(timeout=timeout)
+
+    def serve_once(self, handler, timeout: Optional[float] = None) -> bool:
+        """Receive one request and reply with ``handler(request)``.
+
+        Returns False if the wait timed out.  Handler exceptions are sent
+        to the requester as the reply (and re-raised there).
+        """
+        try:
+            request, channel = self.recv(timeout=timeout)
+        except WouldBlock:
+            return False
+        try:
+            channel.send(handler(request))
+        except Exception as exc:  # deliver failures to the caller
+            channel.send(exc)
+        return True
+
+
+class _ReplyChannel:
+    """One-shot reply slot handed to REP handlers."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Any = None
+
+    def send(self, value: Any) -> None:
+        self._value = value
+        self._event.set()
+
+    def wait(self, timeout: Optional[float]) -> Any:
+        if not self._event.wait(timeout=timeout):
+            raise WouldBlock("request timed out waiting for reply")
+        return self._value
+
+
+class ReqSocket(Socket):
+    """Request side: ``request()`` sends and waits for the reply."""
+
+    def __init__(self, context: Context, timeout: float | None = None) -> None:
+        super().__init__(context)
+        self.timeout = timeout
+        self._server: Optional[RepSocket] = None
+
+    def connect(self, endpoint: str) -> "ReqSocket":
+        """Attach to the REP socket bound at *endpoint*."""
+        self._check_open()
+        server = self.context._lookup(endpoint)
+        if not isinstance(server, RepSocket):
+            raise MessagingError(f"{endpoint!r} is not a REP endpoint")
+        self._server = server
+        return self
+
+    def request(self, payload: Any, timeout: Optional[float] = None) -> Any:
+        """Send *payload* and block for the reply.
+
+        Raises the reply if the server handler raised an exception.
+        """
+        self._check_open()
+        if self._server is None:
+            raise MessagingError("REQ socket is not connected")
+        channel = _ReplyChannel()
+        self._server._requests.put((payload, channel))
+        reply = channel.wait(timeout if timeout is not None else self.timeout)
+        if isinstance(reply, Exception):
+            raise reply
+        return reply

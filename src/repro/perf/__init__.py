@@ -1,0 +1,29 @@
+"""Calibrated performance models of the paper's testbeds.
+
+The paper's absolute numbers come from hardware we do not have (AWS
+t2.micro Lustre, ANL's Iota).  Following the substitution policy in
+DESIGN.md, *measured hardware characteristics* (Table 2 operation rates,
+the per-event ``fid2path`` cost, per-component CPU/memory coefficients)
+are **calibration inputs** encoded in :class:`TestbedProfile`, while the
+*system behaviour* (monitor throughput vs generation rate, the
+preprocessing bottleneck, the effect of batching/caching/multi-MDS, the
+aggregation stage's losslessness) is **derived** by running the pipeline
+structure through the discrete-event engine in
+:func:`~repro.perf.pipeline.run_pipeline`.
+"""
+
+from repro.perf.testbeds import AWS, IOTA, TestbedProfile
+from repro.perf.pipeline import PipelineConfig, PipelineResult, run_pipeline
+from repro.perf.cloud import CloudConfig, CloudResult, run_cloud
+
+__all__ = [
+    "TestbedProfile",
+    "AWS",
+    "IOTA",
+    "PipelineConfig",
+    "PipelineResult",
+    "run_pipeline",
+    "CloudConfig",
+    "CloudResult",
+    "run_cloud",
+]

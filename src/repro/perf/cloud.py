@@ -1,0 +1,130 @@
+"""A DES model of Ripple's cloud service (Figure 1's right half).
+
+The monitor answers "can we *detect* at site rates?"; the natural next
+question is "can the cloud side *process and act* at those rates?".
+This model feeds matched events into the SQS-like queue and serves them
+with a pool of Lambda-style workers:
+
+* events arrive at ``arrival_rate`` (e.g. the monitor's output rate ×
+  the fraction matching any rule);
+* each Lambda invocation takes ``service_seconds`` (rule evaluation +
+  action dispatch) and can fail with ``failure_probability`` — failed
+  entries retry after ``visibility_timeout`` (at-least-once);
+* ``concurrency`` workers process in parallel.
+
+Outputs: processed rate, queue depth growth, end-to-end processing
+latency, redelivery overhead — enough to size the worker pool for a
+target storage system (the cloud-scaling benchmark sweeps this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.histogram import LatencyHistogram
+from repro.sim import Environment, RandomStreams, Resource, Store
+
+
+@dataclass(frozen=True)
+class CloudConfig:
+    """One cloud-service experiment."""
+
+    arrival_rate: float
+    service_seconds: float = 2.0e-3
+    concurrency: int = 2
+    duration: float = 30.0
+    failure_probability: float = 0.0
+    visibility_timeout: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ValueError(f"arrival_rate must be positive: {self.arrival_rate}")
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1: {self.concurrency}")
+        if not 0 <= self.failure_probability < 1:
+            raise ValueError(
+                f"failure_probability must be in [0, 1): {self.failure_probability}"
+            )
+
+
+@dataclass
+class CloudResult:
+    """Outputs of one cloud-service run."""
+
+    config: CloudConfig
+    arrived: int = 0
+    processed: int = 0
+    failures: int = 0
+    redeliveries: int = 0
+    queue_depth_peak: int = 0
+    worker_busy: float = 0.0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    @property
+    def processed_rate(self) -> float:
+        return self.processed / self.config.duration if self.config.duration else 0.0
+
+    @property
+    def utilisation(self) -> float:
+        """Average busy fraction of the worker pool."""
+        return self.worker_busy / (
+            self.config.duration * self.config.concurrency
+        )
+
+    @property
+    def keeps_up(self) -> bool:
+        """Processed within 2% of arrivals (steady state)."""
+        if self.arrived == 0:
+            return True
+        return self.processed >= 0.98 * self.arrived
+
+
+def run_cloud(config: CloudConfig) -> CloudResult:
+    """Execute the cloud-service model."""
+    env = Environment()
+    streams = RandomStreams(config.seed)
+    failure_stream = streams.get("failures")
+    result = CloudResult(config=config)
+    queue: Store = Store(env)
+    workers = Resource(env, capacity=config.concurrency)
+
+    def generator():
+        interval = 1.0 / config.arrival_rate
+        while env.now < config.duration:
+            yield env.timeout(interval)
+            if env.now >= config.duration:
+                break
+            queue.items.append((env.now, 0))  # (enqueued_at, attempts)
+            queue._dispatch()
+            result.arrived += 1
+            result.queue_depth_peak = max(result.queue_depth_peak, len(queue))
+
+    def worker():
+        while True:
+            enqueued_at, attempts = yield queue.get()
+            request = workers.request()
+            yield request
+            yield env.timeout(config.service_seconds)
+            result.worker_busy += config.service_seconds
+            workers.release(request)
+            if failure_stream.random() < config.failure_probability:
+                result.failures += 1
+                # Entry reappears after the visibility timeout.
+                env.process(_redeliver(enqueued_at, attempts + 1))
+                continue
+            result.processed += 1
+            result.latency.record(max(0.0, env.now - enqueued_at))
+
+    def _redeliver(enqueued_at, attempts):
+        yield env.timeout(config.visibility_timeout)
+        queue.items.append((enqueued_at, attempts))
+        queue._dispatch()
+        result.redeliveries += 1
+
+    env.process(generator(), name="arrivals")
+    # One puller per worker slot keeps the model simple and exact.
+    for _ in range(config.concurrency):
+        env.process(worker(), name="lambda")
+    env.run(until=config.duration)
+    return result

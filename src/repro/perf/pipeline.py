@@ -1,0 +1,399 @@
+"""The discrete-event model of the monitor pipeline (Figure 2).
+
+Structure (virtual time, driven by :mod:`repro.sim`):
+
+* a **generator** process emits events at the testbed's maximum rate
+  into per-MDT changelog buffers (each event references a parent
+  directory drawn with Zipf-like skew, giving the locality the path
+  cache exploits);
+* one **collector** process per active MDS reads record batches,
+  charges extraction cost, resolves parent FIDs (per-event by default;
+  batched and/or cached when configured), charges the transport's report
+  cost, and forwards to the aggregator buffer;
+* an **aggregator** process charges store+publish cost per event and
+  forwards to the consumer buffer;
+* a **consumer** process charges handling cost;
+* a **sampler** process closes 1-second CPU windows per component
+  (Table 3's peak-utilisation measurement).
+
+The model's outputs — delivered events/second, the bottleneck stage,
+per-stage utilisation, cache hit rates, backlog growth — are *derived*
+from this structure; only per-operation costs are calibrated inputs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.metrics.histogram import LatencyHistogram
+from repro.metrics.resources import ResourceSample, ResourceUsageModel
+from repro.perf.testbeds import TestbedProfile
+from repro.sim import Environment, RandomStreams, Store
+
+
+#: Transport models for the A4 ablation: multiplicative overhead on the
+#: per-batch report cost, plus an additive blocking round-trip.
+TRANSPORT_MODELS: Dict[str, tuple[float, float]] = {
+    # (report-cost multiplier, extra blocking seconds per batch)
+    "pushpull": (1.0, 0.0),
+    "pubsub": (1.15, 0.0),
+    "reqrep": (1.0, 4.0e-4),
+}
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """One pipeline experiment."""
+
+    profile: TestbedProfile
+    duration: float = 30.0
+    #: Event arrival rate; defaults to the testbed's maximum generation
+    #: rate (Table 2 "Total Events").
+    arrival_rate: Optional[float] = None
+    num_mds: int = 1
+    #: Records per collector read (and per d2path batch when > 1).
+    batch_size: int = 1
+    #: LRU entries for the parent-path cache (0 = off, paper's config).
+    cache_size: int = 0
+    #: Distinct parent directories in the workload.
+    n_directories: int = 256
+    dir_skew: float = 1.1
+    transport: str = "pushpull"
+    #: Robinhood-style centralized collection: a single reader drains
+    #: every MDT sequentially instead of one collector per MDS (A3).
+    centralized: bool = False
+    #: Deterministic interarrival/service by default; seed drives only
+    #: the directory-choice stream.
+    seed: int = 0
+    #: Exponential (rather than deterministic) interarrival times.
+    stochastic_arrivals: bool = False
+    #: Lognormal service times (mean preserved, sigma below) instead of
+    #: deterministic — for checking results are not knife-edge.
+    stochastic_service: bool = False
+    service_sigma: float = 0.25
+    #: Arrival-rate shape over time: "constant" (default), "diurnal"
+    #: (sinusoidal around the mean with ``profile_amplitude`` relative
+    #: swing and ``profile_period`` seconds), or "bursty" (base rate
+    #: with ``profile_amplitude``-times bursts of ``profile_burst_len``
+    #: seconds every ``profile_period`` seconds).  The §5.3 discussion
+    #: notes real generation is sporadic, not uniform.
+    arrival_profile: str = "constant"
+    profile_amplitude: float = 0.5
+    profile_period: float = 10.0
+    profile_burst_len: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive: {self.duration}")
+        if self.num_mds < 1:
+            raise ValueError(f"num_mds must be >= 1: {self.num_mds}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1: {self.batch_size}")
+        if self.transport not in TRANSPORT_MODELS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; "
+                f"known: {sorted(TRANSPORT_MODELS)}"
+            )
+        if self.arrival_profile not in ("constant", "diurnal", "bursty"):
+            raise ValueError(
+                f"unknown arrival profile {self.arrival_profile!r}"
+            )
+        if self.arrival_profile == "diurnal" and not (
+            0 <= self.profile_amplitude < 1
+        ):
+            raise ValueError("diurnal amplitude must be in [0, 1)")
+
+
+@dataclass
+class PipelineResult:
+    """Outputs of one pipeline run."""
+
+    config: PipelineConfig
+    generated: int = 0
+    collected: int = 0
+    delivered: int = 0
+    duration: float = 0.0
+    stage_busy: Dict[str, float] = field(default_factory=dict)
+    d2path_invocations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    changelog_backlog_peak: int = 0
+    resources: Dict[str, ResourceSample] = field(default_factory=dict)
+    #: End-to-end event latency (generation -> consumer), seconds.
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    @property
+    def generation_rate(self) -> float:
+        return self.generated / self.duration if self.duration else 0.0
+
+    @property
+    def delivered_rate(self) -> float:
+        """End-to-end monitor throughput (events/s at the consumer)."""
+        return self.delivered / self.duration if self.duration else 0.0
+
+    @property
+    def shortfall_percent(self) -> float:
+        """How far below the generation rate the monitor ran (paper:
+        14.91% on Iota)."""
+        if self.generated == 0:
+            return 0.0
+        return 100.0 * (self.generated - self.delivered) / self.generated
+
+    @property
+    def keeps_up(self) -> bool:
+        """True when the monitor matches the generation rate (within 2%)."""
+        return self.shortfall_percent <= 2.0
+
+    def stage_utilisation(self) -> Dict[str, float]:
+        """Busy fraction of the run per stage."""
+        if self.duration <= 0:
+            return {name: 0.0 for name in self.stage_busy}
+        return {
+            name: busy / self.duration for name, busy in self.stage_busy.items()
+        }
+
+    @property
+    def bottleneck(self) -> str:
+        """The stage with the highest busy fraction."""
+        if not self.stage_busy:
+            return "none"
+        return max(self.stage_busy, key=lambda name: self.stage_busy[name])
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+class _IntLru:
+    """Tiny LRU over integer directory ids (the model-side path cache)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[int, bool] = OrderedDict()
+
+    def hit(self, key: int) -> bool:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True
+        return False
+
+    def put(self, key: int) -> None:
+        self._entries[key] = True
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
+def run_pipeline(config: PipelineConfig) -> PipelineResult:
+    """Execute the pipeline model and return its measurements."""
+    profile = config.profile
+    env = Environment()
+    streams = RandomStreams(config.seed)
+    dir_stream = streams.get("dirs")
+    arrival_stream = streams.get("arrivals")
+    result = PipelineResult(config=config, duration=config.duration)
+    resources = ResourceUsageModel(profile.component_costs())
+
+    rate = config.arrival_rate or profile.combined_event_rate
+
+    def _service(mean: float) -> float:
+        """One service-time draw (deterministic unless configured)."""
+        if not config.stochastic_service or mean <= 0:
+            return mean
+        return streams.lognormal("service", mean, sigma=config.service_sigma)
+    # Centralized (Robinhood-style) collection: all MDT records are
+    # drained sequentially by a single reader, which is equivalent in
+    # service capacity to one queue with one server.  Distributed mode
+    # gives each MDS its own buffer and collector.
+    n_buffers = 1 if config.centralized else config.num_mds
+    per_mdt_changelogs = [Store(env) for _ in range(n_buffers)]
+    aggregator_inbox: Store = Store(env)
+    consumer_inbox: Store = Store(env)
+
+    # Zipf-like directory popularity (precomputed CDF).
+    weights = [1.0 / (i + 1) ** config.dir_skew for i in range(config.n_directories)]
+    total_weight = sum(weights)
+    cdf = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total_weight
+        cdf.append(acc)
+
+    def _draw_dir() -> int:
+        u = dir_stream.random()
+        lo, hi = 0, len(cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    busy: Dict[str, float] = {
+        "extract": 0.0,
+        "process": 0.0,
+        "report": 0.0,
+        "aggregate": 0.0,
+        "consume": 0.0,
+    }
+
+    # ------------------------------------------------------------------
+    # Generator
+    # ------------------------------------------------------------------
+
+    def _rate_at(now: float) -> float:
+        """Instantaneous arrival rate under the configured profile.
+
+        Profiles preserve the long-run mean rate so results stay
+        comparable with the constant-rate runs.
+        """
+        import math
+
+        if config.arrival_profile == "diurnal":
+            return rate * (
+                1.0
+                + config.profile_amplitude
+                * math.sin(2 * math.pi * now / config.profile_period)
+            )
+        if config.arrival_profile == "bursty":
+            burst_fraction = config.profile_burst_len / config.profile_period
+            in_burst = (now % config.profile_period) < config.profile_burst_len
+            burst_rate = rate * config.profile_amplitude
+            # Off-burst rate chosen so the time-average equals `rate`.
+            base = (rate - burst_rate * burst_fraction) / (1 - burst_fraction)
+            return max(burst_rate if in_burst else base, 1e-9)
+        return rate
+
+    def generator():
+        mdt = 0
+        while env.now < config.duration:
+            now_rate = _rate_at(env.now)
+            if config.stochastic_arrivals:
+                delay = arrival_stream.expovariate(now_rate)
+            else:
+                delay = 1.0 / now_rate
+            yield env.timeout(delay)
+            if env.now >= config.duration:
+                break
+            event = (_draw_dir(), env.now)
+            buffer = per_mdt_changelogs[mdt % n_buffers]
+            buffer.items.append(event)
+            # Wake any waiting collector without the put/get event dance
+            # (stores are unbounded here): re-dispatch pending gets.
+            buffer._dispatch()
+            mdt += 1
+            result.generated += 1
+            result.changelog_backlog_peak = max(
+                result.changelog_backlog_peak,
+                max(len(s) for s in per_mdt_changelogs),
+            )
+
+    # ------------------------------------------------------------------
+    # Collectors (one per MDS)
+    # ------------------------------------------------------------------
+
+    report_multiplier, report_rtt = TRANSPORT_MODELS[config.transport]
+    report_cost = profile.report_seconds_per_batch * report_multiplier + report_rtt
+
+    def collector(changelog: Store):
+        cache = _IntLru(config.cache_size) if config.cache_size else None
+        while True:
+            first = yield changelog.get()
+            batch = [first]
+            while changelog.items and len(batch) < config.batch_size:
+                batch.append(changelog.items.popleft())
+            # Extraction.
+            extract_cost = _service(len(batch) * profile.extract_seconds_per_record)
+            busy["extract"] += extract_cost
+            yield env.timeout(extract_cost)
+            # Processing: resolve parent FIDs.
+            if config.batch_size > 1:
+                missing = []
+                seen = set()
+                for dir_id, _ts in batch:
+                    if dir_id in seen:
+                        continue
+                    seen.add(dir_id)
+                    if cache is not None and cache.hit(dir_id):
+                        result.cache_hits += 1
+                        continue
+                    if cache is not None:
+                        result.cache_misses += 1
+                    missing.append(dir_id)
+                if missing:
+                    cost = _service(profile.d2path_batch_seconds(len(missing)))
+                    result.d2path_invocations += 1
+                    busy["process"] += cost
+                    yield env.timeout(cost)
+                    if cache is not None:
+                        for dir_id in missing:
+                            cache.put(dir_id)
+            else:
+                for dir_id, _ts in batch:
+                    if cache is not None and cache.hit(dir_id):
+                        result.cache_hits += 1
+                        continue
+                    if cache is not None:
+                        result.cache_misses += 1
+                    cost = _service(profile.d2path_seconds_per_event)
+                    result.d2path_invocations += 1
+                    busy["process"] += cost
+                    yield env.timeout(cost)
+                    if cache is not None:
+                        cache.put(dir_id)
+            # Report to the aggregator.
+            this_report = _service(report_cost)
+            busy["report"] += this_report
+            yield env.timeout(this_report)
+            resources.account("collector", len(batch))
+            result.collected += len(batch)
+            for item in batch:
+                aggregator_inbox.items.append(item)
+            aggregator_inbox._dispatch()
+
+    # ------------------------------------------------------------------
+    # Aggregator and consumer
+    # ------------------------------------------------------------------
+
+    def aggregator():
+        while True:
+            item = yield aggregator_inbox.get()
+            cost = _service(profile.aggregate_seconds_per_event)
+            busy["aggregate"] += cost
+            yield env.timeout(cost)
+            resources.account("aggregator", 1)
+            consumer_inbox.items.append(item)
+            consumer_inbox._dispatch()
+
+    def consumer():
+        while True:
+            item = yield consumer_inbox.get()
+            cost = _service(profile.consume_seconds_per_event)
+            busy["consume"] += cost
+            yield env.timeout(cost)
+            resources.account("consumer", 1)
+            result.delivered += 1
+            result.latency.record(max(0.0, env.now - item[1]))
+
+    def sampler():
+        while True:
+            yield env.timeout(1.0)
+            for component in ("collector", "aggregator", "consumer"):
+                resources.sample_window(component, 1.0)
+
+    env.process(generator(), name="generator")
+    for changelog in per_mdt_changelogs:
+        env.process(collector(changelog), name="collector")
+    env.process(aggregator(), name="aggregator")
+    env.process(consumer(), name="consumer")
+    env.process(sampler(), name="sampler")
+    env.run(until=config.duration)
+
+    result.stage_busy = dict(busy)
+    for component in ("collector", "aggregator", "consumer"):
+        result.resources[component] = resources.peak_sample(component)
+    return result

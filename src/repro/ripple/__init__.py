@@ -1,0 +1,44 @@
+"""Ripple: the SDCI implementation (agents + cloud service + rules).
+
+Ripple lets users express data-management policies as
+*If-Trigger-Then-Action* rules (paper §3).  Agents deployed on storage
+resources detect events (via watchdog on personal devices, via the
+Lustre monitor on parallel filesystems), filter them against active
+rules, and report matches to the cloud service; the service evaluates
+rules reliably (SQS queue + Lambda workers + cleanup sweeper) and routes
+actions back to agents for execution (transfers, emails, containers,
+local commands).  Rule chains form pipelines: one rule's action emits
+events that trigger the next rule.
+"""
+
+from repro.ripple.rules import Action, Rule, RuleSet, Trigger
+from repro.ripple.actions import (
+    ActionRequest,
+    ActionResult,
+    ExecutorRegistry,
+    default_registry,
+)
+from repro.ripple.agent import RippleAgent
+from repro.ripple.dsl import format_rule, install_rules, parse_rule, parse_rules
+from repro.ripple.pipelines import PipelineBuilder, PipelineStage
+from repro.ripple.service import RippleService, ServiceConfig
+
+__all__ = [
+    "Trigger",
+    "Action",
+    "Rule",
+    "RuleSet",
+    "ActionRequest",
+    "ActionResult",
+    "ExecutorRegistry",
+    "default_registry",
+    "RippleAgent",
+    "RippleService",
+    "ServiceConfig",
+    "PipelineBuilder",
+    "PipelineStage",
+    "parse_rule",
+    "parse_rules",
+    "install_rules",
+    "format_rule",
+]

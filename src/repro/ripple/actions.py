@@ -1,0 +1,260 @@
+"""Action execution: the agent-side executors and their registry.
+
+The paper lists example actions: "initiating a transfer, sending an
+email, running a docker container, or executing a local bash command".
+Each is modelled against the in-memory substrates:
+
+* ``transfer`` — Globus-style copy of a file from the triggering agent's
+  filesystem to another agent's filesystem (via the service's routing).
+* ``email`` — appends a message to the service's outbox.
+* ``container`` — runs a named image from the container registry (a
+  callable operating on the agent's filesystem) with parameters.
+* ``command`` — runs a small shell-like command against the agent's
+  filesystem (``copy``, ``move``, ``delete``, ``checksum``, ``touch``).
+* ``callable`` — invokes a user-registered Python callable (tests and
+  custom integrations).
+
+Executors receive an :class:`ActionRequest` (the rule's action plus the
+triggering event) and the executing agent, and return an
+:class:`ActionResult`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+
+from repro.core.events import FileEvent
+from repro.errors import ActionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ripple.agent import RippleAgent
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class ActionRequest:
+    """A routed action: what to run, where, and why (the trigger event)."""
+
+    action_type: str
+    agent_id: str
+    parameters: dict[str, Any]
+    event: FileEvent
+    rule_id: int
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    attempts: int = 0
+
+
+@dataclass(frozen=True)
+class ActionResult:
+    """Outcome of one action execution."""
+
+    request_id: int
+    rule_id: int
+    success: bool
+    detail: str = ""
+    output: Any = None
+
+
+def _expand(template: str, event: FileEvent) -> str:
+    """Substitute event fields into parameter templates.
+
+    Supported placeholders: ``{path}``, ``{name}``, ``{dir}``,
+    ``{stem}`` (name without its last extension).
+    """
+    path = event.path or ""
+    name = event.name or path.rsplit("/", 1)[-1]
+    directory = path.rsplit("/", 1)[0] or "/"
+    stem = name.rsplit(".", 1)[0] if "." in name else name
+    return template.format(path=path, name=name, dir=directory, stem=stem)
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+
+def execute_transfer(request: ActionRequest, agent: "RippleAgent") -> ActionResult:
+    """Globus-style transfer: copy the triggering file to another agent.
+
+    Parameters: ``destination_agent``, ``destination_path`` (templated).
+    """
+    params = request.parameters
+    dest_agent_id = params.get("destination_agent")
+    dest_template = params.get("destination_path")
+    if not dest_agent_id or not dest_template:
+        raise ActionError(
+            "transfer needs destination_agent and destination_path"
+        )
+    source_path = params.get("source_path") or request.event.path
+    if source_path is None:
+        raise ActionError("transfer source path is unresolved")
+    source_path = _expand(source_path, request.event)
+    dest_path = _expand(dest_template, request.event)
+    data = agent.read_file(source_path)
+    if agent.service is None:
+        raise ActionError("agent is not connected to a service")
+    agent.service.deliver_file(dest_agent_id, dest_path, data)
+    return ActionResult(
+        request.request_id,
+        request.rule_id,
+        True,
+        detail=f"transferred {source_path} -> {dest_agent_id}:{dest_path}",
+        output={"bytes": len(data)},
+    )
+
+
+def execute_email(request: ActionRequest, agent: "RippleAgent") -> ActionResult:
+    """Send a (simulated) email via the service outbox.
+
+    Parameters: ``to``, ``subject`` (templated), ``body`` (templated).
+    """
+    params = request.parameters
+    to = params.get("to")
+    if not to:
+        raise ActionError("email needs a 'to' address")
+    subject = _expand(params.get("subject", "Ripple notification"), request.event)
+    body = _expand(
+        params.get("body", "Event {path}"), request.event
+    )
+    if agent.service is None:
+        raise ActionError("agent is not connected to a service")
+    agent.service.outbox.append(
+        {"to": to, "subject": subject, "body": body, "agent": agent.agent_id}
+    )
+    return ActionResult(
+        request.request_id, request.rule_id, True, detail=f"emailed {to}"
+    )
+
+
+def execute_container(request: ActionRequest, agent: "RippleAgent") -> ActionResult:
+    """Run a named container image (a registered callable).
+
+    Parameters: ``image`` plus anything the image expects.  The image
+    callable receives ``(agent, event, parameters)``.
+    """
+    image_name = request.parameters.get("image")
+    if not image_name:
+        raise ActionError("container needs an 'image' parameter")
+    image = agent.containers.get(image_name)
+    if image is None:
+        raise ActionError(f"unknown container image {image_name!r}")
+    output = image(agent, request.event, request.parameters)
+    return ActionResult(
+        request.request_id,
+        request.rule_id,
+        True,
+        detail=f"ran container {image_name}",
+        output=output,
+    )
+
+
+def execute_command(request: ActionRequest, agent: "RippleAgent") -> ActionResult:
+    """Run a local command against the agent's filesystem.
+
+    Parameters: ``command`` (copy|move|delete|checksum|touch|mkdir),
+    ``src``/``dst`` templated paths as applicable.
+    """
+    params = request.parameters
+    command = params.get("command")
+    event = request.event
+    src = _expand(params.get("src", event.path or ""), event)
+    dst = _expand(params["dst"], event) if "dst" in params else None
+    if command == "copy":
+        if dst is None:
+            raise ActionError("copy needs a dst")
+        agent.write_file(dst, agent.read_file(src))
+        detail = f"copied {src} -> {dst}"
+        output = None
+    elif command == "move":
+        if dst is None:
+            raise ActionError("move needs a dst")
+        agent.rename(src, dst)
+        detail = f"moved {src} -> {dst}"
+        output = None
+    elif command == "delete":
+        agent.delete_file(src)
+        detail = f"deleted {src}"
+        output = None
+    elif command == "checksum":
+        digest = hashlib.sha256(agent.read_file(src)).hexdigest()
+        detail = f"sha256({src})"
+        output = digest
+        if dst is not None:
+            agent.write_file(dst, f"{digest}  {src}\n".encode())
+    elif command == "touch":
+        agent.write_file(src, agent.read_file(src) if agent.exists(src) else b"")
+        detail = f"touched {src}"
+        output = None
+    elif command == "mkdir":
+        agent.makedirs(src)
+        detail = f"mkdir {src}"
+        output = None
+    else:
+        raise ActionError(f"unknown command {command!r}")
+    return ActionResult(
+        request.request_id, request.rule_id, True, detail=detail, output=output
+    )
+
+
+def execute_callable(request: ActionRequest, agent: "RippleAgent") -> ActionResult:
+    """Invoke a registered Python callable.
+
+    Parameters: ``function`` (registry name); the callable receives
+    ``(agent, event, parameters)`` and its return value becomes the
+    result output.
+    """
+    function_name = request.parameters.get("function")
+    if not function_name:
+        raise ActionError("callable needs a 'function' parameter")
+    function = agent.callables.get(function_name)
+    if function is None:
+        raise ActionError(f"unknown callable {function_name!r}")
+    output = function(agent, request.event, request.parameters)
+    return ActionResult(
+        request.request_id,
+        request.rule_id,
+        True,
+        detail=f"called {function_name}",
+        output=output,
+    )
+
+
+Executor = Callable[[ActionRequest, "RippleAgent"], ActionResult]
+
+
+class ExecutorRegistry:
+    """Maps action types to executors; agents consult it to run actions."""
+
+    def __init__(self, executors: Optional[Dict[str, Executor]] = None) -> None:
+        self._executors: Dict[str, Executor] = dict(executors or {})
+
+    def register(self, action_type: str, executor: Executor) -> None:
+        """Add or replace the executor for *action_type*."""
+        self._executors[action_type] = executor
+
+    def get(self, action_type: str) -> Executor:
+        """The executor for *action_type* (raises ActionError if absent)."""
+        executor = self._executors.get(action_type)
+        if executor is None:
+            raise ActionError(f"no executor for action type {action_type!r}")
+        return executor
+
+    def known_types(self) -> list[str]:
+        return sorted(self._executors)
+
+
+def default_registry() -> ExecutorRegistry:
+    """The stock registry covering the paper's example actions."""
+    return ExecutorRegistry(
+        {
+            "transfer": execute_transfer,
+            "email": execute_email,
+            "container": execute_container,
+            "command": execute_command,
+            "callable": execute_callable,
+        }
+    )

@@ -1,0 +1,279 @@
+"""The Ripple agent: event detection, rule filtering, action execution.
+
+An agent is deployed per storage resource (paper §3).  It has three
+responsibilities:
+
+1. **Detect** events — on personal devices via the watchdog observer
+   (:meth:`attach_local_filesystem`), on Lustre via a monitor
+   subscription (:meth:`attach_lustre_monitor`).
+2. **Filter** events against its active rules and **report** matches to
+   the cloud service, retrying until the report is accepted ("agents
+   repeatedly try to report events to the service").
+3. **Execute** actions routed to it by the service (its execution
+   component), against its local filesystem.
+
+Filesystem access is abstracted so the same agent code runs over the
+in-memory local filesystem and the Lustre model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, TYPE_CHECKING
+
+from repro.core.events import FileEvent
+from repro.errors import RippleError
+from repro.fs.memfs import MemoryFilesystem
+from repro.fs.watchdog import FileSystemEvent, FileSystemEventHandler, Observer
+from repro.lustre.filesystem import LustreFilesystem
+from repro.ripple.actions import (
+    ActionRequest,
+    ActionResult,
+    ExecutorRegistry,
+    default_registry,
+)
+from repro.ripple.rules import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ripple.service import RippleService
+
+
+class _AgentHandler(FileSystemEventHandler):
+    """Routes watchdog events into the agent's filter."""
+
+    def __init__(self, agent: "RippleAgent") -> None:
+        self.agent = agent
+
+    def on_any_event(self, event: FileSystemEvent) -> None:
+        if event.event_type == "overflow":
+            self.agent.overflows += 1
+            return
+        self.agent.ingest_event(FileEvent.from_watchdog(event))
+
+
+class RippleAgent:
+    """One deployable Ripple agent."""
+
+    def __init__(
+        self,
+        agent_id: str,
+        filesystem: MemoryFilesystem | LustreFilesystem | None = None,
+        executors: ExecutorRegistry | None = None,
+        max_report_retries: int = 5,
+    ) -> None:
+        if not agent_id:
+            raise RippleError("agent needs a non-empty id")
+        self.agent_id = agent_id
+        self.fs = filesystem if filesystem is not None else MemoryFilesystem()
+        self.executors = executors or default_registry()
+        self.max_report_retries = max_report_retries
+        self.service: Optional["RippleService"] = None
+        #: Optional action-rate limiter (a TokenBucket); when set,
+        #: execute_pending() defers work once tokens run out instead of
+        #: letting a rule storm starve the host.
+        self.rate_limiter = None
+        self.rules: list[Rule] = []
+        self.observer: Optional[Observer] = None
+        self._handler = _AgentHandler(self)
+        self._scheduled_prefixes: set[str] = set()
+        self._monitor_consumer = None
+        self._storage_monitor = None
+        #: Action requests routed to this agent, awaiting execution.
+        self.inbox: Deque[ActionRequest] = deque()
+        #: Named container images and callables available to actions.
+        self.containers: Dict[str, Callable] = {}
+        self.callables: Dict[str, Callable] = {}
+        # Counters.
+        self.events_seen = 0
+        self.events_matched = 0
+        self.events_reported = 0
+        self.report_retries = 0
+        self.reports_abandoned = 0
+        self.actions_executed = 0
+        self.action_failures = 0
+        self.actions_deferred = 0
+        self.overflows = 0
+
+    # ------------------------------------------------------------------
+    # Detection wiring
+    # ------------------------------------------------------------------
+
+    def attach_local_filesystem(self) -> Observer:
+        """Start watchdog-style observation of the agent's local fs.
+
+        Watchers are placed per rule prefix when rules arrive
+        (:meth:`set_rules`); returns the Observer for lifecycle control.
+        """
+        if not isinstance(self.fs, MemoryFilesystem):
+            raise RippleError(
+                "watchdog observation requires a local MemoryFilesystem"
+            )
+        if self.observer is None:
+            self.observer = Observer(self.fs)
+        return self.observer
+
+    def attach_lustre_monitor(self, monitor) -> None:
+        """Subscribe this agent to a :class:`~repro.core.LustreMonitor`."""
+        self._monitor_consumer = monitor.subscribe(
+            lambda _seq, event: self.ingest_event(event),
+            name=f"agent-{self.agent_id}",
+        )
+
+    def attach_storage_monitor(self, monitor) -> None:
+        """Feed this agent from a :class:`~repro.core.StorageMonitor`.
+
+        The facade delivers plain events (no sequence numbers); drain it
+        via :meth:`drain_detection` like any other source.
+        """
+        monitor.subscribe(self.ingest_event)
+        self._storage_monitor = monitor
+
+    def drain_detection(self) -> None:
+        """Deterministically deliver pending watchdog/monitor events."""
+        if self.observer is not None:
+            self.observer.drain()
+        if self._monitor_consumer is not None:
+            self._monitor_consumer.poll_once()
+        if self._storage_monitor is not None:
+            self._storage_monitor.drain()
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    def set_rules(self, rules: list[Rule]) -> None:
+        """Replace the active rule set (called by the service).
+
+        For locally observed filesystems this also schedules watchers on
+        each distinct rule prefix — "the agent employs Watchers on each
+        directory relevant to a rule".
+        """
+        self.rules = list(rules)
+        if self.observer is not None:
+            prefixes = sorted({rule.trigger.path_prefix for rule in self.rules})
+            for prefix in prefixes:
+                already = any(
+                    prefix == p or prefix.startswith(p.rstrip("/") + "/")
+                    for p in self._scheduled_prefixes
+                )
+                if not already and self.fs.is_dir(prefix):
+                    self.observer.schedule(self._handler, prefix, recursive=True)
+                    self._scheduled_prefixes.add(prefix)
+
+    # ------------------------------------------------------------------
+    # Event filtering and reporting
+    # ------------------------------------------------------------------
+
+    def ingest_event(self, event: FileEvent) -> None:
+        """Filter one detected event and report it if any rule matches."""
+        self.events_seen += 1
+        matched = [rule.rule_id for rule in self.rules if rule.matches(event)]
+        if not matched:
+            return
+        self.events_matched += 1
+        self._report_with_retry(event, matched)
+
+    def _report_with_retry(self, event: FileEvent, rule_ids: list[int]) -> None:
+        if self.service is None:
+            raise RippleError(f"agent {self.agent_id} is not registered")
+        for attempt in range(self.max_report_retries + 1):
+            try:
+                self.service.report_event(self.agent_id, event, rule_ids)
+            except Exception:
+                self.report_retries += 1
+                continue
+            self.events_reported += 1
+            return
+        self.reports_abandoned += 1
+
+    # ------------------------------------------------------------------
+    # Action execution
+    # ------------------------------------------------------------------
+
+    def enqueue_action(self, request: ActionRequest) -> None:
+        """Accept a routed action request (called by the service)."""
+        self.inbox.append(request)
+
+    def execute_pending(self) -> list[ActionResult]:
+        """Execute every queued action; report results to the service."""
+        results: list[ActionResult] = []
+        while self.inbox:
+            if self.rate_limiter is not None and not self.rate_limiter.take():
+                # Out of tokens: leave the rest queued for a later round.
+                self.actions_deferred += 1
+                break
+            request = self.inbox.popleft()
+            request.attempts += 1
+            try:
+                executor = self.executors.get(request.action_type)
+                result = executor(request, self)
+            except Exception as exc:
+                self.action_failures += 1
+                result = ActionResult(
+                    request.request_id,
+                    request.rule_id,
+                    False,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            else:
+                self.actions_executed += 1
+            results.append(result)
+            if self.service is not None:
+                self.service.record_result(request, result)
+        return results
+
+    # ------------------------------------------------------------------
+    # Filesystem abstraction (used by executors)
+    # ------------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        """True if *path* exists on the agent's filesystem."""
+        return self.fs.exists(path)
+
+    def read_file(self, path: str) -> bytes:
+        """Read file content (Lustre files yield size-faithful zeros)."""
+        if isinstance(self.fs, MemoryFilesystem):
+            return self.fs.read(path)
+        stat = self.fs.stat(path)
+        return b"\x00" * stat.size
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Create/overwrite *path* with *data*, creating parents."""
+        directory = path.rsplit("/", 1)[0] or "/"
+        self.makedirs(directory)
+        if isinstance(self.fs, MemoryFilesystem):
+            self.fs.write(path, data)
+        else:
+            if not self.fs.exists(path):
+                self.fs.create(path, size=len(data))
+            else:
+                self.fs.write(path, len(data))
+
+    def delete_file(self, path: str) -> None:
+        """Remove the file at *path*."""
+        self.fs.unlink(path)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Move *src* to *dst*."""
+        self.fs.rename(src, dst)
+
+    def makedirs(self, path: str) -> None:
+        """Ensure directory *path* exists."""
+        if path == "/":
+            return
+        if isinstance(self.fs, MemoryFilesystem):
+            self.fs.makedirs(path, exist_ok=True)
+        else:
+            self.fs.makedirs(path)
+
+    # ------------------------------------------------------------------
+    # Extension points
+    # ------------------------------------------------------------------
+
+    def register_container(self, name: str, image: Callable) -> None:
+        """Make container image *name* runnable by container actions."""
+        self.containers[name] = image
+
+    def register_callable(self, name: str, function: Callable) -> None:
+        """Make *function* invokable by callable actions."""
+        self.callables[name] = function

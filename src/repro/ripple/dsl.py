@@ -1,0 +1,182 @@
+"""A small text DSL for If-Trigger-Then-Action rules.
+
+The paper describes users "programming" their storage with simple
+If-Trigger-Then-Action statements; this module gives that a concrete,
+file-friendly syntax so rules can live in plain config files:
+
+    # checksum new images on the lab machine
+    WHEN created OF *.tiff UNDER /data/instrument ON lab
+    THEN command ON lab WITH command=checksum dst={dir}/{stem}.sha
+
+    WHEN created,moved OF * UNDER /inbox ON laptop
+    THEN email ON laptop WITH to=pi@lab subject="arrived {name}"
+
+Grammar (one rule = a WHEN line followed by a THEN line; ``#`` starts a
+comment; blank lines separate rules):
+
+    WHEN <event>[,<event>...] OF <glob> UNDER <path> ON <agent> [DIRS]
+    THEN <action-type> ON <agent> [WITH key=value ...]
+
+Values with spaces use double quotes.  ``DIRS`` lets directory events
+match (files-only is the default, as in :class:`Trigger`).
+"""
+
+from __future__ import annotations
+
+import shlex
+
+from repro.core.events import EventType
+from repro.errors import RuleValidationError
+from repro.ripple.rules import Action, Rule, Trigger
+
+_EVENT_NAMES = {e.value: e for e in EventType}
+
+
+def _parse_when(tokens: list[str], line: str) -> Trigger:
+    # WHEN <events> OF <glob> UNDER <path> ON <agent> [DIRS]
+    try:
+        assert tokens[0].upper() == "WHEN"
+        events_token = tokens[1]
+        assert tokens[2].upper() == "OF"
+        pattern = tokens[3]
+        assert tokens[4].upper() == "UNDER"
+        prefix = tokens[5]
+        assert tokens[6].upper() == "ON"
+        agent_id = tokens[7]
+        rest = [t.upper() for t in tokens[8:]]
+    except (IndexError, AssertionError):
+        raise RuleValidationError(f"malformed WHEN clause: {line!r}") from None
+    include_dirs = "DIRS" in rest
+    if rest and set(rest) - {"DIRS"}:
+        raise RuleValidationError(
+            f"unexpected tokens after WHEN clause: {line!r}"
+        )
+    event_types = set()
+    for name in events_token.split(","):
+        event = _EVENT_NAMES.get(name.strip().lower())
+        if event is None:
+            raise RuleValidationError(
+                f"unknown event type {name!r}; "
+                f"known: {sorted(_EVENT_NAMES)}"
+            )
+        event_types.add(event)
+    return Trigger(
+        agent_id=agent_id,
+        path_prefix=prefix,
+        event_types=frozenset(event_types),
+        name_pattern=pattern,
+        include_directories=include_dirs,
+    )
+
+
+def _parse_then(tokens: list[str], line: str) -> Action:
+    # THEN <type> ON <agent> [WITH k=v ...]
+    try:
+        assert tokens[0].upper() == "THEN"
+        action_type = tokens[1]
+        assert tokens[2].upper() == "ON"
+        agent_id = tokens[3]
+    except (IndexError, AssertionError):
+        raise RuleValidationError(f"malformed THEN clause: {line!r}") from None
+    parameters = {}
+    rest = tokens[4:]
+    if rest:
+        if rest[0].upper() != "WITH":
+            raise RuleValidationError(
+                f"expected WITH before parameters: {line!r}"
+            )
+        for pair in rest[1:]:
+            if "=" not in pair:
+                raise RuleValidationError(
+                    f"parameter must be key=value, got {pair!r} in {line!r}"
+                )
+            key, value = pair.split("=", 1)
+            parameters[key] = value
+    return Action(action_type, agent_id, parameters)
+
+
+def parse_rule(text: str, name: str = "", owner: str = "anonymous") -> Rule:
+    """Parse one WHEN/THEN rule from *text*.
+
+    >>> rule = parse_rule('''
+    ...     WHEN created OF *.csv UNDER /in ON dev
+    ...     THEN email ON dev WITH to=pi@lab
+    ... ''')
+    >>> rule.action.action_type
+    'email'
+    """
+    lines = [
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if len(lines) != 2:
+        raise RuleValidationError(
+            f"a rule is exactly one WHEN line and one THEN line; "
+            f"got {len(lines)} lines"
+        )
+    trigger = _parse_when(shlex.split(lines[0]), lines[0])
+    action = _parse_then(shlex.split(lines[1]), lines[1])
+    return Rule(trigger=trigger, action=action, name=name, owner=owner)
+
+
+def parse_rules(text: str, owner: str = "anonymous") -> list[Rule]:
+    """Parse a rules file: WHEN/THEN pairs separated by blank lines.
+
+    A comment line directly above a WHEN becomes the rule's name.
+    """
+    rules = []
+    pending_name = ""
+    buffer: list[str] = []
+    for raw in text.splitlines() + [""]:
+        line = raw.strip()
+        if line.startswith("#"):
+            pending_name = line.lstrip("# ").strip()
+            continue
+        if not line:
+            if buffer:
+                rules.append(
+                    parse_rule("\n".join(buffer), name=pending_name,
+                               owner=owner)
+                )
+                buffer = []
+                pending_name = ""
+            continue
+        buffer.append(line)
+    return rules
+
+
+def install_rules(service, text: str, owner: str = "anonymous") -> list[Rule]:
+    """Parse *text* and register every rule on *service*."""
+    installed = []
+    for rule in parse_rules(text, owner=owner):
+        installed.append(
+            service.add_rule(rule.trigger, rule.action, name=rule.name,
+                             owner=owner)
+        )
+    return installed
+
+
+def format_rule(rule: Rule) -> str:
+    """Render *rule* back into DSL text (inverse of :func:`parse_rule`)."""
+    events = ",".join(sorted(e.value for e in rule.trigger.event_types))
+    when = (
+        f"WHEN {events} OF {rule.trigger.name_pattern} "
+        f"UNDER {rule.trigger.path_prefix} ON {rule.trigger.agent_id}"
+    )
+    if rule.trigger.include_directories:
+        when += " DIRS"
+    then = f"THEN {rule.action.action_type} ON {rule.action.agent_id}"
+    if rule.action.parameters:
+        pairs = []
+        for key, value in rule.action.parameters.items():
+            value_text = str(value)
+            if " " in value_text:
+                value_text = f'"{value_text}"'
+            pairs.append(f"{key}={value_text}")
+        then += " WITH " + " ".join(pairs)
+    lines = []
+    if rule.name:
+        lines.append(f"# {rule.name}")
+    lines.extend([when, then])
+    return "\n".join(lines)

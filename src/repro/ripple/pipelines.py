@@ -1,0 +1,165 @@
+"""Pipeline builder: compose rule chains declaratively.
+
+The paper: "These simple rules can be used to implement complex
+pipelines whereby the output of one rule triggers a subsequent action."
+Hand-wiring chains means getting each stage's output pattern and the
+next stage's trigger pattern to agree; :class:`PipelineBuilder` makes
+the handoff explicit — each stage declares the glob its outputs match,
+and the next stage triggers on exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.events import EventType
+from repro.errors import RuleValidationError
+from repro.ripple.rules import Action, Rule, Trigger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ripple.service import RippleService
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One stage: where it listens, what it matches, what it runs.
+
+    output_pattern:
+        Glob matched by the files this stage's action produces; the
+        next stage's trigger uses it (None for terminal stages such as
+        notifications).
+    output_agent / output_prefix:
+        Where the outputs land, when the action routes them to another
+        agent or directory (default: same agent, same prefix).
+    """
+
+    name: str
+    agent_id: str
+    path_prefix: str
+    match_pattern: str
+    action: Action
+    output_pattern: Optional[str] = None
+    output_agent: Optional[str] = None
+    output_prefix: Optional[str] = None
+    event_types: frozenset = frozenset({EventType.CREATED})
+
+
+class PipelineBuilder:
+    """Builds and installs a chain of rules on a RippleService.
+
+    >>> # doctest-style sketch (see tests for a runnable version):
+    >>> # pipeline = (PipelineBuilder("tomo")
+    >>> #     .first("stage", "beamline", "/detector", "*.tiff",
+    >>> #            transfer_action, output_agent="cluster",
+    >>> #            output_prefix="/staging", output_pattern="*.tiff")
+    >>> #     .then("reconstruct", analyze_action, output_pattern="*.h5")
+    >>> #     .then("notify", email_action))
+    >>> # rules = pipeline.install(service)
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.stages: list[PipelineStage] = []
+
+    # -- construction ------------------------------------------------------
+
+    def first(
+        self,
+        stage_name: str,
+        agent_id: str,
+        path_prefix: str,
+        match_pattern: str,
+        action: Action,
+        output_pattern: Optional[str] = None,
+        output_agent: Optional[str] = None,
+        output_prefix: Optional[str] = None,
+        event_types: frozenset = frozenset({EventType.CREATED}),
+    ) -> "PipelineBuilder":
+        """Define the entry stage (what kicks the pipeline off)."""
+        if self.stages:
+            raise RuleValidationError(
+                f"pipeline {self.name!r} already has an entry stage"
+            )
+        self.stages.append(
+            PipelineStage(
+                name=stage_name,
+                agent_id=agent_id,
+                path_prefix=path_prefix,
+                match_pattern=match_pattern,
+                action=action,
+                output_pattern=output_pattern,
+                output_agent=output_agent,
+                output_prefix=output_prefix,
+                event_types=event_types,
+            )
+        )
+        return self
+
+    def then(
+        self,
+        stage_name: str,
+        action: Action,
+        output_pattern: Optional[str] = None,
+        output_agent: Optional[str] = None,
+        output_prefix: Optional[str] = None,
+    ) -> "PipelineBuilder":
+        """Append a stage triggered by the previous stage's outputs."""
+        if not self.stages:
+            raise RuleValidationError(
+                f"pipeline {self.name!r} needs first() before then()"
+            )
+        previous = self.stages[-1]
+        if previous.output_pattern is None:
+            raise RuleValidationError(
+                f"stage {previous.name!r} declared no output_pattern; "
+                "nothing can chain after it"
+            )
+        agent_id = previous.output_agent or previous.agent_id
+        path_prefix = previous.output_prefix or previous.path_prefix
+        self.stages.append(
+            PipelineStage(
+                name=stage_name,
+                agent_id=agent_id,
+                path_prefix=path_prefix,
+                match_pattern=previous.output_pattern,
+                action=action,
+                output_pattern=output_pattern,
+                output_agent=output_agent,
+                output_prefix=output_prefix,
+            )
+        )
+        return self
+
+    # -- installation --------------------------------------------------------
+
+    def install(self, service: "RippleService") -> list[Rule]:
+        """Register one rule per stage; returns them in stage order."""
+        if not self.stages:
+            raise RuleValidationError(f"pipeline {self.name!r} has no stages")
+        rules = []
+        for stage in self.stages:
+            rule = service.add_rule(
+                Trigger(
+                    agent_id=stage.agent_id,
+                    path_prefix=stage.path_prefix,
+                    name_pattern=stage.match_pattern,
+                    event_types=stage.event_types,
+                ),
+                stage.action,
+                name=f"{self.name}/{stage.name}",
+            )
+            rules.append(rule)
+        return rules
+
+    def describe(self) -> str:
+        """A one-line-per-stage summary of the chain."""
+        lines = [f"pipeline {self.name!r}:"]
+        for index, stage in enumerate(self.stages):
+            arrow = "entry" if index == 0 else "  then"
+            lines.append(
+                f"  {arrow}: [{stage.name}] {stage.match_pattern} under "
+                f"{stage.path_prefix} on {stage.agent_id} -> "
+                f"{stage.action.action_type}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""If-Trigger-Then-Action rules.
+
+A :class:`Rule` pairs a :class:`Trigger` (the conditions under which the
+action fires: monitored path, event types, filename pattern) with an
+:class:`Action` (what to execute, on which agent, with what parameters).
+The paper's example: "when an image file is created in a specific
+directory of their laptop ... automatically analyzed and the results
+replicated to their personal device".
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.core.events import EventType, FileEvent
+from repro.errors import RuleValidationError
+from repro.util.paths import normalize
+
+#: Action types the stock executor registry understands.
+KNOWN_ACTION_TYPES = frozenset(
+    {"transfer", "email", "container", "command", "callable"}
+)
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """The *If/Trigger* half of a rule.
+
+    Parameters
+    ----------
+    agent_id:
+        The agent whose events this trigger watches.
+    path_prefix:
+        Only events under this directory match.
+    event_types:
+        Normalized event kinds that match (default: created only, the
+        most common data-ingestion trigger).
+    name_pattern:
+        ``fnmatch`` glob applied to the file name (e.g. ``*.tiff``).
+    include_directories:
+        Whether directory events can match (default files only).
+    """
+
+    agent_id: str
+    path_prefix: str
+    event_types: frozenset[EventType] = frozenset({EventType.CREATED})
+    name_pattern: str = "*"
+    include_directories: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "path_prefix", normalize(self.path_prefix))
+        if not self.agent_id:
+            raise RuleValidationError("trigger needs an agent_id")
+        if not self.event_types:
+            raise RuleValidationError("trigger needs at least one event type")
+
+    def matches(self, event: FileEvent) -> bool:
+        """True when *event* satisfies every trigger condition."""
+        if event.event_type not in self.event_types:
+            return False
+        if event.is_dir and not self.include_directories:
+            return False
+        if not event.matches_prefix(self.path_prefix):
+            return False
+        name = event.name or (event.path or "").rsplit("/", 1)[-1]
+        return fnmatch.fnmatch(name, self.name_pattern)
+
+
+@dataclass(frozen=True)
+class Action:
+    """The *Then/Action* half of a rule.
+
+    ``action_type`` selects the executor (transfer, email, container,
+    command, callable); ``agent_id`` is the agent that runs it (actions
+    are routed — the triggering agent and the executing agent may
+    differ); ``parameters`` are executor-specific.
+    """
+
+    action_type: str
+    agent_id: str
+    parameters: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.action_type not in KNOWN_ACTION_TYPES:
+            raise RuleValidationError(
+                f"unknown action type {self.action_type!r}; "
+                f"known: {sorted(KNOWN_ACTION_TYPES)}"
+            )
+        if not self.agent_id:
+            raise RuleValidationError("action needs an agent_id")
+
+
+_rule_ids = itertools.count(1)
+
+
+@dataclass
+class Rule:
+    """A complete If-Trigger-Then-Action rule."""
+
+    trigger: Trigger
+    action: Action
+    name: str = ""
+    owner: str = "anonymous"
+    enabled: bool = True
+    rule_id: int = field(default_factory=lambda: next(_rule_ids))
+
+    def matches(self, event: FileEvent) -> bool:
+        """True when this rule should fire for *event*."""
+        return self.enabled and self.trigger.matches(event)
+
+    def describe(self) -> str:
+        """One-line human description (for logs and UIs)."""
+        types = "/".join(sorted(t.value for t in self.trigger.event_types))
+        return (
+            f"rule {self.rule_id} ({self.name or 'unnamed'}): "
+            f"IF {types} of {self.trigger.name_pattern!r} under "
+            f"{self.trigger.path_prefix} on {self.trigger.agent_id} "
+            f"THEN {self.action.action_type} on {self.action.agent_id}"
+        )
+
+
+class RuleSet:
+    """An indexed collection of rules, filterable by agent and event.
+
+    Rules are indexed by the trigger's agent so agents receive only the
+    rules relevant to them (the paper: "Ripple rules are distributed to
+    agents to inform the event filtering process").
+    """
+
+    def __init__(self) -> None:
+        self._rules: dict[int, Rule] = {}
+        self._by_agent: dict[str, list[int]] = {}
+
+    def add(self, rule: Rule) -> Rule:
+        """Register *rule*; returns it (with its id)."""
+        if rule.rule_id in self._rules:
+            raise RuleValidationError(f"duplicate rule id {rule.rule_id}")
+        self._rules[rule.rule_id] = rule
+        self._by_agent.setdefault(rule.trigger.agent_id, []).append(rule.rule_id)
+        return rule
+
+    def remove(self, rule_id: int) -> None:
+        """Delete the rule with *rule_id* (unknown ids are an error)."""
+        rule = self._rules.pop(rule_id, None)
+        if rule is None:
+            raise RuleValidationError(f"no rule with id {rule_id}")
+        self._by_agent[rule.trigger.agent_id].remove(rule_id)
+
+    def get(self, rule_id: int) -> Rule:
+        """The rule with *rule_id*."""
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise RuleValidationError(f"no rule with id {rule_id}") from None
+
+    def for_agent(self, agent_id: str) -> list[Rule]:
+        """Rules whose trigger watches *agent_id* (the agent's filter set)."""
+        return [self._rules[rid] for rid in self._by_agent.get(agent_id, [])]
+
+    def matching(self, agent_id: str, event: FileEvent) -> list[Rule]:
+        """Rules on *agent_id* that fire for *event*."""
+        return [rule for rule in self.for_agent(agent_id) if rule.matches(event)]
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(list(self._rules.values()))
+
+    def watched_prefixes(self, agent_id: str) -> list[str]:
+        """Distinct path prefixes the agent must monitor (watcher setup)."""
+        prefixes = {rule.trigger.path_prefix for rule in self.for_agent(agent_id)}
+        return sorted(prefixes)

@@ -1,0 +1,35 @@
+"""A small discrete-event simulation (DES) engine.
+
+The engine drives the calibrated performance models in :mod:`repro.perf`.
+It follows the familiar generator-as-process style: a process is a Python
+generator that yields *events* (timeouts, store gets/puts, resource
+requests); the environment resumes it when the event fires.
+
+Example
+-------
+>>> from repro.sim import Environment
+>>> env = Environment()
+>>> log = []
+>>> def proc(env):
+...     yield env.timeout(1.5)
+...     log.append(env.now)
+>>> _ = env.process(proc(env))
+>>> env.run()
+>>> log
+[1.5]
+"""
+
+from repro.sim.engine import Environment, Event, Interrupt, Process, Timeout
+from repro.sim.random import RandomStreams
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "Timeout",
+    "Interrupt",
+    "Store",
+    "Resource",
+    "RandomStreams",
+]

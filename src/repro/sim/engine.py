@@ -1,0 +1,396 @@
+"""Core of the discrete-event engine: environment, events, processes.
+
+The design mirrors the well-known generator-coroutine DES pattern:
+
+* :class:`Event` — a one-shot occurrence with callbacks and a value.
+* :class:`Timeout` — an event scheduled at ``now + delay``.
+* :class:`Process` — wraps a generator; each yielded event suspends the
+  generator until the event succeeds (or fails, in which case the
+  exception is thrown into the generator).
+* :class:`Environment` — the scheduler: a heap of ``(time, tiebreak,
+  event)`` entries processed in order.
+
+The engine is single-threaded and fully deterministic: two runs with the
+same seed and process structure produce identical schedules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError, StopSimulation
+
+#: Sentinel priority classes: urgent events (process resumption bookkeeping)
+#: fire before normal events scheduled at the same instant.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot event that may succeed with a value or fail with an error.
+
+    Callbacks receive the event itself once it is processed by the
+    environment.  Events are single-use: triggering twice is an error.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None  # type: ignore[return-value]
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with *exception*."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() requires an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+
+class Timeout(Event):
+    """An event that fires *delay* simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a process at the current instant."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        env._schedule(self, URGENT)
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """Wraps a generator, resuming it as the events it yields fire.
+
+    The process itself is an event: it triggers when the generator
+    returns (success, with the return value) or raises (failure).
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        # Detach from whatever the process was waiting on so the original
+        # event no longer resumes it; events that support cancellation
+        # (store gets/puts, resource requests) also leave their queues so
+        # they cannot consume items/slots nobody is waiting for.
+        waiting = self._waiting_on
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            cancel = getattr(waiting, "cancel", None)
+            if cancel is not None:
+                cancel()
+            self._waiting_on = None
+        self.env._schedule(event, URGENT)
+
+    # -- internal ---------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                event._defused = True
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded a non-event: {target!r}"
+            )
+        if target.processed:
+            # Already-processed event: resume immediately at this instant.
+            immediate = Event(self.env)
+            immediate._ok = target._ok
+            immediate._value = target._value
+            immediate._defused = True
+            immediate.callbacks.append(self._resume)
+            self.env._schedule(immediate, URGENT)
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class Condition(Event):
+    """Succeeds when all of the given events have succeeded (``all_of``)."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e._value for e in self._events])
+
+
+class AnyOf(Event):
+    """Succeeds when the first of the given events succeeds (``any_of``)."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            self.succeed(None)
+            return
+        for event in self._events:
+            if event.processed:
+                self._on_child(event)
+                break
+            event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(event)
+
+
+class Environment:
+    """The DES scheduler: an event heap ordered by (time, priority, seq)."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None between resumptions)."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing after *delay* simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str | None = None
+    ) -> Process:
+        """Register *generator* as a new process starting now."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        """Event that succeeds when every event in *events* has succeeded."""
+        return Condition(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that succeeds when the first event in *events* succeeds."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def _step(self) -> None:
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None  # type: ignore[assignment]
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Process events until the heap drains, *until* time, or event.
+
+        * ``until=None`` — run until no events remain.
+        * ``until=<float>`` — run until simulated time reaches the value.
+        * ``until=<Event>`` — run until that event is processed; its value
+          is returned (its failure is raised).
+        """
+        stop_event: Optional[Event] = None
+        horizon: Optional[float] = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value
+
+            def _halt(_event: Event) -> None:
+                raise StopSimulation()
+
+            stop_event.callbacks.append(_halt)
+        elif until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"run(until={horizon}) is in the past (now={self._now})"
+                )
+
+        try:
+            while self._heap:
+                if horizon is not None and self._heap[0][0] > horizon:
+                    self._now = horizon
+                    return None
+                self._step()
+        except StopSimulation:
+            assert stop_event is not None
+            if stop_event._ok:
+                return stop_event._value
+            stop_event._defused = True
+            raise stop_event._value from None
+        if horizon is not None:
+            self._now = horizon
+        if stop_event is not None and not stop_event.triggered:
+            raise SimulationError(
+                "run() ran out of events before the until-event triggered"
+            )
+        return stop_event._value if stop_event is not None else None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (inf if none)."""
+        return self._heap[0][0] if self._heap else float("inf")

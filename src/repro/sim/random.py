@@ -1,0 +1,57 @@
+"""Deterministic named random streams for simulations.
+
+Each named stream is an independent :class:`random.Random` seeded from the
+root seed and the stream name, so adding a new consumer of randomness never
+perturbs the draws seen by existing consumers — a standard DES
+reproducibility technique.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RandomStreams:
+    """A family of independent, reproducible random streams.
+
+    >>> streams = RandomStreams(seed=42)
+    >>> a1 = streams.get('arrivals').random()
+    >>> b1 = streams.get('service').random()
+    >>> a2 = RandomStreams(seed=42).get('arrivals').random()
+    >>> a1 == a2
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def get(self, name: str) -> random.Random:
+        """Return (creating if needed) the stream called *name*."""
+        stream = self._streams.get(name)
+        if stream is None:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            stream = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = stream
+        return stream
+
+    def exponential(self, name: str, mean: float) -> float:
+        """One draw from Exp(mean) on stream *name*."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive: {mean}")
+        return self.get(name).expovariate(1.0 / mean)
+
+    def lognormal(self, name: str, mean: float, sigma: float = 0.25) -> float:
+        """A lognormal service-time draw with the given *mean*.
+
+        The underlying normal parameters are derived so the distribution's
+        mean equals *mean* — convenient for calibrated latency models.
+        """
+        import math
+
+        if mean <= 0:
+            raise ValueError(f"mean must be positive: {mean}")
+        mu = math.log(mean) - 0.5 * sigma * sigma
+        return self.get(name).lognormvariate(mu, sigma)

@@ -1,0 +1,224 @@
+"""Shared resources for the DES engine: FIFO stores and capacity servers.
+
+:class:`Store` models a bounded FIFO buffer (message queues, changelog
+backlogs).  :class:`Resource` models a server with *capacity* concurrent
+slots (a CPU, an MDS service thread); processes request a slot, hold it
+for their service time, then release it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Event
+
+
+class StorePut(Event):
+    """Pending put of *item* into a store."""
+
+    __slots__ = ("item", "_store")
+
+    def __init__(self, env: Environment, item: Any, store: "Store") -> None:
+        super().__init__(env)
+        self.item = item
+        self._store = store
+
+    def cancel(self) -> None:
+        """Withdraw an unfulfilled put (interrupted waiter)."""
+        if not self.triggered:
+            try:
+                self._store._puts.remove(self)
+            except ValueError:
+                pass
+
+
+class StoreGet(Event):
+    """Pending get from a store; succeeds with the item."""
+
+    __slots__ = ("_store",)
+
+    def __init__(self, env: Environment, store: "Store") -> None:
+        super().__init__(env)
+        self._store = store
+
+    def cancel(self) -> None:
+        """Withdraw an unfulfilled get (interrupted waiter)."""
+        if not self.triggered:
+            try:
+                self._store._gets.remove(self)
+            except ValueError:
+                pass
+
+
+class Store:
+    """A bounded FIFO of items with blocking put/get semantics.
+
+    >>> from repro.sim import Environment, Store
+    >>> env = Environment()
+    >>> store = Store(env, capacity=1)
+    >>> def producer(env, store):
+    ...     yield store.put('a')
+    ...     yield store.put('b')
+    >>> got = []
+    >>> def consumer(env, store):
+    ...     for _ in range(2):
+    ...         item = yield store.get()
+    ...         got.append(item)
+    >>> _ = env.process(producer(env, store))
+    >>> _ = env.process(consumer(env, store))
+    >>> env.run()
+    >>> got
+    ['a', 'b']
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"store capacity must be positive: {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._puts: Deque[StorePut] = deque()
+        self._gets: Deque[StoreGet] = deque()
+        #: Cumulative counters useful for pipeline instrumentation.
+        self.total_put = 0
+        self.total_got = 0
+        self.peak_level = 0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def level(self) -> int:
+        """Number of items currently buffered."""
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Event that succeeds once *item* has been accepted."""
+        event = StorePut(self.env, item, self)
+        self._puts.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreGet:
+        """Event that succeeds with the next FIFO item."""
+        event = StoreGet(self.env, self)
+        self._gets.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit pending puts while there is room.
+            while self._puts and len(self.items) < self.capacity:
+                put = self._puts.popleft()
+                self.items.append(put.item)
+                self.total_put += 1
+                self.peak_level = max(self.peak_level, len(self.items))
+                put.succeed()
+                progressed = True
+            # Satisfy pending gets while items exist.
+            while self._gets and self.items:
+                get = self._gets.popleft()
+                item = self.items.popleft()
+                self.total_got += 1
+                get.succeed(item)
+                progressed = True
+
+
+class ResourceRequest(Event):
+    """Pending request for one slot of a :class:`Resource`."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: Environment, resource: "Resource") -> None:
+        super().__init__(env)
+        self.resource = resource
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request (interrupted waiter)."""
+        if not self.triggered:
+            try:
+                self.resource._queue.remove(self)
+            except ValueError:
+                pass
+
+    # Allow use as a context manager inside processes:
+    #   with resource.request() as req: yield req; ...
+    def __enter__(self) -> "ResourceRequest":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A server with a fixed number of concurrent slots.
+
+    Tracks utilisation: ``busy_time`` accumulates slot-seconds of service,
+    letting the perf models derive CPU utilisation percentages.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1: {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: list[ResourceRequest] = []
+        self._queue: Deque[ResourceRequest] = deque()
+        self.busy_time = 0.0
+        self._last_change = env.now
+        self.total_served = 0
+
+    @property
+    def count(self) -> int:
+        """Slots currently in use."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._queue)
+
+    def _account(self) -> None:
+        now = self.env.now
+        self.busy_time += self.count * (now - self._last_change)
+        self._last_change = now
+
+    def request(self) -> ResourceRequest:
+        """Event that succeeds once a slot is granted."""
+        event = ResourceRequest(self.env, self)
+        self._account()
+        if len(self._users) < self.capacity:
+            self._users.append(event)
+            event.succeed()
+        else:
+            self._queue.append(event)
+        return event
+
+    def release(self, request: ResourceRequest) -> None:
+        """Return the slot held by *request* and admit the next waiter."""
+        self._account()
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise SimulationError("release of a request that holds no slot")
+        self.total_served += 1
+        if self._queue:
+            waiter = self._queue.popleft()
+            self._users.append(waiter)
+            waiter.succeed()
+
+    def utilisation(self, elapsed: float | None = None) -> float:
+        """Average fraction of capacity busy since construction.
+
+        *elapsed* overrides the denominator (defaults to env.now).
+        """
+        self._account()
+        horizon = elapsed if elapsed is not None else self.env.now
+        if horizon <= 0:
+            return 0.0
+        return self.busy_time / (horizon * self.capacity)

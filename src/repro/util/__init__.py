@@ -1,0 +1,20 @@
+"""Shared utilities: clocks, id generation, path helpers, token buckets."""
+
+from repro.util.clock import Clock, ManualClock, WallClock
+from repro.util.idgen import IdGenerator, monotonic_id
+from repro.util.paths import basename, dirname, join, normalize, split_components
+from repro.util.tokens import TokenBucket
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "WallClock",
+    "IdGenerator",
+    "monotonic_id",
+    "normalize",
+    "split_components",
+    "join",
+    "basename",
+    "dirname",
+    "TokenBucket",
+]

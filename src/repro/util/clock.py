@@ -1,0 +1,72 @@
+"""Clock abstractions.
+
+Every component in the library reads time through a :class:`Clock` so the
+same code runs against wall-clock time in the live threaded deployment and
+against virtual time in tests and discrete-event performance models.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Minimal time source: seconds since an arbitrary epoch."""
+
+    def now(self) -> float:
+        """Return the current time in (possibly virtual) seconds."""
+        ...  # pragma: no cover - protocol definition
+
+
+class WallClock:
+    """A :class:`Clock` backed by the real system clock."""
+
+    def now(self) -> float:
+        return time.time()
+
+    def sleep(self, seconds: float) -> None:
+        """Block the calling thread for *seconds* of real time."""
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "WallClock()"
+
+
+class ManualClock:
+    """A deterministic, manually advanced clock for tests and models.
+
+    The clock is thread-safe: live components running in worker threads may
+    read it while a test driver advances it.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by *seconds* and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock backwards: {seconds}")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def set(self, timestamp: float) -> None:
+        """Jump the clock to an absolute *timestamp* (must not go back)."""
+        with self._lock:
+            if timestamp < self._now:
+                raise ValueError(
+                    f"cannot set clock backwards: {timestamp} < {self._now}"
+                )
+            self._now = float(timestamp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ManualClock(now={self.now():.6f})"

@@ -1,0 +1,50 @@
+"""Monotonic identifier generation.
+
+Ids are used for changelog record numbers, event ids, queue message ids and
+rule ids.  All generators are thread-safe.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+
+class IdGenerator:
+    """Thread-safe monotonically increasing integer ids.
+
+    >>> gen = IdGenerator(start=10)
+    >>> gen.next(), gen.next()
+    (10, 11)
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+        self._last = start - 1
+
+    def next(self) -> int:
+        """Return the next id in the sequence."""
+        with self._lock:
+            self._last = next(self._counter)
+            return self._last
+
+    @property
+    def last(self) -> int:
+        """The most recently issued id (start-1 if none issued yet)."""
+        with self._lock:
+            return self._last
+
+
+_GLOBAL = IdGenerator()
+
+
+def monotonic_id() -> int:
+    """Return a process-wide unique monotonically increasing integer."""
+    return _GLOBAL.next()
+
+
+def prefixed_ids(prefix: str, start: int = 1):
+    """Yield string ids like ``prefix-1``, ``prefix-2``, ... forever."""
+    for n in itertools.count(start):
+        yield f"{prefix}-{n}"

@@ -1,0 +1,81 @@
+"""Logging setup for the library.
+
+Components log under the ``repro.*`` namespace with a quiet default (a
+``NullHandler``, per library convention — applications opt in).  Use
+:func:`configure_logging` in applications/examples for a sensible
+console format, and :class:`CaptureHandler` in tests to assert on what
+was logged.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+#: Root logger name for every component.
+ROOT = "repro"
+
+logging.getLogger(ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(component: str) -> logging.Logger:
+    """Logger for *component*, namespaced under ``repro.``.
+
+    >>> get_logger('core.collector').name
+    'repro.core.collector'
+    """
+    if component.startswith(ROOT + ".") or component == ROOT:
+        return logging.getLogger(component)
+    return logging.getLogger(f"{ROOT}.{component}")
+
+
+def configure_logging(
+    level: int = logging.INFO,
+    stream=None,
+    fmt: str = "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+) -> logging.Handler:
+    """Attach a console handler to the library's root logger.
+
+    Returns the handler so callers can remove it again.  Calling twice
+    replaces the previous console handler rather than duplicating
+    output.
+    """
+    root = logging.getLogger(ROOT)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_console", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(fmt))
+    handler._repro_console = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler
+
+
+class CaptureHandler(logging.Handler):
+    """Collects log records in memory (for tests)."""
+
+    def __init__(self, level: int = logging.DEBUG) -> None:
+        super().__init__(level)
+        self.records: list[logging.LogRecord] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        self.records.append(record)
+
+    def messages(self, level: Optional[int] = None) -> list[str]:
+        """Formatted messages, optionally filtered to one level."""
+        return [
+            record.getMessage()
+            for record in self.records
+            if level is None or record.levelno == level
+        ]
+
+    def attach(self) -> "CaptureHandler":
+        """Attach to the library root (remember to :meth:`detach`)."""
+        root = logging.getLogger(ROOT)
+        root.addHandler(self)
+        root.setLevel(logging.DEBUG)
+        return self
+
+    def detach(self) -> None:
+        logging.getLogger(ROOT).removeHandler(self)

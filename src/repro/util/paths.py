@@ -1,0 +1,106 @@
+"""POSIX-style path manipulation for the in-memory filesystems.
+
+These helpers are deliberately independent of :mod:`os.path` so the library
+behaves identically on every host platform.  All filesystem namespaces in
+this library use absolute, ``/``-separated paths.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidPath
+
+
+def normalize(path: str) -> str:
+    """Return the canonical absolute form of *path*.
+
+    Collapses repeated separators, resolves ``.`` and ``..`` components
+    (never above the root) and strips trailing slashes (except for the
+    root itself).
+
+    >>> normalize('/a//b/./c/../d/')
+    '/a/b/d'
+    """
+    if not isinstance(path, str) or not path:
+        raise InvalidPath(repr(path), "path must be a non-empty string")
+    if not path.startswith("/"):
+        raise InvalidPath(path, "path must be absolute")
+    parts: list[str] = []
+    for component in path.split("/"):
+        if component in ("", "."):
+            continue
+        if component == "..":
+            if parts:
+                parts.pop()
+            continue
+        if "\x00" in component:
+            raise InvalidPath(path, "NUL byte in path component")
+        parts.append(component)
+    return "/" + "/".join(parts)
+
+
+def split_components(path: str) -> list[str]:
+    """Return the normalized components of *path* (empty list for ``/``).
+
+    >>> split_components('/a/b/c')
+    ['a', 'b', 'c']
+    """
+    norm = normalize(path)
+    if norm == "/":
+        return []
+    return norm[1:].split("/")
+
+
+def join(parent: str, *names: str) -> str:
+    """Join *names* onto the absolute *parent* path.
+
+    >>> join('/a', 'b', 'c')
+    '/a/b/c'
+    """
+    result = normalize(parent)
+    for name in names:
+        if not name or "/" in name:
+            raise InvalidPath(name, "component must be a single non-empty name")
+        result = result.rstrip("/") + "/" + name
+    return normalize(result)
+
+
+def basename(path: str) -> str:
+    """Return the final component of *path* ('' for the root).
+
+    >>> basename('/a/b/c.txt')
+    'c.txt'
+    """
+    components = split_components(path)
+    return components[-1] if components else ""
+
+
+def dirname(path: str) -> str:
+    """Return the parent directory of *path* ('/' for the root).
+
+    >>> dirname('/a/b/c.txt')
+    '/a/b'
+    """
+    components = split_components(path)
+    if len(components) <= 1:
+        return "/"
+    return "/" + "/".join(components[:-1])
+
+
+def is_ancestor(ancestor: str, path: str) -> bool:
+    """True if *ancestor* is the same as or a prefix directory of *path*.
+
+    >>> is_ancestor('/a/b', '/a/b/c')
+    True
+    >>> is_ancestor('/a/b', '/a/bc')
+    False
+    """
+    anc = normalize(ancestor)
+    target = normalize(path)
+    if anc == "/":
+        return True
+    return target == anc or target.startswith(anc + "/")
+
+
+def depth(path: str) -> int:
+    """Number of components below the root (root itself has depth 0)."""
+    return len(split_components(path))

@@ -1,0 +1,69 @@
+"""Token-bucket rate limiting.
+
+Used by workload generators to pace event production at a target rate and
+by the perf models to express sustained service rates.
+"""
+
+from __future__ import annotations
+
+from repro.util.clock import Clock, WallClock
+
+
+class TokenBucket:
+    """A classic token bucket.
+
+    *rate* tokens accrue per second up to *burst* capacity.  ``take()``
+    consumes tokens when available; ``delay_until_available`` reports how
+    long a caller would need to wait, which lets virtual-time drivers
+    advance their clocks instead of sleeping.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else float(rate)
+        if self.burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self._clock = clock or WallClock()
+        self._tokens = self.burst
+        self._stamp = self._clock.now()
+
+    def _refill(self) -> None:
+        now = self._clock.now()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available."""
+        self._refill()
+        return self._tokens
+
+    def take(self, amount: float = 1.0) -> bool:
+        """Consume *amount* tokens if available; return success."""
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        self._refill()
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+    def delay_until_available(self, amount: float = 1.0) -> float:
+        """Seconds until *amount* tokens will be available (0 if now)."""
+        if amount > self.burst:
+            raise ValueError(
+                f"requested {amount} tokens exceeds burst capacity {self.burst}"
+            )
+        self._refill()
+        deficit = amount - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate

@@ -1,0 +1,24 @@
+"""Workloads: event generation, NERSC dump synthesis, trace replay."""
+
+from repro.workloads.generator import EventGenerator, GenerationReport, OpLatencies
+from repro.workloads.nersc import (
+    DumpDiffer,
+    DumpSeries,
+    FileSystemDumpModel,
+    ScalingAnalysis,
+)
+from repro.workloads.traces import TraceOp, TraceRecorder, TraceReplayer, synthetic_trace
+
+__all__ = [
+    "EventGenerator",
+    "GenerationReport",
+    "OpLatencies",
+    "FileSystemDumpModel",
+    "DumpSeries",
+    "DumpDiffer",
+    "ScalingAnalysis",
+    "TraceOp",
+    "TraceRecorder",
+    "TraceReplayer",
+    "synthetic_trace",
+]

@@ -1,0 +1,171 @@
+"""Operation traces: record, synthesise and replay filesystem activity.
+
+Traces decouple workload definition from execution: the same operation
+sequence can be replayed against the local in-memory filesystem, the
+Lustre model, or fed to the DES performance models — useful for
+apples-to-apples monitor/baseline comparisons.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.fs.memfs import MemoryFilesystem
+from repro.lustre.filesystem import LustreFilesystem
+
+AnyFilesystem = Union[MemoryFilesystem, LustreFilesystem]
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One traced operation.
+
+    ``op`` is one of create | write | unlink | mkdir | rmdir | rename |
+    setattr.  ``path2`` is the rename destination.
+    """
+
+    op: str
+    path: str
+    path2: Optional[str] = None
+    size: int = 0
+
+    def to_line(self) -> str:
+        """A compact one-line text form (for trace files)."""
+        parts = [self.op, self.path]
+        if self.path2 is not None:
+            parts.append(self.path2)
+        if self.size:
+            parts.append(str(self.size))
+        return " ".join(parts)
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceOp":
+        """Inverse of :meth:`to_line`."""
+        parts = line.split()
+        op, path = parts[0], parts[1]
+        path2 = None
+        size = 0
+        rest = parts[2:]
+        if op == "rename" and rest:
+            path2 = rest.pop(0)
+        if rest:
+            size = int(rest[0])
+        return cls(op=op, path=path, path2=path2, size=size)
+
+
+class TraceRecorder:
+    """Collects TraceOps as a workload runs (manual instrumentation)."""
+
+    def __init__(self) -> None:
+        self.ops: list[TraceOp] = []
+
+    def record(self, op: TraceOp) -> None:
+        self.ops.append(op)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+class TraceReplayer:
+    """Replays a trace against any supported filesystem."""
+
+    def __init__(self, filesystem: AnyFilesystem) -> None:
+        self.fs = filesystem
+        self.applied = 0
+        self.skipped = 0
+
+    def replay(self, ops: Iterable[TraceOp]) -> int:
+        """Apply every op; ops that no longer make sense are skipped
+        (e.g. unlink of a path a previous failure never created).
+        Returns the number applied."""
+        for op in ops:
+            try:
+                self._apply(op)
+                self.applied += 1
+            except Exception:
+                self.skipped += 1
+        return self.applied
+
+    def _apply(self, op: TraceOp) -> None:
+        is_local = isinstance(self.fs, MemoryFilesystem)
+        if op.op == "mkdir":
+            self.fs.mkdir(op.path)
+        elif op.op == "rmdir":
+            self.fs.rmdir(op.path)
+        elif op.op == "create":
+            if is_local:
+                self.fs.create(op.path, b"\x00" * op.size)
+            else:
+                self.fs.create(op.path, size=op.size)
+        elif op.op == "write":
+            if is_local:
+                self.fs.write(op.path, b"\x00" * op.size)
+            else:
+                self.fs.write(op.path, op.size)
+        elif op.op == "unlink":
+            self.fs.unlink(op.path)
+        elif op.op == "rename":
+            assert op.path2 is not None
+            self.fs.rename(op.path, op.path2)
+        elif op.op == "setattr":
+            self.fs.setattr(op.path)
+        else:
+            raise ValueError(f"unknown trace op {op.op!r}")
+
+
+def synthetic_trace(
+    n_ops: int,
+    root: str = "/trace",
+    n_directories: int = 8,
+    seed: int = 0,
+    create_weight: float = 0.35,
+    write_weight: float = 0.30,
+    unlink_weight: float = 0.15,
+    rename_weight: float = 0.10,
+    setattr_weight: float = 0.10,
+) -> Iterator[TraceOp]:
+    """Generate a coherent random trace (ops always reference live paths).
+
+    Starts with the mkdirs needed, then mixes operations; yields lazily.
+    """
+    rng = random.Random(seed)
+    yield TraceOp("mkdir", root)
+    directories = []
+    for index in range(n_directories):
+        path = f"{root}/dir{index:02d}"
+        directories.append(path)
+        yield TraceOp("mkdir", path)
+    live: list[str] = []
+    counter = 0
+    ops = ("create", "write", "unlink", "rename", "setattr")
+    weights = (
+        create_weight,
+        write_weight,
+        unlink_weight,
+        rename_weight,
+        setattr_weight,
+    )
+    for _ in range(n_ops):
+        op = rng.choices(ops, weights)[0]
+        if op == "create" or not live:
+            directory = rng.choice(directories)
+            path = f"{directory}/t{counter:07d}.dat"
+            counter += 1
+            live.append(path)
+            yield TraceOp("create", path, size=rng.randrange(0, 65536))
+        elif op == "write":
+            yield TraceOp("write", rng.choice(live), size=rng.randrange(0, 65536))
+        elif op == "unlink":
+            index = rng.randrange(len(live))
+            yield TraceOp("unlink", live.pop(index))
+        elif op == "rename":
+            index = rng.randrange(len(live))
+            source = live[index]
+            destination = f"{rng.choice(directories)}/r{counter:07d}.dat"
+            counter += 1
+            live[index] = destination
+            yield TraceOp("rename", source, path2=destination)
+        else:
+            yield TraceOp("setattr", rng.choice(live))

@@ -1,0 +1,213 @@
+"""Tests for action executors."""
+
+import pytest
+
+from repro.core.events import EventType, FileEvent
+from repro.errors import ActionError
+from repro.ripple import RippleAgent, RippleService
+from repro.ripple.actions import (
+    ActionRequest,
+    ExecutorRegistry,
+    default_registry,
+    execute_command,
+    execute_container,
+    execute_email,
+    execute_transfer,
+)
+
+
+def event_for(path):
+    return FileEvent(
+        event_type=EventType.CREATED, path=path, is_dir=False, timestamp=0.0,
+        name=path.rsplit("/", 1)[-1], source="inotify",
+    )
+
+
+def request_for(action_type, parameters, path="/in/data.txt", agent_id="a"):
+    return ActionRequest(
+        action_type=action_type, agent_id=agent_id, parameters=parameters,
+        event=event_for(path), rule_id=1,
+    )
+
+
+@pytest.fixture
+def service():
+    return RippleService()
+
+
+@pytest.fixture
+def agent(service):
+    agent = RippleAgent("a")
+    service.register_agent(agent)
+    agent.fs.makedirs("/in")
+    agent.fs.create("/in/data.txt", b"payload")
+    return agent
+
+
+class TestCommandExecutor:
+    def test_copy(self, agent):
+        result = execute_command(
+            request_for("command", {"command": "copy", "dst": "/in/copy.txt"}),
+            agent,
+        )
+        assert result.success
+        assert agent.fs.read("/in/copy.txt") == b"payload"
+
+    def test_move(self, agent):
+        execute_command(
+            request_for("command", {"command": "move", "dst": "/in/moved.txt"}),
+            agent,
+        )
+        assert not agent.fs.exists("/in/data.txt")
+        assert agent.fs.exists("/in/moved.txt")
+
+    def test_delete(self, agent):
+        execute_command(request_for("command", {"command": "delete"}), agent)
+        assert not agent.fs.exists("/in/data.txt")
+
+    def test_checksum_writes_digest_file(self, agent):
+        import hashlib
+
+        result = execute_command(
+            request_for(
+                "command",
+                {"command": "checksum", "dst": "/in/{stem}.sha"},
+            ),
+            agent,
+        )
+        expected = hashlib.sha256(b"payload").hexdigest()
+        assert result.output == expected
+        assert expected.encode() in agent.fs.read("/in/data.sha")
+
+    def test_mkdir(self, agent):
+        execute_command(
+            request_for("command", {"command": "mkdir", "src": "/new/deep"}),
+            agent,
+        )
+        assert agent.fs.is_dir("/new/deep")
+
+    def test_template_expansion(self, agent):
+        result = execute_command(
+            request_for(
+                "command",
+                {"command": "copy", "dst": "{dir}/{stem}_backup.txt"},
+            ),
+            agent,
+        )
+        assert agent.fs.exists("/in/data_backup.txt")
+        assert "data_backup" in result.detail
+
+    def test_copy_without_dst_rejected(self, agent):
+        with pytest.raises(ActionError):
+            execute_command(request_for("command", {"command": "copy"}), agent)
+
+    def test_unknown_command_rejected(self, agent):
+        with pytest.raises(ActionError):
+            execute_command(request_for("command", {"command": "fly"}), agent)
+
+
+class TestTransferExecutor:
+    def test_transfer_copies_across_agents(self, service, agent):
+        destination = RippleAgent("b")
+        service.register_agent(destination)
+        result = execute_transfer(
+            request_for(
+                "transfer",
+                {"destination_agent": "b", "destination_path": "/inbox/{name}"},
+            ),
+            agent,
+        )
+        assert result.success
+        assert destination.fs.read("/inbox/data.txt") == b"payload"
+        assert result.output == {"bytes": 7}
+
+    def test_transfer_to_unknown_agent_fails(self, service, agent):
+        from repro.errors import AgentNotFound
+
+        with pytest.raises(AgentNotFound):
+            execute_transfer(
+                request_for(
+                    "transfer",
+                    {"destination_agent": "ghost",
+                     "destination_path": "/x/{name}"},
+                ),
+                agent,
+            )
+
+    def test_missing_parameters_rejected(self, agent):
+        with pytest.raises(ActionError):
+            execute_transfer(request_for("transfer", {}), agent)
+
+    def test_unresolved_source_rejected(self, service):
+        agent = RippleAgent("u")
+        service.register_agent(agent)
+        bad_event = FileEvent(
+            event_type=EventType.CREATED, path=None, is_dir=False,
+            timestamp=0.0, name="x", source="lustre",
+        )
+        request = ActionRequest(
+            "transfer", "u",
+            {"destination_agent": "u", "destination_path": "/y"},
+            bad_event, rule_id=1,
+        )
+        with pytest.raises(ActionError):
+            execute_transfer(request, agent)
+
+
+class TestEmailExecutor:
+    def test_email_lands_in_outbox(self, service, agent):
+        execute_email(
+            request_for(
+                "email",
+                {"to": "x@y.z", "subject": "got {name}", "body": "see {path}"},
+            ),
+            agent,
+        )
+        (mail,) = service.outbox
+        assert mail["to"] == "x@y.z"
+        assert mail["subject"] == "got data.txt"
+        assert mail["body"] == "see /in/data.txt"
+
+    def test_missing_recipient_rejected(self, agent):
+        with pytest.raises(ActionError):
+            execute_email(request_for("email", {}), agent)
+
+
+class TestContainerExecutor:
+    def test_runs_registered_image(self, agent):
+        def image(agent, event, parameters):
+            return f"processed {event.name} with {parameters['mode']}"
+
+        agent.register_container("proc", image)
+        result = execute_container(
+            request_for("container", {"image": "proc", "mode": "fast"}),
+            agent,
+        )
+        assert result.output == "processed data.txt with fast"
+
+    def test_unknown_image_rejected(self, agent):
+        with pytest.raises(ActionError):
+            execute_container(request_for("container", {"image": "ghost"}), agent)
+
+    def test_missing_image_parameter_rejected(self, agent):
+        with pytest.raises(ActionError):
+            execute_container(request_for("container", {}), agent)
+
+
+class TestRegistry:
+    def test_default_registry_covers_paper_actions(self):
+        registry = default_registry()
+        assert set(registry.known_types()) == {
+            "transfer", "email", "container", "command", "callable",
+        }
+
+    def test_custom_executor_registration(self, agent):
+        registry = ExecutorRegistry()
+        calls = []
+        registry.register("command", lambda req, agent: calls.append(req))
+        registry.get("command")(request_for("command", {}), agent)
+        assert len(calls) == 1
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ActionError):
+            default_registry().get("nope")

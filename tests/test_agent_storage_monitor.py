@@ -1,0 +1,63 @@
+"""Tests for feeding Ripple agents through the StorageMonitor facade."""
+
+import pytest
+
+from repro.core import StorageMonitor
+from repro.fs.memfs import MemoryFilesystem
+from repro.lustre import LustreFilesystem
+from repro.ripple import Action, RippleAgent, RippleService, Trigger
+from repro.util.clock import ManualClock
+
+
+class TestAgentOnStorageMonitor:
+    def _service_agent(self, fs):
+        service = RippleService()
+        agent = RippleAgent("store", filesystem=fs)
+        service.register_agent(agent)
+        return service, agent
+
+    def test_agent_via_changelog_backend(self):
+        fs = LustreFilesystem(clock=ManualClock())
+        fs.makedirs("/in")
+        service, agent = self._service_agent(fs)
+        monitor = StorageMonitor.for_filesystem(fs)
+        agent.attach_storage_monitor(monitor)
+        service.add_rule(
+            Trigger(agent_id="store", path_prefix="/in", name_pattern="*.dat"),
+            Action("command", "store",
+                   {"command": "copy", "dst": "{dir}/{stem}.bak"}),
+        )
+        fs.create("/in/x.dat")
+        service.run_until_quiet()
+        assert fs.exists("/in/x.bak")
+        assert monitor.backend_name == "changelog"
+
+    def test_agent_via_polling_backend(self):
+        fs = MemoryFilesystem(clock=ManualClock())
+        fs.makedirs("/in")
+        service, agent = self._service_agent(fs)
+        monitor = StorageMonitor.for_filesystem(fs, backend="polling")
+        monitor.watch("/in")
+        agent.attach_storage_monitor(monitor)
+        service.add_rule(
+            Trigger(agent_id="store", path_prefix="/in", name_pattern="*.csv"),
+            Action("email", "store", {"to": "x@y"}),
+        )
+        fs.create("/in/data.csv", b"1")
+        service.run_until_quiet()
+        assert len(service.outbox) == 1
+        assert monitor.backend_name == "polling"
+
+    def test_drain_detection_covers_storage_monitor(self):
+        fs = LustreFilesystem(clock=ManualClock())
+        fs.makedirs("/in")
+        service, agent = self._service_agent(fs)
+        monitor = StorageMonitor.for_filesystem(fs)
+        agent.attach_storage_monitor(monitor)
+        service.add_rule(
+            Trigger(agent_id="store", path_prefix="/in"),
+            Action("email", "store", {"to": "x@y"}),
+        )
+        fs.create("/in/f.bin")
+        agent.drain_detection()  # must pull from the facade
+        assert agent.events_matched == 1

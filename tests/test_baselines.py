@@ -1,0 +1,227 @@
+"""Tests for the Robinhood, polling and inotify baselines."""
+
+import pytest
+
+from repro.baselines import (
+    InotifyMonitor,
+    PollingMonitor,
+    RobinhoodCollector,
+    RobinhoodPolicy,
+)
+from repro.core.events import EventType
+from repro.fs.memfs import MemoryFilesystem
+from repro.lustre import DnePolicy, LustreFilesystem
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+class TestRobinhood:
+    def _fs(self, clock, **kwargs):
+        fs = LustreFilesystem(clock=clock, **kwargs)
+        collector = RobinhoodCollector(fs, clock=clock)
+        return fs, collector
+
+    def test_scan_builds_database(self, clock):
+        fs, collector = self._fs(clock)
+        fs.makedirs("/p")
+        fs.create("/p/a.dat")
+        fs.create("/p/b.dat")
+        collector.scan_once()
+        assert len(collector.database) == 3  # dir + 2 files
+        assert sorted(collector.find("*.dat")) == ["/p/a.dat", "/p/b.dat"]
+
+    def test_scan_is_incremental(self, clock):
+        fs, collector = self._fs(clock)
+        fs.create("/a")
+        assert collector.scan_once() == 1
+        assert collector.scan_once() == 0
+        fs.create("/b")
+        assert collector.scan_once() == 1
+
+    def test_deletions_remove_entries(self, clock):
+        fs, collector = self._fs(clock)
+        fs.create("/a")
+        collector.scan_once()
+        fs.unlink("/a")
+        collector.scan_once()
+        assert collector.database == {}
+
+    def test_sequential_scan_covers_all_mdts(self, clock):
+        fs, collector = self._fs(
+            clock, num_mds=3, dne_policy=DnePolicy.ROUND_ROBIN
+        )
+        for index in range(6):
+            fs.mkdir(f"/d{index}")
+            fs.create(f"/d{index}/f")
+        ingested = collector.scan_once()
+        assert ingested == 12
+        assert len(collector.find("f")) == 6
+
+    def test_policy_matches_by_age(self, clock):
+        fs, collector = self._fs(clock)
+        fs.create("/old.tmp")
+        clock.advance(100)
+        fs.create("/new.tmp")
+        collector.scan_once()
+        run = collector.run_policy(
+            RobinhoodPolicy(name="purge", name_pattern="*.tmp", older_than=50)
+        )
+        assert run.matched == 1
+
+    def test_policy_action_invoked(self, clock):
+        fs, collector = self._fs(clock)
+        fs.create("/x.tmp")
+        collector.scan_once()
+        clock.advance(10)
+        purged = []
+        run = collector.run_policy(
+            RobinhoodPolicy(
+                name="purge", name_pattern="*.tmp", older_than=1,
+                action=lambda row: purged.append(row.path),
+            )
+        )
+        assert run.acted == 1
+        assert purged == ["/x.tmp"]
+
+    def test_usage_report_counts_by_top_dir(self, clock):
+        fs, collector = self._fs(clock)
+        fs.makedirs("/proj1")
+        fs.makedirs("/proj2")
+        fs.create("/proj1/a")
+        fs.create("/proj1/b")
+        fs.create("/proj2/c")
+        collector.scan_once()
+        report = collector.usage_report()
+        assert report["/proj1"] == 2
+        assert report["/proj2"] == 1
+
+    def test_modification_updates_last_event(self, clock):
+        fs, collector = self._fs(clock)
+        fs.create("/f")
+        collector.scan_once()
+        clock.advance(100)
+        fs.write("/f", 10)
+        collector.scan_once()
+        row = next(iter(collector.database.values()))
+        assert row.last_event == "11CLOSE"
+        assert row.last_event_time == 100
+        assert row.size_events == 1
+
+
+class TestPollingMonitor:
+    def test_first_poll_reports_nothing(self, clock):
+        fs = MemoryFilesystem(clock=clock)
+        fs.create("/pre-existing")
+        monitor = PollingMonitor(fs, clock=clock)
+        diff = monitor.poll()
+        assert diff.events == []
+
+    def test_detects_creation_and_deletion(self, clock):
+        fs = MemoryFilesystem(clock=clock)
+        monitor = PollingMonitor(fs, clock=clock)
+        monitor.poll()
+        fs.create("/new")
+        diff = monitor.poll()
+        assert diff.created == 1
+        fs.unlink("/new")
+        diff = monitor.poll()
+        assert diff.deleted == 1
+
+    def test_detects_modification_via_mtime(self, clock):
+        fs = MemoryFilesystem(clock=clock)
+        fs.create("/f", b"a")
+        monitor = PollingMonitor(fs, clock=clock)
+        monitor.poll()
+        clock.advance(1)
+        fs.write("/f", b"bb")
+        diff = monitor.poll()
+        assert diff.modified == 1
+        assert diff.events[0].event_type is EventType.MODIFIED
+
+    def test_misses_short_lived_files(self, clock):
+        """The fundamental polling blindspot the paper notes."""
+        fs = MemoryFilesystem(clock=clock)
+        monitor = PollingMonitor(fs, clock=clock)
+        monitor.poll()
+        fs.create("/ephemeral")
+        fs.unlink("/ephemeral")
+        diff = monitor.poll()
+        assert diff.events == []
+
+    def test_collapses_multiple_modifications(self, clock):
+        fs = MemoryFilesystem(clock=clock)
+        fs.create("/f")
+        monitor = PollingMonitor(fs, clock=clock)
+        monitor.poll()
+        for _ in range(5):
+            clock.advance(1)
+            fs.write("/f", b"x")
+        diff = monitor.poll()
+        assert diff.modified == 1  # five writes look like one
+
+    def test_crawl_cost_scales_with_namespace_not_activity(self, clock):
+        fs = MemoryFilesystem(clock=clock)
+        for index in range(50):
+            fs.create(f"/f{index}")
+        monitor = PollingMonitor(fs, clock=clock)
+        monitor.poll()
+        quiet_poll = monitor.poll()  # zero activity
+        assert quiet_poll.stat_calls == 50
+        assert monitor.total_stat_calls == 100
+
+    def test_works_on_lustre_model_too(self, clock):
+        fs = LustreFilesystem(clock=clock)
+        monitor = PollingMonitor(fs, clock=clock)
+        monitor.poll()
+        fs.create("/f", size=10)
+        diff = monitor.poll()
+        assert diff.created == 1
+
+
+class TestInotifyMonitorBaseline:
+    def test_delivers_normalized_events(self, clock):
+        fs = MemoryFilesystem(clock=clock)
+        fs.makedirs("/w")
+        events = []
+        monitor = InotifyMonitor(fs, events.append)
+        monitor.watch("/w")
+        fs.create("/w/f")
+        monitor.drain()
+        assert events[0].event_type is EventType.CREATED
+        assert events[0].source == "inotify"
+
+    def test_setup_cost_counts_crawled_directories(self, clock):
+        fs = MemoryFilesystem(clock=clock)
+        for index in range(10):
+            fs.makedirs(f"/tree/d{index}")
+        monitor = InotifyMonitor(fs, lambda event: None)
+        monitor.watch("/tree")
+        assert monitor.setup_directories_crawled == 11
+        assert monitor.watch_count == 11
+
+    def test_kernel_memory_grows_with_watches(self, clock):
+        fs = MemoryFilesystem(clock=clock)
+        for index in range(4):
+            fs.makedirs(f"/t/d{index}")
+        monitor = InotifyMonitor(fs, lambda event: None)
+        monitor.watch("/t")
+        assert monitor.kernel_memory_bytes == 5 * 1024
+
+    def test_paper_memory_projection(self):
+        assert InotifyMonitor.memory_for_directories(524_288) == 512 * 1024 * 1024
+
+    def test_overflow_counted_as_loss(self, clock):
+        fs = MemoryFilesystem(clock=clock)
+        fs.makedirs("/w")
+        monitor = InotifyMonitor(fs, lambda event: None)
+        monitor.observer.inotify.max_queued_events = 5
+        monitor.watch("/w")
+        for index in range(20):
+            fs.create(f"/w/f{index}")
+        monitor.drain()
+        assert monitor.queue_drops > 0
+        assert monitor.events_lost >= 1

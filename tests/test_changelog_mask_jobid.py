@@ -1,0 +1,188 @@
+"""Tests for changelog masks, job ids and collector-side filtering."""
+
+import pytest
+
+from repro.core import CollectorConfig, LustreMonitor, MonitorConfig
+from repro.core.events import EventType
+from repro.lustre import LustreFilesystem, RecordType
+from repro.lustre.changelog import ChangeLog
+from repro.lustre.fid import Fid
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def fs():
+    fs = LustreFilesystem(clock=ManualClock())
+    fs.makedirs("/d")
+    return fs
+
+
+class TestChangelogMask:
+    def test_mask_suppresses_unlisted_types(self, fs):
+        changelog = fs.changelogs()[0]
+        user = changelog.register_user()
+        changelog.set_mask({RecordType.CREAT, RecordType.UNLNK})
+        fs.create("/d/f")          # CREAT -> logged
+        fs.write("/d/f", 10)       # CLOSE -> suppressed
+        fs.setattr("/d/f", mode=0o600)  # SATTR -> suppressed
+        fs.unlink("/d/f")          # UNLNK -> logged
+        types = [r.rec_type for r in changelog.read(user)]
+        assert types == [RecordType.CREAT, RecordType.UNLNK]
+        assert changelog.mask_suppressed == 2
+
+    def test_reset_mask_restores_everything(self, fs):
+        changelog = fs.changelogs()[0]
+        user = changelog.register_user()
+        changelog.set_mask({RecordType.CREAT})
+        changelog.reset_mask()
+        fs.create("/d/f")
+        fs.write("/d/f", 10)
+        assert len(changelog.read(user)) == 2
+
+    def test_mark_always_allowed(self):
+        changelog = ChangeLog(0, clock=ManualClock())
+        changelog.set_mask({RecordType.CREAT})
+        assert RecordType.MARK in changelog.mask
+
+    def test_suppressed_append_returns_none(self):
+        changelog = ChangeLog(0, clock=ManualClock())
+        changelog.set_mask({RecordType.CREAT})
+        record = changelog.append(
+            RecordType.SATTR, Fid(1, 1), Fid(1, 2), "f"
+        )
+        assert record is None
+        assert changelog.total_appended == 0
+
+    def test_mask_reduces_monitor_traffic(self, fs):
+        for changelog in fs.changelogs():
+            changelog.set_mask({RecordType.CREAT, RecordType.UNLNK,
+                                RecordType.MKDIR, RecordType.RMDIR})
+        monitor = LustreMonitor(fs)
+        seen = []
+        monitor.subscribe(lambda seq, ev: seen.append(ev.event_type))
+        fs.create("/d/f")
+        fs.write("/d/f", 100)  # suppressed at the source
+        fs.unlink("/d/f")
+        monitor.drain()
+        assert seen == [EventType.CREATED, EventType.DELETED]
+
+
+class TestJobId:
+    def test_job_context_tags_records(self, fs):
+        changelog = fs.changelogs()[0]
+        user = changelog.register_user()
+        with fs.job("train.42"):
+            fs.create("/d/model.ckpt")
+        fs.create("/d/untagged")
+        records = changelog.read(user)
+        assert records[0].jobid == "train.42"
+        assert records[1].jobid is None
+
+    def test_job_contexts_nest_and_restore(self, fs):
+        changelog = fs.changelogs()[0]
+        user = changelog.register_user()
+        with fs.job("outer"):
+            fs.create("/d/a")
+            with fs.job("inner"):
+                fs.create("/d/b")
+            fs.create("/d/c")
+        jobids = [r.jobid for r in changelog.read(user)]
+        assert jobids == ["outer", "inner", "outer"]
+
+    def test_set_job_direct(self, fs):
+        changelog = fs.changelogs()[0]
+        user = changelog.register_user()
+        fs.set_job("batch.7")
+        fs.create("/d/x")
+        fs.set_job(None)
+        fs.create("/d/y")
+        jobids = [r.jobid for r in changelog.read(user)]
+        assert jobids == ["batch.7", None]
+
+    def test_jobid_flows_to_file_events(self, fs):
+        monitor = LustreMonitor(fs)
+        seen = []
+        monitor.subscribe(lambda seq, ev: seen.append(ev))
+        with fs.job("sim.99"):
+            fs.create("/d/out.h5")
+        monitor.drain()
+        assert seen[0].jobid == "sim.99"
+
+    def test_jobid_survives_event_serialisation(self, fs):
+        from repro.core.events import FileEvent
+
+        monitor = LustreMonitor(fs)
+        seen = []
+        monitor.subscribe(lambda seq, ev: seen.append(ev))
+        with fs.job("j.1"):
+            fs.create("/d/f")
+        monitor.drain()
+        roundtripped = FileEvent.from_dict(seen[0].to_dict())
+        assert roundtripped.jobid == "j.1"
+
+
+class TestCollectorEventFilter:
+    def _monitor(self, fs, event_types):
+        return LustreMonitor(
+            fs,
+            MonitorConfig(
+                collector=CollectorConfig(event_types=event_types)
+            ),
+        )
+
+    def test_only_configured_types_reported(self, fs):
+        monitor = self._monitor(
+            fs, frozenset({EventType.CREATED, EventType.DELETED})
+        )
+        seen = []
+        monitor.subscribe(lambda seq, ev: seen.append(ev.event_type))
+        fs.create("/d/f")
+        fs.write("/d/f", 10)
+        fs.setattr("/d/f", mode=0o600)
+        fs.unlink("/d/f")
+        monitor.drain()
+        assert seen == [EventType.CREATED, EventType.DELETED]
+        assert monitor.collectors[0].events_filtered == 2
+
+    def test_filtered_batches_still_purge_changelog(self, fs):
+        monitor = self._monitor(fs, frozenset({EventType.DELETED}))
+        fs.create("/d/f")
+        fs.write("/d/f", 10)
+        monitor.drain()
+        assert all(cl.backlog == 0 for cl in fs.changelogs())
+
+    def test_empty_filter_rejected(self):
+        with pytest.raises(ValueError):
+            CollectorConfig(event_types=frozenset())
+
+
+class TestJobIdTextFormat:
+    def test_format_includes_j_field(self, fs):
+        with fs.job("train.42"):
+            fs.create("/d/model.ckpt")
+        line = list(fs.changelogs()[0].dump())[-1]
+        assert " j=train.42 " in line
+
+    def test_format_omits_j_when_absent(self, fs):
+        fs.create("/d/plain")
+        line = list(fs.changelogs()[0].dump())[-1]
+        assert " j=" not in line
+
+    def test_parse_roundtrip_with_jobid(self, fs):
+        from repro.lustre.changelog import ChangelogRecord
+
+        with fs.job("sim.7"):
+            fs.create("/d/out.h5")
+        line = list(fs.changelogs()[0].dump())[-1]
+        parsed = ChangelogRecord.parse(line)
+        assert parsed.jobid == "sim.7"
+        assert parsed.name == "out.h5"
+
+    def test_parse_roundtrip_without_jobid(self, fs):
+        from repro.lustre.changelog import ChangelogRecord
+
+        fs.create("/d/plain.txt")
+        line = list(fs.changelogs()[0].dump())[-1]
+        parsed = ChangelogRecord.parse(line)
+        assert parsed.jobid is None
+        assert parsed.name == "plain.txt"

@@ -1,0 +1,149 @@
+"""Tests for the normalized event vocabulary."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.events import RECORD_TYPE_MAP, EventType, FileEvent
+from repro.fs.watchdog import FileSystemEvent
+from repro.lustre.changelog import ChangelogFlag, ChangelogRecord, RecordType
+from repro.lustre.fid import Fid
+
+TARGET = Fid(0x200000402, 0xA046)
+PARENT = Fid(0x200000007, 0x1)
+
+
+def record(rec_type, name="f", source_parent=None, source_name=None):
+    return ChangelogRecord(
+        7, rec_type, 123.5, ChangelogFlag.NONE, TARGET, PARENT, name,
+        source_parent_fid=source_parent, source_name=source_name,
+    )
+
+
+class TestFromChangelog:
+    def test_create_maps_to_created(self):
+        event = FileEvent.from_changelog(record(RecordType.CREAT), "/d/f", 0)
+        assert event.event_type is EventType.CREATED
+        assert event.path == "/d/f"
+        assert not event.is_dir
+        assert event.source == "lustre"
+        assert event.record_type == "01CREAT"
+        assert event.record_index == 7
+        assert event.mdt_index == 0
+
+    def test_mkdir_is_directory_created(self):
+        event = FileEvent.from_changelog(record(RecordType.MKDIR), "/d", 1)
+        assert event.event_type is EventType.CREATED
+        assert event.is_dir
+
+    def test_unlink_maps_to_deleted(self):
+        event = FileEvent.from_changelog(record(RecordType.UNLNK), "/d/f", 0)
+        assert event.event_type is EventType.DELETED
+
+    def test_close_maps_to_modified(self):
+        event = FileEvent.from_changelog(record(RecordType.CLOSE), "/d/f", 0)
+        assert event.event_type is EventType.MODIFIED
+
+    def test_sattr_maps_to_attrib(self):
+        event = FileEvent.from_changelog(record(RecordType.SATTR), "/d/f", 0)
+        assert event.event_type is EventType.ATTRIB
+
+    def test_rename_carries_old_path(self):
+        event = FileEvent.from_changelog(
+            record(RecordType.RENME, name="new", source_parent=PARENT,
+                   source_name="old"),
+            "/d/new", 0, old_path="/d/old",
+        )
+        assert event.event_type is EventType.MOVED
+        assert event.old_path == "/d/old"
+        assert event.path == "/d/new"
+
+    def test_unresolved_path_allowed(self):
+        event = FileEvent.from_changelog(record(RecordType.UNLNK), None, 0)
+        assert not event.resolved
+        assert event.name == "f"
+
+    def test_fids_serialised_short_form(self):
+        event = FileEvent.from_changelog(record(RecordType.CREAT), "/f", 0)
+        assert event.fid == TARGET.short()
+        assert event.parent_fid == PARENT.short()
+
+    def test_every_record_type_is_mapped(self):
+        for rec_type in RecordType:
+            assert rec_type in RECORD_TYPE_MAP
+
+
+class TestFromWatchdog:
+    def test_created(self):
+        raw = FileSystemEvent("created", "/w/f.txt", False, 5.0)
+        event = FileEvent.from_watchdog(raw)
+        assert event.event_type is EventType.CREATED
+        assert event.path == "/w/f.txt"
+        assert event.name == "f.txt"
+        assert event.source == "inotify"
+        assert event.fid is None
+
+    def test_moved_uses_dest_as_path(self):
+        raw = FileSystemEvent("moved", "/w/a", False, 5.0, dest_path="/w/b")
+        event = FileEvent.from_watchdog(raw)
+        assert event.path == "/w/b"
+        assert event.old_path == "/w/a"
+        assert event.event_type is EventType.MOVED
+
+    def test_directory_flag_preserved(self):
+        raw = FileSystemEvent("created", "/w/d", True, 5.0)
+        assert FileEvent.from_watchdog(raw).is_dir
+
+
+class TestSerialisation:
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        event = FileEvent.from_changelog(record(RecordType.CREAT), "/f", 0)
+        json.dumps(event.to_dict())  # must not raise
+
+    def test_roundtrip(self):
+        event = FileEvent.from_changelog(
+            record(RecordType.RENME, source_parent=PARENT, source_name="o"),
+            "/d/f", 2, old_path="/d/o",
+        )
+        assert FileEvent.from_dict(event.to_dict()) == event
+
+    @given(
+        event_type=st.sampled_from(list(EventType)),
+        path=st.one_of(st.none(), st.just("/a/b")),
+        is_dir=st.booleans(),
+        timestamp=st.floats(0, 1e9, allow_nan=False),
+    )
+    def test_roundtrip_property(self, event_type, path, is_dir, timestamp):
+        event = FileEvent(
+            event_type=event_type, path=path, is_dir=is_dir,
+            timestamp=timestamp, name="n", source="lustre",
+        )
+        assert FileEvent.from_dict(event.to_dict()) == event
+
+
+class TestMatchesPrefix:
+    def _event(self, path, old_path=None):
+        return FileEvent(
+            event_type=EventType.CREATED, path=path, is_dir=False,
+            timestamp=0.0, name="f", source="lustre", old_path=old_path,
+        )
+
+    def test_exact_match(self):
+        assert self._event("/a/b").matches_prefix("/a/b")
+
+    def test_child_match(self):
+        assert self._event("/a/b/c").matches_prefix("/a/b")
+
+    def test_sibling_prefix_no_match(self):
+        assert not self._event("/a/bc").matches_prefix("/a/b")
+
+    def test_root_matches_everything(self):
+        assert self._event("/anything").matches_prefix("/")
+
+    def test_old_path_also_considered(self):
+        event = self._event("/elsewhere/f", old_path="/watched/f")
+        assert event.matches_prefix("/watched")
+
+    def test_unresolved_path_no_match(self):
+        assert not self._event(None).matches_prefix("/a")

@@ -1,0 +1,217 @@
+"""Tests for the rule DSL."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.events import EventType
+from repro.errors import RuleValidationError
+from repro.ripple import (
+    Action,
+    RippleAgent,
+    RippleService,
+    Rule,
+    Trigger,
+    format_rule,
+    install_rules,
+    parse_rule,
+    parse_rules,
+)
+
+
+class TestParseRule:
+    def test_minimal_rule(self):
+        rule = parse_rule(
+            "WHEN created OF *.csv UNDER /in ON dev\n"
+            "THEN email ON dev WITH to=pi@lab"
+        )
+        assert rule.trigger.agent_id == "dev"
+        assert rule.trigger.path_prefix == "/in"
+        assert rule.trigger.name_pattern == "*.csv"
+        assert rule.trigger.event_types == frozenset({EventType.CREATED})
+        assert rule.action.action_type == "email"
+        assert rule.action.parameters == {"to": "pi@lab"}
+
+    def test_multiple_event_types(self):
+        rule = parse_rule(
+            "WHEN created,moved,deleted OF * UNDER /d ON a\n"
+            "THEN command ON a WITH command=touch"
+        )
+        assert rule.trigger.event_types == frozenset(
+            {EventType.CREATED, EventType.MOVED, EventType.DELETED}
+        )
+
+    def test_dirs_flag(self):
+        rule = parse_rule(
+            "WHEN created OF * UNDER /d ON a DIRS\n"
+            "THEN email ON a WITH to=x"
+        )
+        assert rule.trigger.include_directories
+
+    def test_quoted_parameter_values(self):
+        rule = parse_rule(
+            "WHEN created OF * UNDER /d ON a\n"
+            'THEN email ON a WITH to=x subject="new file {name}"'
+        )
+        assert rule.action.parameters["subject"] == "new file {name}"
+
+    def test_templated_values_pass_through(self):
+        rule = parse_rule(
+            "WHEN created OF *.dat UNDER /d ON a\n"
+            "THEN command ON a WITH command=checksum dst={dir}/{stem}.sha"
+        )
+        assert rule.action.parameters["dst"] == "{dir}/{stem}.sha"
+
+    def test_action_without_parameters(self):
+        rule = parse_rule(
+            "WHEN created OF * UNDER /d ON a\nTHEN callable ON a"
+        )
+        assert rule.action.parameters == {}
+
+    def test_case_insensitive_keywords(self):
+        rule = parse_rule(
+            "when created of * under /d on a\nthen email on a with to=x"
+        )
+        assert rule.action.action_type == "email"
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(RuleValidationError):
+            parse_rule("WHEN exploded OF * UNDER /d ON a\nTHEN email ON a")
+
+    def test_unknown_action_type_rejected(self):
+        with pytest.raises(RuleValidationError):
+            parse_rule("WHEN created OF * UNDER /d ON a\nTHEN teleport ON a")
+
+    def test_missing_then_rejected(self):
+        with pytest.raises(RuleValidationError):
+            parse_rule("WHEN created OF * UNDER /d ON a")
+
+    def test_malformed_when_rejected(self):
+        with pytest.raises(RuleValidationError):
+            parse_rule("WHEN created UNDER /d ON a\nTHEN email ON a")
+
+    def test_bad_parameter_syntax_rejected(self):
+        with pytest.raises(RuleValidationError):
+            parse_rule(
+                "WHEN created OF * UNDER /d ON a\n"
+                "THEN email ON a WITH to"
+            )
+
+    def test_junk_after_when_rejected(self):
+        with pytest.raises(RuleValidationError):
+            parse_rule(
+                "WHEN created OF * UNDER /d ON a NONSENSE\n"
+                "THEN email ON a"
+            )
+
+
+class TestParseRules:
+    RULES_FILE = """
+# checksum new images
+WHEN created OF *.tiff UNDER /data ON lab
+THEN command ON lab WITH command=checksum dst={dir}/{stem}.sha
+
+# replicate checksums
+WHEN created OF *.sha UNDER /data ON lab
+THEN transfer ON lab WITH destination_agent=laptop destination_path=/inbox/{name}
+"""
+
+    def test_parses_multiple_rules_with_names(self):
+        rules = parse_rules(self.RULES_FILE)
+        assert len(rules) == 2
+        assert rules[0].name == "checksum new images"
+        assert rules[1].name == "replicate checksums"
+        assert rules[1].action.action_type == "transfer"
+
+    def test_install_on_service_and_fire(self):
+        service = RippleService()
+        lab = RippleAgent("lab")
+        laptop = RippleAgent("laptop")
+        service.register_agent(lab)
+        service.register_agent(laptop)
+        lab.attach_local_filesystem()
+        lab.fs.makedirs("/data")
+        installed = install_rules(service, self.RULES_FILE)
+        assert len(installed) == 2
+        lab.fs.create("/data/scan.tiff", b"img")
+        service.run_until_quiet()
+        assert laptop.fs.exists("/inbox/scan.sha")
+
+    def test_empty_text_gives_no_rules(self):
+        assert parse_rules("\n\n# just a comment\n\n") == []
+
+
+class TestFormatRule:
+    def test_roundtrip_simple(self):
+        original = parse_rule(
+            "WHEN created,deleted OF *.log UNDER /var ON host DIRS\n"
+            "THEN command ON host WITH command=delete"
+        )
+        reparsed = parse_rule(format_rule(original))
+        assert reparsed.trigger == original.trigger
+        assert reparsed.action == original.action
+
+    def test_roundtrip_quoted_values(self):
+        original = Rule(
+            Trigger(agent_id="a", path_prefix="/d"),
+            Action("email", "a", {"subject": "hello world {name}"}),
+            name="notify",
+        )
+        text = format_rule(original)
+        assert '"hello world {name}"' in text
+        reparsed = parse_rule(text, name="notify")
+        assert reparsed.action.parameters == original.action.parameters
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        events=st.sets(st.sampled_from(list(EventType)), min_size=1, max_size=3),
+        pattern=st.sampled_from(["*", "*.csv", "scan_??.tiff"]),
+        prefix=st.sampled_from(["/a", "/a/b", "/deep/er/path"]),
+        agent=st.sampled_from(["lab", "laptop"]),
+        dirs=st.booleans(),
+    )
+    def test_roundtrip_property(self, events, pattern, prefix, agent, dirs):
+        original = Rule(
+            Trigger(
+                agent_id=agent, path_prefix=prefix,
+                event_types=frozenset(events), name_pattern=pattern,
+                include_directories=dirs,
+            ),
+            Action("command", agent, {"command": "touch"}),
+        )
+        reparsed = parse_rule(format_rule(original))
+        assert reparsed.trigger == original.trigger
+        assert reparsed.action == original.action
+
+
+class TestExportRules:
+    def test_export_roundtrip_through_install(self):
+        from repro.ripple import install_rules
+
+        source = RippleService()
+        source.add_rule(
+            Trigger(agent_id="lab", path_prefix="/data",
+                    name_pattern="*.tiff"),
+            Action("command", "lab",
+                   {"command": "checksum", "dst": "{dir}/{stem}.sha"}),
+            name="checksum",
+        )
+        source.add_rule(
+            Trigger(agent_id="lab", path_prefix="/data",
+                    name_pattern="*.sha",
+                    event_types=frozenset({EventType.CREATED,
+                                           EventType.MOVED})),
+            Action("email", "lab", {"to": "pi@lab",
+                                    "subject": "done {name}"}),
+            name="notify",
+        )
+        text = source.export_rules()
+        target = RippleService()
+        installed = install_rules(target, text)
+        assert len(installed) == 2
+        assert {r.name for r in installed} == {"checksum", "notify"}
+        original = {r.name: (r.trigger, r.action) for r in source.rules}
+        restored = {r.name: (r.trigger, r.action) for r in target.rules}
+        assert original == restored
+
+    def test_export_empty_service(self):
+        assert RippleService().export_rules() == ""

@@ -1,0 +1,256 @@
+"""Edge cases across modules not covered by the main suites."""
+
+import pytest
+
+from repro.core import AggregatorConfig, LustreMonitor
+from repro.core.aggregator import Aggregator
+from repro.errors import (
+    FileExists,
+    NotADirectory,
+    SimulationError,
+    WouldBlock,
+)
+from repro.lustre import LustreFilesystem
+from repro.msgq import Context
+from repro.perf import CloudConfig
+from repro.sim import Environment
+from repro.util.clock import ManualClock
+
+
+class TestSimEngineEdges:
+    def test_any_of_failure_propagates(self):
+        env = Environment()
+        caught = []
+
+        def waiter(env):
+            bad = env.event()
+            ok = env.timeout(10)
+            condition = env.any_of([bad, ok])
+            bad.fail(RuntimeError("first failed"))
+            try:
+                yield condition
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.process(waiter(env))
+        env.run()
+        assert caught == ["first failed"]
+
+    def test_all_of_failure_propagates(self):
+        env = Environment()
+        caught = []
+
+        def waiter(env):
+            bad = env.event()
+            condition = env.all_of([env.timeout(1), bad])
+            bad.fail(ValueError("partial failure"))
+            try:
+                yield condition
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        env.process(waiter(env))
+        env.run()
+        assert caught == ["partial failure"]
+
+    def test_interrupt_while_waiting_on_store_get(self):
+        from repro.sim import Store
+        from repro.sim.engine import Interrupt
+
+        env = Environment()
+        store = Store(env)
+        outcomes = []
+
+        def blocked(env):
+            try:
+                yield store.get()
+            except Interrupt:
+                outcomes.append("interrupted")
+
+        def interrupter(env, victim):
+            yield env.timeout(1)
+            victim.interrupt()
+
+        victim = env.process(blocked(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert outcomes == ["interrupted"]
+        # The abandoned get must not steal a later put.
+        def producer(env):
+            yield store.put("item")
+
+        env.process(producer(env))
+        env.run()
+        assert store.level == 1
+
+    def test_run_until_untriggered_event_with_empty_heap(self):
+        env = Environment()
+        never = env.event()
+        with pytest.raises(SimulationError):
+            env.run(until=never)
+
+    def test_process_requires_generator(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)  # type: ignore[arg-type]
+
+
+class TestAggregatorApiEdges:
+    def test_unknown_op_returns_error_to_caller(self):
+        context = Context()
+        aggregator = Aggregator(context)
+        client = context.req().connect(AggregatorConfig().api_endpoint)
+        import threading
+
+        errors = []
+
+        def ask():
+            try:
+                client.request({"op": "explode"}, timeout=2.0)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        thread = threading.Thread(target=ask)
+        thread.start()
+        while thread.is_alive():
+            aggregator.serve_api_once(timeout=0.05)
+            thread.join(timeout=0.001)
+        assert errors and "unknown API op" in errors[0]
+
+    def test_pump_once_with_timeout_waits(self):
+        import threading
+        import time
+
+        context = Context()
+        aggregator = Aggregator(context)
+        push = context.push().connect(AggregatorConfig().inbound_endpoint)
+
+        def late_send():
+            time.sleep(0.05)
+            from repro.core.events import EventType, FileEvent
+
+            push.send([
+                FileEvent(
+                    event_type=EventType.CREATED, path="/x", is_dir=False,
+                    timestamp=0.0, name="x", source="lustre",
+                )
+            ])
+
+        thread = threading.Thread(target=late_send)
+        thread.start()
+        handled = aggregator.pump_once(timeout=2.0)
+        thread.join()
+        assert handled == 1
+
+
+class TestLustreEdges:
+    def test_makedirs_through_file_rejected(self):
+        fs = LustreFilesystem(clock=ManualClock())
+        fs.create("/blocker")
+        with pytest.raises(NotADirectory):
+            fs.makedirs("/blocker/child")
+
+    def test_create_with_size_emits_close_record(self):
+        fs = LustreFilesystem(clock=ManualClock())
+        fs.create("/sized", size=100)
+        mnemonics = [line.split()[1] for line in fs.changelogs()[0].dump()]
+        assert mnemonics == ["01CREAT", "11CLOSE"]
+
+    def test_hardlink_to_directory_rejected(self):
+        from repro.errors import IsADirectory
+
+        fs = LustreFilesystem(clock=ManualClock())
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            fs.hardlink("/d", "/link")
+
+    def test_symlink_name_collision_rejected(self):
+        fs = LustreFilesystem(clock=ManualClock())
+        fs.create("/exists")
+        with pytest.raises(FileExists):
+            fs.symlink("/target", "/exists")
+
+    def test_entry_count_tracks_lifecycle(self):
+        fs = LustreFilesystem(clock=ManualClock())
+        base = fs.entry_count
+        fs.mkdir("/d")
+        fs.create("/d/f")
+        assert fs.entry_count == base + 2
+        fs.rmtree("/d")
+        assert fs.entry_count == base
+
+    def test_monitor_on_empty_filesystem_is_quiet(self):
+        fs = LustreFilesystem(clock=ManualClock())
+        monitor = LustreMonitor(fs)
+        seen = []
+        monitor.subscribe(lambda seq, ev: seen.append(seq))
+        assert monitor.drain() == 0
+        assert seen == []
+
+
+class TestMsgqEdges:
+    def test_sequential_requests_on_one_req_socket(self):
+        import threading
+
+        context = Context()
+        rep = context.rep().bind("inproc://api")
+        req = context.req().connect("inproc://api")
+        results = []
+
+        def server():
+            for _ in range(3):
+                rep.serve_once(lambda request: request + 1, timeout=2.0)
+
+        thread = threading.Thread(target=server)
+        thread.start()
+        for value in (1, 10, 100):
+            results.append(req.request(value, timeout=2.0))
+        thread.join()
+        assert results == [2, 11, 101]
+
+    def test_context_close_is_idempotent(self):
+        context = Context()
+        context.pub().bind("inproc://x")
+        context.close()
+        context.close()  # second close must not raise
+
+    def test_recv_nonblocking_on_empty_pull(self):
+        context = Context()
+        pull = context.pull().bind("inproc://p")
+        with pytest.raises(WouldBlock):
+            pull.recv(block=False)
+
+
+class TestCloudConfigValidation:
+    def test_bad_arrival_rate(self):
+        with pytest.raises(ValueError):
+            CloudConfig(arrival_rate=0)
+
+    def test_bad_concurrency(self):
+        with pytest.raises(ValueError):
+            CloudConfig(arrival_rate=1, concurrency=0)
+
+    def test_bad_failure_probability(self):
+        with pytest.raises(ValueError):
+            CloudConfig(arrival_rate=1, failure_probability=1.0)
+
+
+class TestSymlinkReadlink:
+    def test_readlink_returns_target(self):
+        fs = LustreFilesystem(clock=ManualClock())
+        fs.create("/target")
+        fs.symlink("/target", "/link")
+        assert fs.readlink("/link") == "/target"
+
+    def test_readlink_on_file_rejected(self):
+        from repro.errors import InvalidPath
+
+        fs = LustreFilesystem(clock=ManualClock())
+        fs.create("/plain")
+        with pytest.raises(InvalidPath):
+            fs.readlink("/plain")
+
+    def test_dangling_symlink_allowed(self):
+        fs = LustreFilesystem(clock=ManualClock())
+        fs.symlink("/does/not/exist", "/dangling")
+        assert fs.readlink("/dangling") == "/does/not/exist"

@@ -1,0 +1,38 @@
+"""Every example must run clean — they are executable documentation."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs_clean(example):
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{example.name} failed:\n{completed.stdout}\n{completed.stderr}"
+    )
+    assert "OK" in completed.stdout  # each example self-verifies
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "beamline_pipeline",
+        "site_purge",
+        "monitor_fault_tolerance",
+        "capacity_planning",
+        "facility_rules",
+    } <= names

@@ -1,0 +1,80 @@
+"""Tests for the fid2path resolver."""
+
+import pytest
+
+from repro.errors import UnknownFid
+from repro.lustre import FidResolver, LustreFilesystem
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def fs():
+    fs = LustreFilesystem(clock=ManualClock())
+    fs.makedirs("/a/b")
+    fs.create("/a/b/f1")
+    fs.create("/a/b/f2")
+    return fs
+
+
+class TestResolve:
+    def test_resolves_to_absolute_path(self, fs):
+        resolver = FidResolver(fs)
+        assert resolver.resolve(fs.fid_of("/a/b/f1")) == "/a/b/f1"
+
+    def test_counts_invocations(self, fs):
+        resolver = FidResolver(fs)
+        resolver.resolve(fs.fid_of("/a"))
+        resolver.resolve(fs.fid_of("/a"))
+        assert resolver.invocations == 2
+
+    def test_unknown_fid_counts_failure(self, fs):
+        resolver = FidResolver(fs)
+        fid = fs.fid_of("/a/b/f1")
+        fs.unlink("/a/b/f1")
+        with pytest.raises(UnknownFid):
+            resolver.resolve(fid)
+        assert resolver.failures == 1
+
+    def test_latency_hook_called_per_invocation(self, fs):
+        calls = []
+        resolver = FidResolver(fs, latency_hook=lambda: calls.append(1))
+        resolver.resolve(fs.fid_of("/a"))
+        resolver.resolve(fs.fid_of("/a/b"))
+        assert len(calls) == 2
+
+    def test_reset_counters(self, fs):
+        resolver = FidResolver(fs)
+        resolver.resolve(fs.fid_of("/a"))
+        resolver.reset_counters()
+        assert resolver.invocations == 0
+        assert resolver.failures == 0
+
+
+class TestResolveMany:
+    def test_batch_is_single_invocation(self, fs):
+        resolver = FidResolver(fs)
+        fids = [fs.fid_of("/a"), fs.fid_of("/a/b"), fs.fid_of("/a/b/f1")]
+        result = resolver.resolve_many(fids)
+        assert resolver.invocations == 1
+        assert result[fs.fid_of("/a/b/f1")] == "/a/b/f1"
+
+    def test_batch_deduplicates(self, fs):
+        resolver = FidResolver(fs)
+        fid = fs.fid_of("/a")
+        result = resolver.resolve_many([fid, fid, fid])
+        assert list(result) == [fid]
+
+    def test_batch_maps_unresolvable_to_none(self, fs):
+        resolver = FidResolver(fs)
+        dead = fs.fid_of("/a/b/f2")
+        fs.unlink("/a/b/f2")
+        result = resolver.resolve_many([fs.fid_of("/a"), dead])
+        assert result[dead] is None
+        assert result[fs.fid_of("/a")] == "/a"
+        assert resolver.failures == 1
+
+    def test_latency_hook_once_per_batch(self, fs):
+        calls = []
+        resolver = FidResolver(fs, latency_hook=lambda: calls.append(1))
+        resolver.resolve_many([fs.fid_of("/a"), fs.fid_of("/a/b")])
+        assert len(calls) == 1

@@ -1,0 +1,140 @@
+"""Tests for the experiment harness and reporting."""
+
+import pytest
+
+from repro.harness import (
+    ascii_chart,
+    comparison_table,
+    experiment_figure3,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+    experiment_throughput,
+    render_table,
+)
+from repro.perf import AWS, IOTA
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"], [("x", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len({len(line) for line in lines[:2]}) >= 1
+        assert "longer" in lines[3]
+
+    def test_comparison_table_ratio(self):
+        text = comparison_table([("metric", 100.0, 50.0)])
+        assert "0.500x" in text
+
+    def test_ascii_chart_contains_series_glyphs(self):
+        text = ascii_chart({"a": [1, 2, 3], "b": [3, 2, 1]}, width=20, height=5)
+        assert "*" in text
+        assert "o" in text
+        assert "a" in text and "b" in text
+
+    def test_ascii_chart_empty(self):
+        assert "(no data)" in ascii_chart({"a": []}, title="t")
+
+
+class TestTable1:
+    def test_record_sequence_matches_paper(self):
+        lines = experiment_table1()
+        assert len(lines) == 3
+        assert "01CREAT" in lines[0] and "data1.txt" in lines[0]
+        assert "02MKDIR" in lines[1] and "DataDir" in lines[1]
+        assert "06UNLNK" in lines[2] and "data1.txt" in lines[2]
+
+    def test_unlink_carries_last_flag(self):
+        lines = experiment_table1()
+        assert lines[2].split()[4] == "0x1"
+
+    def test_datestamp_matches_table1(self):
+        lines = experiment_table1()
+        assert all("2017.09.06" in line for line in lines)
+
+
+class TestTable2:
+    @pytest.mark.parametrize("profile", [AWS, IOTA], ids=["AWS", "Iota"])
+    def test_rates_within_one_percent_of_paper(self, profile):
+        report = experiment_table2(profile, n_files=2000)
+        assert report.created_per_s == pytest.approx(
+            report.paper["created"], rel=0.01
+        )
+        assert report.modified_per_s == pytest.approx(
+            report.paper["modified"], rel=0.01
+        )
+        assert report.deleted_per_s == pytest.approx(
+            report.paper["deleted"], rel=0.01
+        )
+
+    def test_iota_faster_than_aws_everywhere(self):
+        aws = experiment_table2(AWS, n_files=500)
+        iota = experiment_table2(IOTA, n_files=500)
+        assert iota.created_per_s > aws.created_per_s
+        assert iota.total_per_s > aws.total_per_s
+
+    def test_render_includes_all_rows(self):
+        text = experiment_table2(AWS, n_files=200).render()
+        for row in ("Created", "Modified", "Deleted", "Total"):
+            assert row in text
+
+
+class TestThroughputExperiment:
+    def test_monitor_rates_match_paper(self):
+        for profile, expected in ((AWS, 1053), (IOTA, 8162)):
+            report = experiment_throughput(profile, duration=10)
+            assert report.measured_monitor_rate == pytest.approx(
+                expected, rel=0.05
+            )
+
+    def test_render_names_bottleneck(self):
+        text = experiment_throughput(IOTA, duration=5).render()
+        assert "bottleneck stage: process" in text
+
+    def test_shortfall_close_to_paper(self):
+        report = experiment_throughput(IOTA, duration=10)
+        assert report.measured_shortfall_percent == pytest.approx(
+            report.paper_shortfall_percent, abs=1.0
+        )
+
+
+class TestTable3Experiment:
+    def test_all_components_within_tolerance(self):
+        report = experiment_table3(duration=30)
+        for component, (paper_cpu, paper_mem) in report.paper.items():
+            cpu, mem = report.measured[component]
+            assert cpu == pytest.approx(paper_cpu, rel=0.15), component
+            assert mem == pytest.approx(paper_mem, rel=0.10), component
+
+    def test_render_layout(self):
+        text = experiment_table3(duration=5).render()
+        assert "Collector" in text
+        assert "CPU% (paper)" in text
+
+
+class TestFigure3Experiment:
+    def test_peak_within_factor_two_of_paper(self):
+        report = experiment_figure3(base_files=100_000)
+        ratio = report.scaled_peak_diffs / report.paper_peak_diffs
+        assert 0.5 <= ratio <= 2.0
+
+    def test_scaling_arithmetic_consistent(self):
+        report = experiment_figure3(base_files=50_000)
+        assert report.analysis.events_per_second_8h == pytest.approx(
+            3 * report.analysis.events_per_second_24h
+        )
+        assert report.analysis.extrapolate() == pytest.approx(
+            report.analysis.events_per_second_8h
+            * report.analysis.aurora_factor
+        )
+
+    def test_series_has_one_diff_per_day_pair(self):
+        report = experiment_figure3(days=10, base_files=20_000)
+        assert len(report.created) == 9
+
+    def test_render_includes_chart_and_table(self):
+        text = experiment_figure3(base_files=50_000).render()
+        assert "Figure 3" in text
+        assert "Aurora" in text
+        assert "created" in text and "modified" in text

@@ -1,0 +1,235 @@
+"""Tests for the inotify emulation."""
+
+import pytest
+
+from repro.errors import FileNotFound, NotADirectory, UnknownWatch, WatchLimitExceeded
+from repro.fs.inotify import (
+    IN_ATTRIB,
+    IN_CLOSE_WRITE,
+    IN_CREATE,
+    IN_DELETE,
+    IN_ISDIR,
+    IN_MODIFY,
+    IN_MOVED_FROM,
+    IN_MOVED_TO,
+    WATCH_MEMORY_BYTES,
+    InotifyInstance,
+    mask_names,
+)
+from repro.fs.memfs import MemoryFilesystem
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def fs():
+    return MemoryFilesystem(clock=ManualClock())
+
+
+@pytest.fixture
+def inotify(fs):
+    return InotifyInstance(fs)
+
+
+class TestWatchManagement:
+    def test_add_watch_returns_descriptor(self, fs, inotify):
+        fs.mkdir("/d")
+        wd = inotify.add_watch("/d")
+        assert wd >= 1
+        assert inotify.path_for(wd) == "/d"
+
+    def test_rewatch_same_path_returns_same_wd(self, fs, inotify):
+        fs.mkdir("/d")
+        assert inotify.add_watch("/d") == inotify.add_watch("/d")
+
+    def test_watch_missing_path_rejected(self, inotify):
+        with pytest.raises(FileNotFound):
+            inotify.add_watch("/nope")
+
+    def test_watch_file_rejected(self, fs, inotify):
+        fs.create("/f")
+        with pytest.raises(NotADirectory):
+            inotify.add_watch("/f")
+
+    def test_rm_watch(self, fs, inotify):
+        fs.mkdir("/d")
+        wd = inotify.add_watch("/d")
+        inotify.rm_watch(wd)
+        with pytest.raises(UnknownWatch):
+            inotify.path_for(wd)
+
+    def test_rm_unknown_watch_rejected(self, inotify):
+        with pytest.raises(UnknownWatch):
+            inotify.rm_watch(99)
+
+    def test_watch_limit_enforced(self, fs):
+        inotify = InotifyInstance(fs, max_user_watches=2)
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        fs.mkdir("/c")
+        inotify.add_watch("/a")
+        inotify.add_watch("/b")
+        with pytest.raises(WatchLimitExceeded):
+            inotify.add_watch("/c")
+
+    def test_kernel_memory_accounting(self, fs, inotify):
+        for name in ("a", "b", "c"):
+            fs.mkdir("/" + name)
+            inotify.add_watch("/" + name)
+        assert inotify.kernel_memory_bytes == 3 * WATCH_MEMORY_BYTES
+
+    def test_paper_memory_arithmetic(self):
+        # "over 512MB of memory is required to concurrently monitor the
+        # default maximum (524,288) directories"
+        assert 524_288 * WATCH_MEMORY_BYTES == 512 * 1024 * 1024
+
+
+class TestEventDelivery:
+    def test_create_event(self, fs, inotify):
+        fs.mkdir("/d")
+        wd = inotify.add_watch("/d")
+        fs.create("/d/f.txt")
+        events = inotify.read_events()
+        assert len(events) == 1
+        event = events[0]
+        assert event.wd == wd
+        assert event.mask & IN_CREATE
+        assert event.name == "f.txt"
+        assert not event.is_dir
+
+    def test_mkdir_event_has_isdir(self, fs, inotify):
+        fs.mkdir("/d")
+        inotify.add_watch("/d")
+        fs.mkdir("/d/sub")
+        (event,) = inotify.read_events()
+        assert event.mask & IN_CREATE
+        assert event.is_dir
+
+    def test_write_emits_modify_and_close_write(self, fs, inotify):
+        fs.mkdir("/d")
+        fs.create("/d/f")
+        inotify.add_watch("/d")
+        fs.write("/d/f", b"x")
+        masks = [event.mask for event in inotify.read_events()]
+        assert any(m & IN_MODIFY for m in masks)
+        assert any(m & IN_CLOSE_WRITE for m in masks)
+
+    def test_setattr_emits_attrib(self, fs, inotify):
+        fs.mkdir("/d")
+        fs.create("/d/f")
+        inotify.add_watch("/d")
+        fs.setattr("/d/f", mode=0o600)
+        (event,) = inotify.read_events()
+        assert event.mask & IN_ATTRIB
+
+    def test_delete_event(self, fs, inotify):
+        fs.mkdir("/d")
+        fs.create("/d/f")
+        inotify.add_watch("/d")
+        fs.unlink("/d/f")
+        (event,) = inotify.read_events()
+        assert event.mask & IN_DELETE
+
+    def test_rename_within_watched_dir_pairs_cookie(self, fs, inotify):
+        fs.mkdir("/d")
+        fs.create("/d/a")
+        inotify.add_watch("/d")
+        fs.rename("/d/a", "/d/b")
+        moved_from, moved_to = inotify.read_events()
+        assert moved_from.mask & IN_MOVED_FROM
+        assert moved_to.mask & IN_MOVED_TO
+        assert moved_from.cookie == moved_to.cookie != 0
+        assert moved_from.name == "a"
+        assert moved_to.name == "b"
+
+    def test_rename_across_dirs_delivers_to_both_watches(self, fs, inotify):
+        fs.mkdir("/src")
+        fs.mkdir("/dst")
+        fs.create("/src/f")
+        wd_src = inotify.add_watch("/src")
+        wd_dst = inotify.add_watch("/dst")
+        fs.rename("/src/f", "/dst/f")
+        events = inotify.read_events()
+        assert {event.wd for event in events} == {wd_src, wd_dst}
+
+    def test_events_only_for_watched_directory(self, fs, inotify):
+        fs.mkdir("/watched")
+        fs.mkdir("/other")
+        inotify.add_watch("/watched")
+        fs.create("/other/f")
+        assert inotify.read_events() == []
+
+    def test_watch_is_not_recursive(self, fs, inotify):
+        fs.makedirs("/d/sub")
+        inotify.add_watch("/d")
+        fs.create("/d/sub/f")
+        assert inotify.read_events() == []
+
+    def test_mask_filters_event_kinds(self, fs, inotify):
+        fs.mkdir("/d")
+        inotify.add_watch("/d", mask=IN_DELETE)
+        fs.create("/d/f")
+        assert inotify.read_events() == []
+        fs.unlink("/d/f")
+        assert len(inotify.read_events()) == 1
+
+    def test_read_events_with_limit(self, fs, inotify):
+        fs.mkdir("/d")
+        inotify.add_watch("/d")
+        for index in range(5):
+            fs.create(f"/d/f{index}")
+        first = inotify.read_events(max_events=2)
+        rest = inotify.read_events()
+        assert len(first) == 2
+        assert len(rest) == 3
+
+
+class TestOverflow:
+    def test_queue_overflow_drops_and_flags(self, fs):
+        inotify = InotifyInstance(fs, max_queued_events=3)
+        fs.mkdir("/d")
+        inotify.add_watch("/d")
+        for index in range(10):
+            fs.create(f"/d/f{index}")
+        events = inotify.read_events()
+        assert len(events) == 4  # 3 real + 1 overflow marker
+        assert events[-1].is_overflow
+        assert inotify.dropped_events == 7
+
+    def test_overflow_marker_emitted_once(self, fs):
+        inotify = InotifyInstance(fs, max_queued_events=1)
+        fs.mkdir("/d")
+        inotify.add_watch("/d")
+        for index in range(5):
+            fs.create(f"/d/f{index}")
+        events = inotify.read_events()
+        assert sum(1 for event in events if event.is_overflow) == 1
+
+    def test_queue_recovers_after_drain(self, fs):
+        inotify = InotifyInstance(fs, max_queued_events=2)
+        fs.mkdir("/d")
+        inotify.add_watch("/d")
+        fs.create("/d/a")
+        fs.create("/d/b")
+        fs.create("/d/c")  # dropped
+        inotify.read_events()
+        fs.create("/d/e")
+        events = inotify.read_events()
+        assert len(events) == 1
+        assert events[0].name == "e"
+
+
+class TestClose:
+    def test_closed_instance_stops_observing(self, fs, inotify):
+        fs.mkdir("/d")
+        inotify.add_watch("/d")
+        inotify.close()
+        fs.create("/d/f")
+        assert inotify.read_events() == []
+        assert inotify.watch_count == 0
+
+
+class TestMaskNames:
+    def test_names_for_combined_mask(self):
+        names = mask_names(IN_CREATE | IN_ISDIR)
+        assert "IN_CREATE" in names
+        assert "IN_ISDIR" in names

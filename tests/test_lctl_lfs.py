@@ -1,0 +1,110 @@
+"""Tests for the lctl/lfs operator facades."""
+
+import pytest
+
+from repro.errors import LustreError
+from repro.lustre import DnePolicy, LctlAdmin, LfsClient, LustreFilesystem
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def fs():
+    return LustreFilesystem(
+        clock=ManualClock(), num_mds=2, dne_policy=DnePolicy.ROUND_ROBIN,
+        num_oss=1, osts_per_oss=2,
+    )
+
+
+@pytest.fixture
+def lctl(fs):
+    return LctlAdmin(fs)
+
+
+@pytest.fixture
+def lfs(fs):
+    return LfsClient(fs)
+
+
+class TestLctl:
+    def test_dl_lists_devices(self, lctl):
+        lines = lctl.dl()
+        assert "lustre-MDT0000 mdt mds0 UP" in lines
+        assert "lustre-MDT0001 mdt mds1 UP" in lines
+        assert any("OST0000" in line for line in lines)
+
+    def test_changelog_register_read_clear(self, fs, lctl):
+        user = lctl.changelog_register("lustre-MDT0000")
+        assert user.startswith("cl")
+        fs.create("/f")  # root -> MDT0
+        lines = lctl.changelog("MDT0000", user)
+        assert len(lines) == 1 and "01CREAT" in lines[0]
+        index = int(lines[0].split()[0])
+        lctl.changelog_clear("MDT0000", user, index)
+        assert lctl.changelog("MDT0000", user) == []
+
+    def test_changelog_register_accepts_bare_index(self, lctl):
+        user = lctl.changelog_register("1")
+        lctl.changelog_deregister("1", user)
+
+    def test_set_param_mask_glob(self, fs, lctl):
+        updated = lctl.set_param("mdd.*.changelog_mask", "CREAT UNLNK")
+        assert updated == 2
+        user = lctl.changelog_register("MDT0000")
+        fs.create("/f")
+        fs.write("/f", 10)  # CLOSE suppressed
+        lines = lctl.changelog("MDT0000", user)
+        assert len(lines) == 1
+
+    def test_set_param_single_target(self, lctl):
+        assert lctl.set_param("mdd.lustre-MDT0001.changelog_mask", "MKDIR") == 1
+        params = lctl.get_param("mdd.*.changelog_mask")
+        assert "MKDIR" in params["mdd.lustre-MDT0001.changelog_mask"]
+        # MDT0000 untouched: still logs everything.
+        assert "CREAT" in params["mdd.lustre-MDT0000.changelog_mask"]
+
+    def test_set_param_unknown_type_rejected(self, lctl):
+        with pytest.raises(LustreError):
+            lctl.set_param("mdd.*.changelog_mask", "EXPLODE")
+
+    def test_set_param_unknown_parameter_rejected(self, lctl):
+        with pytest.raises(LustreError):
+            lctl.set_param("osc.*.max_dirty_mb", "64")
+
+    def test_set_param_no_match_rejected(self, lctl):
+        with pytest.raises(LustreError):
+            lctl.set_param("mdd.lustre-MDT0099.changelog_mask", "CREAT")
+
+
+class TestLfs:
+    def test_df_reports_usage(self, fs, lfs):
+        fs.create("/big", size=1000)
+        lines = lfs.df()
+        assert any("OST" in line for line in lines)
+        summary = lines[-1]
+        assert "used=1000" in summary
+
+    def test_getstripe_file(self, fs, lfs):
+        fs.mkdir("/wide")
+        fs.set_stripe("/wide", 2)
+        fs.create("/wide/f", size=10)
+        info = lfs.getstripe("/wide/f")
+        assert info["stripe_count"] == 2
+        assert not info["default"]
+        assert len(info["objects"]) == 2
+
+    def test_getstripe_directory_default(self, fs, lfs):
+        fs.mkdir("/d")
+        lfs.setstripe("/d", 2)
+        info = lfs.getstripe("/d")
+        assert info == {"path": "/d", "stripe_count": 2, "default": True}
+
+    def test_path2fid_fid2path_roundtrip(self, fs, lfs):
+        fs.makedirs("/a/b")
+        fs.create("/a/b/f")
+        fid_text = lfs.path2fid("/a/b/f")
+        assert fid_text.startswith("[0x")
+        assert lfs.fid2path(fid_text) == "/a/b/f"
+
+    def test_fid2path_accepts_fid_object(self, fs, lfs):
+        fs.create("/x")
+        assert lfs.fid2path(fs.fid_of("/x")) == "/x"

@@ -1,0 +1,132 @@
+"""Tests for the logging utilities and component log output."""
+
+import io
+import logging
+
+import pytest
+
+from repro.util.logging import CaptureHandler, configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_namespacing(self):
+        assert get_logger("core.collector").name == "repro.core.collector"
+
+    def test_already_namespaced_untouched(self):
+        assert get_logger("repro.x").name == "repro.x"
+        assert get_logger("repro").name == "repro"
+
+    def test_quiet_by_default(self):
+        # The library root has a NullHandler, so logging at import time
+        # never warns about missing handlers.
+        root = logging.getLogger("repro")
+        assert any(
+            isinstance(handler, logging.NullHandler)
+            for handler in root.handlers
+        )
+
+
+class TestConfigureLogging:
+    def test_writes_to_stream(self):
+        stream = io.StringIO()
+        handler = configure_logging(level=logging.INFO, stream=stream)
+        try:
+            get_logger("test").info("hello %s", "world")
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+        assert "hello world" in stream.getvalue()
+        assert "repro.test" in stream.getvalue()
+
+    def test_reconfigure_replaces_handler(self):
+        first = configure_logging(stream=io.StringIO())
+        second = configure_logging(stream=io.StringIO())
+        root = logging.getLogger("repro")
+        try:
+            console_handlers = [
+                h for h in root.handlers if getattr(h, "_repro_console", False)
+            ]
+            assert console_handlers == [second]
+        finally:
+            root.removeHandler(second)
+
+
+class TestCaptureHandler:
+    def test_captures_and_filters(self):
+        capture = CaptureHandler().attach()
+        try:
+            get_logger("test").warning("warn-msg")
+            get_logger("test").info("info-msg")
+        finally:
+            capture.detach()
+        assert "warn-msg" in capture.messages(logging.WARNING)
+        assert "info-msg" not in capture.messages(logging.WARNING)
+        assert len(capture.messages()) == 2
+
+
+class TestComponentLogging:
+    def test_collector_logs_report_failures(self):
+        from repro.core.collector import Collector, CollectorConfig
+        from repro.lustre import LustreFilesystem
+        from repro.util.clock import ManualClock
+
+        class FailingSink:
+            def send(self, payload):
+                raise ConnectionError("down")
+
+        capture = CaptureHandler().attach()
+        try:
+            fs = LustreFilesystem(clock=ManualClock())
+            collector = Collector(
+                "mds0", fs, fs.cluster.servers[0], FailingSink(),
+                CollectorConfig(),
+            )
+            fs.create("/f")
+            collector.poll_once()
+        finally:
+            capture.detach()
+        warnings = capture.messages(logging.WARNING)
+        assert any("report of 1 events failed" in msg for msg in warnings)
+
+    def test_service_logs_permanent_action_failure(self):
+        from repro.ripple import Action, RippleAgent, RippleService, Trigger
+        from repro.ripple.service import ServiceConfig
+
+        capture = CaptureHandler().attach()
+        try:
+            service = RippleService(ServiceConfig(max_action_attempts=1))
+            agent = RippleAgent("dev")
+            service.register_agent(agent)
+            agent.attach_local_filesystem()
+            agent.fs.makedirs("/in")
+            agent.register_callable(
+                "boom",
+                lambda agent, event, parameters: (_ for _ in ()).throw(
+                    RuntimeError("no")
+                ),
+            )
+            service.add_rule(
+                Trigger(agent_id="dev", path_prefix="/in"),
+                Action("callable", "dev", {"function": "boom"}),
+            )
+            agent.fs.create("/in/f", b"")
+            service.run_until_quiet()
+        finally:
+            capture.detach()
+        warnings = capture.messages(logging.WARNING)
+        assert any("failed permanently" in msg for msg in warnings)
+
+    def test_cleanup_logs_redrives(self):
+        from repro.cloudq import CleanupFunction, ReliableQueue
+        from repro.util.clock import ManualClock
+
+        capture = CaptureHandler().attach()
+        try:
+            clock = ManualClock()
+            queue = ReliableQueue("q", visibility_timeout=30, clock=clock)
+            queue.send("x")
+            queue.receive()
+            clock.advance(10)
+            CleanupFunction(queue, stall_threshold=5).sweep_once()
+        finally:
+            capture.detach()
+        assert any("re-drove 1" in msg for msg in capture.messages())

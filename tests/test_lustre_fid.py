@@ -1,0 +1,105 @@
+"""Tests for FIDs and sequence allocation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LustreError
+from repro.lustre.fid import (
+    FID_SEQ_NORMAL,
+    Fid,
+    FidSequenceAllocator,
+    ROOT_FID,
+    SEQUENCE_RANGE_PER_MDT,
+    mdt_index_of,
+)
+
+
+class TestFidFormat:
+    def test_str_matches_lustre_style(self):
+        fid = Fid(0x200000402, 0xA046, 0)
+        assert str(fid) == "[0x200000402:0xa046:0x0]"
+
+    def test_parse_with_brackets(self):
+        fid = Fid.parse("[0x200000402:0xa046:0x0]")
+        assert fid == Fid(0x200000402, 0xA046, 0)
+
+    def test_parse_without_brackets(self):
+        assert Fid.parse("0x10:0x2:0x0") == Fid(0x10, 2, 0)
+
+    def test_parse_decimal_fields(self):
+        assert Fid.parse("[16:2:0]") == Fid(16, 2, 0)
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(LustreError):
+            Fid.parse("not-a-fid")
+
+    def test_parse_short_tuple_rejected(self):
+        with pytest.raises(LustreError):
+            Fid.parse("[0x1:0x2]")
+
+    @given(st.integers(0, 2**63), st.integers(0, 2**31), st.integers(0, 2**31))
+    def test_str_parse_roundtrip(self, seq, oid, ver):
+        fid = Fid(seq, oid, ver)
+        assert Fid.parse(str(fid)) == fid
+
+    def test_short_form(self):
+        assert Fid(0x10, 0x2, 0).short() == "0x10:0x2:0x0"
+
+    def test_fids_are_hashable_and_ordered(self):
+        a, b = Fid(1, 1), Fid(1, 2)
+        assert a < b
+        assert len({a, b, Fid(1, 1)}) == 2
+
+    def test_root_fid_flag(self):
+        assert ROOT_FID.is_root
+        assert not Fid(FID_SEQ_NORMAL, 1).is_root
+
+
+class TestAllocator:
+    def test_allocates_from_mdt_range(self):
+        allocator = FidSequenceAllocator(0)
+        fid = allocator.next_fid()
+        assert fid.seq == FID_SEQ_NORMAL
+        assert fid.oid == 1
+
+    def test_sequential_oids(self):
+        allocator = FidSequenceAllocator(0)
+        oids = [allocator.next_fid().oid for _ in range(5)]
+        assert oids == [1, 2, 3, 4, 5]
+
+    def test_different_mdts_get_disjoint_sequences(self):
+        fid0 = FidSequenceAllocator(0).next_fid()
+        fid1 = FidSequenceAllocator(1).next_fid()
+        assert fid0.seq != fid1.seq
+        assert fid1.seq == FID_SEQ_NORMAL + SEQUENCE_RANGE_PER_MDT
+
+    def test_owns_respects_range(self):
+        alloc0 = FidSequenceAllocator(0)
+        alloc1 = FidSequenceAllocator(1)
+        fid0 = alloc0.next_fid()
+        assert alloc0.owns(fid0)
+        assert not alloc1.owns(fid0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(LustreError):
+            FidSequenceAllocator(-1)
+
+    def test_allocated_counter(self):
+        allocator = FidSequenceAllocator(2)
+        for _ in range(7):
+            allocator.next_fid()
+        assert allocator.allocated == 7
+
+
+class TestMdtIndexOf:
+    def test_root_lives_on_mdt0(self):
+        assert mdt_index_of(ROOT_FID) == 0
+
+    def test_normal_fid_maps_to_its_mdt(self):
+        for mdt in range(4):
+            fid = FidSequenceAllocator(mdt).next_fid()
+            assert mdt_index_of(fid) == mdt
+
+    def test_reserved_sequence_rejected(self):
+        with pytest.raises(LustreError):
+            mdt_index_of(Fid(0x5, 1))

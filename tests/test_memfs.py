@@ -1,0 +1,348 @@
+"""Tests for the in-memory POSIX filesystem."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    InvalidPath,
+    IsADirectory,
+    NotADirectory,
+)
+from repro.fs.memfs import MemoryFilesystem, MutationKind
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def fs():
+    return MemoryFilesystem(clock=ManualClock())
+
+
+class TestCreateAndRead:
+    def test_create_then_read(self, fs):
+        fs.create("/a.txt", b"hello")
+        assert fs.read("/a.txt") == b"hello"
+
+    def test_create_existing_rejected(self, fs):
+        fs.create("/a.txt")
+        with pytest.raises(FileExists):
+            fs.create("/a.txt")
+
+    def test_create_in_missing_directory_rejected(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.create("/no/such/file.txt")
+
+    def test_create_under_file_rejected(self, fs):
+        fs.create("/a.txt")
+        with pytest.raises(NotADirectory):
+            fs.create("/a.txt/b.txt")
+
+    def test_non_bytes_data_rejected(self, fs):
+        with pytest.raises(TypeError):
+            fs.create("/a.txt", "string")  # type: ignore[arg-type]
+
+    def test_read_directory_rejected(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            fs.read("/d")
+
+    def test_read_missing_rejected(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.read("/missing")
+
+
+class TestDirectories:
+    def test_mkdir_and_listdir(self, fs):
+        fs.mkdir("/d")
+        fs.create("/d/x")
+        fs.create("/d/a")
+        assert fs.listdir("/d") == ["a", "x"]
+
+    def test_mkdir_existing_rejected(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(FileExists):
+            fs.mkdir("/d")
+
+    def test_mkdir_on_root_rejected(self, fs):
+        with pytest.raises(InvalidPath):
+            fs.mkdir("/")
+
+    def test_makedirs_creates_chain(self, fs):
+        fs.makedirs("/a/b/c")
+        assert fs.is_dir("/a/b/c")
+
+    def test_makedirs_idempotent(self, fs):
+        fs.makedirs("/a/b")
+        fs.makedirs("/a/b", exist_ok=True)
+        assert fs.is_dir("/a/b")
+
+    def test_rmdir_empty(self, fs):
+        fs.mkdir("/d")
+        fs.rmdir("/d")
+        assert not fs.exists("/d")
+
+    def test_rmdir_nonempty_rejected(self, fs):
+        fs.makedirs("/d/sub")
+        with pytest.raises(DirectoryNotEmpty):
+            fs.rmdir("/d")
+
+    def test_rmdir_on_file_rejected(self, fs):
+        fs.create("/f")
+        with pytest.raises(NotADirectory):
+            fs.rmdir("/f")
+
+    def test_listdir_on_file_rejected(self, fs):
+        fs.create("/f")
+        with pytest.raises(NotADirectory):
+            fs.listdir("/f")
+
+    def test_rmtree_removes_subtree(self, fs):
+        fs.makedirs("/d/a/b")
+        fs.create("/d/a/f1")
+        fs.create("/d/a/b/f2")
+        fs.rmtree("/d")
+        assert not fs.exists("/d")
+
+    def test_nlink_counts_subdirectories(self, fs):
+        fs.mkdir("/d")
+        assert fs.stat("/d").nlink == 2
+        fs.mkdir("/d/sub")
+        assert fs.stat("/d").nlink == 3
+        fs.rmdir("/d/sub")
+        assert fs.stat("/d").nlink == 2
+
+
+class TestWriteTruncate:
+    def test_write_replaces_content(self, fs):
+        fs.create("/f", b"old")
+        fs.write("/f", b"new")
+        assert fs.read("/f") == b"new"
+
+    def test_write_creates_when_missing(self, fs):
+        fs.write("/f", b"data")
+        assert fs.read("/f") == b"data"
+
+    def test_write_no_create_rejected_when_missing(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.write("/f", b"data", create=False)
+
+    def test_append(self, fs):
+        fs.create("/f", b"ab")
+        fs.append("/f", b"cd")
+        assert fs.read("/f") == b"abcd"
+
+    def test_truncate_shrinks(self, fs):
+        fs.create("/f", b"abcdef")
+        fs.truncate("/f", 3)
+        assert fs.read("/f") == b"abc"
+
+    def test_truncate_extends_with_zeros(self, fs):
+        fs.create("/f", b"ab")
+        fs.truncate("/f", 4)
+        assert fs.read("/f") == b"ab\x00\x00"
+
+    def test_truncate_negative_rejected(self, fs):
+        fs.create("/f")
+        with pytest.raises(ValueError):
+            fs.truncate("/f", -1)
+
+    def test_write_updates_mtime(self):
+        clock = ManualClock()
+        fs = MemoryFilesystem(clock=clock)
+        fs.create("/f")
+        clock.advance(10)
+        fs.write("/f", b"x")
+        assert fs.stat("/f").mtime == 10
+
+
+class TestUnlink:
+    def test_unlink_removes(self, fs):
+        fs.create("/f")
+        fs.unlink("/f")
+        assert not fs.exists("/f")
+
+    def test_unlink_directory_rejected(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            fs.unlink("/d")
+
+    def test_unlink_missing_rejected(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.unlink("/f")
+
+
+class TestRename:
+    def test_rename_file(self, fs):
+        fs.create("/a", b"data")
+        fs.rename("/a", "/b")
+        assert not fs.exists("/a")
+        assert fs.read("/b") == b"data"
+
+    def test_rename_into_directory(self, fs):
+        fs.create("/a")
+        fs.mkdir("/d")
+        fs.rename("/a", "/d/a")
+        assert fs.exists("/d/a")
+
+    def test_rename_replaces_existing_file(self, fs):
+        fs.create("/a", b"new")
+        fs.create("/b", b"old")
+        fs.rename("/a", "/b")
+        assert fs.read("/b") == b"new"
+
+    def test_rename_directory(self, fs):
+        fs.makedirs("/d/sub")
+        fs.create("/d/sub/f")
+        fs.rename("/d", "/e")
+        assert fs.exists("/e/sub/f")
+
+    def test_rename_dir_onto_nonempty_dir_rejected(self, fs):
+        fs.mkdir("/a")
+        fs.makedirs("/b/c")
+        with pytest.raises(DirectoryNotEmpty):
+            fs.rename("/a", "/b")
+
+    def test_rename_dir_onto_empty_dir_allowed(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        fs.rename("/a", "/b")
+        assert fs.is_dir("/b")
+        assert not fs.exists("/a")
+
+    def test_rename_file_onto_dir_rejected(self, fs):
+        fs.create("/f")
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            fs.rename("/f", "/d")
+
+    def test_rename_dir_into_itself_rejected(self, fs):
+        fs.makedirs("/d/sub")
+        with pytest.raises(InvalidPath):
+            fs.rename("/d", "/d/sub/d")
+
+    def test_rename_missing_source_rejected(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.rename("/nope", "/b")
+
+
+class TestWalkAndCounts:
+    def test_walk_yields_expected_structure(self, fs):
+        fs.makedirs("/a/b")
+        fs.create("/a/f1")
+        fs.create("/a/b/f2")
+        walked = list(fs.walk("/a"))
+        assert walked[0] == ("/a", ["b"], ["f1"])
+        assert walked[1] == ("/a/b", [], ["f2"])
+
+    def test_count_entries(self, fs):
+        fs.makedirs("/a/b")
+        fs.create("/a/f1")
+        fs.create("/a/b/f2")
+        n_dirs, n_files = fs.count_entries("/a")
+        assert (n_dirs, n_files) == (2, 2)
+
+
+class TestHooks:
+    def test_hooks_observe_all_mutations(self, fs):
+        seen = []
+        fs.add_hook(lambda record: seen.append(record.kind))
+        fs.mkdir("/d")
+        fs.create("/d/f")
+        fs.write("/d/f", b"x")
+        fs.setattr("/d/f", mode=0o600)
+        fs.rename("/d/f", "/d/g")
+        fs.unlink("/d/g")
+        fs.rmdir("/d")
+        assert seen == [
+            MutationKind.MKDIR,
+            MutationKind.CREATE,
+            MutationKind.WRITE,
+            MutationKind.SETATTR,
+            MutationKind.RENAME,
+            MutationKind.UNLINK,
+            MutationKind.RMDIR,
+        ]
+
+    def test_rename_record_has_old_path(self, fs):
+        records = []
+        fs.add_hook(records.append)
+        fs.create("/a")
+        fs.rename("/a", "/b")
+        rename = records[-1]
+        assert rename.old_path == "/a"
+        assert rename.path == "/b"
+
+    def test_removed_hook_not_called(self, fs):
+        seen = []
+        hook = lambda record: seen.append(record)  # noqa: E731
+        fs.add_hook(hook)
+        fs.remove_hook(hook)
+        fs.create("/f")
+        assert seen == []
+
+    def test_mutation_counts(self, fs):
+        fs.create("/a")
+        fs.create("/b")
+        fs.unlink("/a")
+        assert fs.mutation_counts[MutationKind.CREATE] == 2
+        assert fs.mutation_counts[MutationKind.UNLINK] == 1
+
+
+# ---------------------------------------------------------------------------
+# Property-based: the filesystem agrees with a flat dict model
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "d"])
+_ops = st.lists(
+    st.tuples(st.sampled_from(["create", "write", "unlink", "mkdir"]), _names),
+    max_size=30,
+)
+
+
+class TestAgainstModel:
+    @settings(max_examples=60, deadline=None)
+    @given(_ops)
+    def test_flat_namespace_matches_dict_model(self, operations):
+        fs = MemoryFilesystem(clock=ManualClock())
+        model: dict[str, bytes | None] = {}  # None marks a directory
+        for op, name in operations:
+            path = "/" + name
+            if op == "create":
+                if name in model:
+                    with pytest.raises(FileExists):
+                        fs.create(path)
+                else:
+                    fs.create(path, b"v")
+                    model[name] = b"v"
+            elif op == "write":
+                if model.get(name) is None and name in model:
+                    with pytest.raises(IsADirectory):
+                        fs.write(path, b"w")
+                else:
+                    fs.write(path, b"w")
+                    model[name] = b"w"
+            elif op == "unlink":
+                if name not in model:
+                    with pytest.raises(FileNotFound):
+                        fs.unlink(path)
+                elif model[name] is None:
+                    with pytest.raises(IsADirectory):
+                        fs.unlink(path)
+                else:
+                    fs.unlink(path)
+                    del model[name]
+            elif op == "mkdir":
+                if name in model:
+                    with pytest.raises(FileExists):
+                        fs.mkdir(path)
+                else:
+                    fs.mkdir(path)
+                    model[name] = None
+        assert fs.listdir("/") == sorted(model)
+        for name, content in model.items():
+            if content is None:
+                assert fs.is_dir("/" + name)
+            else:
+                assert fs.read("/" + name) == content

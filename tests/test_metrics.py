@@ -1,0 +1,185 @@
+"""Tests for metrics: rate meters, stage timers, histograms, resources."""
+
+import pytest
+
+from repro.metrics import (
+    LatencyHistogram,
+    RateMeter,
+    ResourceUsageModel,
+    StageTimer,
+)
+from repro.metrics.resources import ComponentCostModel
+from repro.util.clock import ManualClock
+
+
+class TestRateMeter:
+    def test_rate_over_manual_clock(self):
+        clock = ManualClock()
+        meter = RateMeter(clock=clock)
+        clock.advance(2.0)
+        meter.mark(10)
+        assert meter.rate == pytest.approx(5.0)
+
+    def test_rate_over_explicit_window(self):
+        meter = RateMeter(clock=ManualClock())
+        meter.mark(100)
+        assert meter.rate_over(4.0) == pytest.approx(25.0)
+
+    def test_zero_elapsed_rate_is_zero(self):
+        meter = RateMeter(clock=ManualClock())
+        meter.mark()
+        assert meter.rate == 0.0
+
+    def test_reset(self):
+        clock = ManualClock()
+        meter = RateMeter(clock=clock)
+        meter.mark(5)
+        clock.advance(1)
+        meter.reset()
+        assert meter.count == 0
+        assert meter.elapsed == 0.0
+
+
+class TestStageTimer:
+    def test_accumulates_per_stage(self):
+        timer = StageTimer()
+        with timer.stage("process"):
+            pass
+        with timer.stage("process"):
+            pass
+        with timer.stage("report"):
+            pass
+        assert timer.counts["process"] == 2
+        assert timer.counts["report"] == 1
+        assert timer.totals["process"] >= 0
+
+    def test_breakdown_sums_to_one(self):
+        timer = StageTimer()
+        timer.totals = {"a": 3.0, "b": 1.0}
+        breakdown = timer.breakdown()
+        assert breakdown["a"] == pytest.approx(0.75)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_dominant_stage(self):
+        timer = StageTimer()
+        timer.totals = {"extract": 0.1, "process": 0.8, "report": 0.1}
+        assert timer.dominant_stage() == "process"
+
+    def test_dominant_stage_empty(self):
+        assert StageTimer().dominant_stage() is None
+
+    def test_mean(self):
+        timer = StageTimer()
+        timer.totals = {"x": 4.0}
+        timer.counts = {"x": 8}
+        assert timer.mean("x") == pytest.approx(0.5)
+        assert timer.mean("missing") == 0.0
+
+
+class TestLatencyHistogram:
+    def test_mean_and_extremes(self):
+        histogram = LatencyHistogram()
+        for value in (0.001, 0.002, 0.003):
+            histogram.record(value)
+        assert histogram.mean == pytest.approx(0.002)
+        assert histogram.max_seen == 0.003
+        assert histogram.min_seen == 0.001
+        assert histogram.total == 3
+
+    def test_percentile_monotone(self):
+        histogram = LatencyHistogram()
+        for index in range(1, 101):
+            histogram.record(index / 1000.0)
+        p50 = histogram.percentile(0.5)
+        p99 = histogram.percentile(0.99)
+        assert p50 <= p99
+
+    def test_percentile_bounds_contain_values(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.01)
+        assert histogram.percentile(1.0) >= 0.01
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-1)
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(0)
+
+    def test_bucket_bounds_double(self):
+        histogram = LatencyHistogram(min_latency=1e-6)
+        low, high = histogram.bucket_bounds(2)
+        assert high == pytest.approx(low * 2)
+
+    def test_overflow_bucket_catches_huge_values(self):
+        histogram = LatencyHistogram(min_latency=1e-6, buckets=5)
+        histogram.record(1e6)
+        assert sum(histogram.counts()) == 1
+
+
+class TestResourceUsageModel:
+    def _model(self):
+        return ResourceUsageModel(
+            {
+                "collector": ComponentCostModel(
+                    cpu_seconds_per_event=1e-4,
+                    base_memory_mb=10.0,
+                    memory_bytes_per_event=1024.0,
+                ),
+                "consumer": ComponentCostModel(
+                    cpu_seconds_per_event=1e-6,
+                    base_memory_mb=5.0,
+                    memory_bytes_per_event=0.0,
+                ),
+            }
+        )
+
+    def test_cpu_percent_from_events(self):
+        model = self._model()
+        model.account("collector", 1000)  # 0.1 CPU-seconds
+        assert model.sample_window("collector", 1.0) == pytest.approx(10.0)
+
+    def test_peak_tracks_max_window(self):
+        model = self._model()
+        model.account("collector", 100)
+        model.sample_window("collector", 1.0)  # 1%
+        model.account("collector", 1000)
+        model.sample_window("collector", 1.0)  # 10%
+        model.account("collector", 10)
+        model.sample_window("collector", 1.0)  # 0.1%
+        assert model.peak_sample("collector").cpu_percent == pytest.approx(10.0)
+
+    def test_memory_grows_with_events(self):
+        model = self._model()
+        model.account("collector", 1024)
+        assert model.memory_mb("collector") == pytest.approx(11.0)
+
+    def test_memory_capped_by_retention(self):
+        model = ResourceUsageModel(
+            {
+                "agg": ComponentCostModel(
+                    cpu_seconds_per_event=0,
+                    base_memory_mb=1.0,
+                    memory_bytes_per_event=1024.0,
+                    retained_event_cap=1024,
+                )
+            }
+        )
+        model.account("agg", 10_000)
+        assert model.memory_mb("agg") == pytest.approx(2.0)
+
+    def test_zero_cost_component(self):
+        model = self._model()
+        model.account("consumer", 100)
+        assert model.memory_mb("consumer") == pytest.approx(5.0)
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(KeyError):
+            self._model().account("ghost", 1)
+
+    def test_avg_cpu(self):
+        model = self._model()
+        model.account("collector", 2000)
+        assert model.cpu_percent_avg("collector", 10.0) == pytest.approx(2.0)
+        assert model.events_handled("collector") == 2000

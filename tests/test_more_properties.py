@@ -1,0 +1,139 @@
+"""Additional property-based tests on fabric, DES and utilities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WouldBlock
+from repro.msgq import Context
+from repro.sim import Environment, Store
+from repro.util.clock import ManualClock
+from repro.util.tokens import TokenBucket
+
+
+class TestPubSubProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        messages=st.lists(
+            st.tuples(st.sampled_from(["a.", "b.", "c."]), st.integers()),
+            max_size=40,
+        ),
+        prefix=st.sampled_from(["a.", "b.", ""]),
+    )
+    def test_subscriber_sees_exactly_its_prefix_in_order(self, messages, prefix):
+        context = Context()
+        publisher = context.pub().bind("inproc://p")
+        subscriber = context.sub().connect("inproc://p").subscribe(prefix)
+        for topic, payload in messages:
+            publisher.send(topic, payload)
+        received = []
+        while True:
+            try:
+                received.append(subscriber.recv(block=False))
+            except WouldBlock:
+                break
+        expected = [
+            (topic, payload)
+            for topic, payload in messages
+            if topic.startswith(prefix)
+        ]
+        assert received == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(n_messages=st.integers(0, 50), hwm=st.integers(1, 20))
+    def test_drops_plus_pending_account_for_everything(self, n_messages, hwm):
+        context = Context()
+        publisher = context.pub().bind("inproc://p")
+        subscriber = context.sub(hwm=hwm).connect("inproc://p").subscribe("")
+        for index in range(n_messages):
+            publisher.send("t", index)
+        assert subscriber.pending + subscriber.dropped == n_messages
+        # What survived is the prefix of the stream, in order.
+        survived = []
+        while True:
+            try:
+                survived.append(subscriber.recv(block=False)[1])
+            except WouldBlock:
+                break
+        assert survived == list(range(len(survived)))
+
+
+class TestPushPullProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_messages=st.integers(0, 60),
+        n_sinks=st.integers(1, 4),
+    )
+    def test_round_robin_partitions_without_loss(self, n_messages, n_sinks):
+        context = Context()
+        pulls = [
+            context.pull().bind(f"inproc://s{i}") for i in range(n_sinks)
+        ]
+        push = context.push()
+        for index in range(n_sinks):
+            push.connect(f"inproc://s{index}")
+        for value in range(n_messages):
+            push.send(value)
+        received = []
+        for pull in pulls:
+            while True:
+                try:
+                    received.append(pull.recv(block=False))
+                except WouldBlock:
+                    break
+        assert sorted(received) == list(range(n_messages))
+        # Fair distribution: sink loads differ by at most one.
+        loads = [pull.received for pull in pulls]
+        assert max(loads) - min(loads) <= 1
+
+
+class TestDesStoreProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        puts=st.lists(st.integers(), max_size=30),
+        capacity=st.integers(1, 8),
+    )
+    def test_fifo_order_preserved_through_bounded_store(self, puts, capacity):
+        env = Environment()
+        store = Store(env, capacity=capacity)
+        got = []
+
+        def producer(env):
+            for item in puts:
+                yield store.put(item)
+
+        def consumer(env):
+            for _ in range(len(puts)):
+                item = yield store.get()
+                got.append(item)
+                yield env.timeout(1)  # slow consumer forces backpressure
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == puts
+
+
+class TestTokenBucketProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        takes=st.lists(
+            st.tuples(st.floats(0.01, 5.0), st.floats(0.0, 2.0)),
+            max_size=30,
+        ),
+        rate=st.floats(0.5, 20.0),
+        burst=st.floats(1.0, 10.0),
+    )
+    def test_consumption_never_exceeds_accrual(self, takes, rate, burst):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=rate, burst=burst, clock=clock)
+        consumed = 0.0
+        elapsed = 0.0
+        for amount, advance in takes:
+            clock.advance(advance)
+            elapsed += advance
+            if amount <= burst and bucket.take(amount):
+                consumed += amount
+        # Total consumption is bounded by initial burst + accrual.
+        assert consumed <= burst + rate * elapsed + 1e-6
+        # And tokens remaining are never negative or above burst.
+        assert 0.0 <= bucket.tokens <= burst + 1e-9

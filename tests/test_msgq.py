@@ -1,0 +1,247 @@
+"""Tests for the in-process message fabric."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    AddressInUse,
+    AddressNotFound,
+    MessagingError,
+    SocketClosed,
+    WouldBlock,
+)
+from repro.msgq import Context
+
+
+@pytest.fixture
+def ctx():
+    return Context()
+
+
+class TestPubSub:
+    def test_basic_publish_receive(self, ctx):
+        pub = ctx.pub().bind("inproc://events")
+        sub = ctx.sub().connect("inproc://events").subscribe("")
+        pub.send("topic", {"x": 1})
+        topic, payload = sub.recv(block=False)
+        assert topic == "topic"
+        assert payload == {"x": 1}
+
+    def test_topic_prefix_filtering(self, ctx):
+        pub = ctx.pub().bind("inproc://events")
+        sub = ctx.sub().connect("inproc://events").subscribe("alerts.")
+        pub.send("alerts.disk", "full")
+        pub.send("metrics.cpu", "90")
+        topic, payload = sub.recv(block=False)
+        assert topic == "alerts.disk"
+        with pytest.raises(WouldBlock):
+            sub.recv(block=False)
+
+    def test_unsubscribe(self, ctx):
+        pub = ctx.pub().bind("inproc://e")
+        sub = ctx.sub().connect("inproc://e").subscribe("a")
+        sub.unsubscribe("a")
+        pub.send("abc", 1)
+        with pytest.raises(WouldBlock):
+            sub.recv(block=False)
+
+    def test_fan_out_to_all_matching_subscribers(self, ctx):
+        pub = ctx.pub().bind("inproc://e")
+        subs = [ctx.sub().connect("inproc://e").subscribe("") for _ in range(3)]
+        matched = pub.send("t", "payload")
+        assert matched == 3
+        for sub in subs:
+            assert sub.recv(block=False)[1] == "payload"
+
+    def test_slow_joiner_misses_earlier_messages(self, ctx):
+        pub = ctx.pub().bind("inproc://e")
+        pub.send("t", "early")
+        sub = ctx.sub().connect("inproc://e").subscribe("")
+        with pytest.raises(WouldBlock):
+            sub.recv(block=False)
+
+    def test_full_subscriber_drops_and_counts(self, ctx):
+        pub = ctx.pub().bind("inproc://e")
+        sub = ctx.sub(hwm=2).connect("inproc://e").subscribe("")
+        for index in range(5):
+            pub.send("t", index)
+        assert sub.pending == 2
+        assert sub.dropped == 3
+
+    def test_publisher_never_blocks(self, ctx):
+        pub = ctx.pub().bind("inproc://e")
+        ctx.sub(hwm=1).connect("inproc://e").subscribe("")
+        for index in range(100):  # would deadlock if PUB blocked
+            pub.send("t", index)
+        assert pub.published == 100
+
+    def test_connect_to_wrong_socket_type_rejected(self, ctx):
+        ctx.pull().bind("inproc://pipe")
+        with pytest.raises(MessagingError):
+            ctx.sub().connect("inproc://pipe")
+
+    def test_blocking_recv_with_timeout(self, ctx):
+        ctx.pub().bind("inproc://e")
+        sub = ctx.sub().connect("inproc://e").subscribe("")
+        with pytest.raises(WouldBlock):
+            sub.recv(timeout=0.01)
+
+    def test_cross_thread_delivery(self, ctx):
+        pub = ctx.pub().bind("inproc://e")
+        sub = ctx.sub().connect("inproc://e").subscribe("")
+        got = []
+
+        def consumer():
+            got.append(sub.recv(timeout=2.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        pub.send("t", "hello")
+        thread.join(timeout=3)
+        assert got == [("t", "hello")]
+
+
+class TestPushPull:
+    def test_basic_pipeline(self, ctx):
+        pull = ctx.pull().bind("inproc://work")
+        push = ctx.push().connect("inproc://work")
+        push.send("job-1")
+        assert pull.recv(block=False) == "job-1"
+
+    def test_round_robin_across_sinks(self, ctx):
+        pull_a = ctx.pull().bind("inproc://a")
+        pull_b = ctx.pull().bind("inproc://b")
+        push = ctx.push().connect("inproc://a").connect("inproc://b")
+        for index in range(4):
+            push.send(index)
+        assert pull_a.pending == 2
+        assert pull_b.pending == 2
+
+    def test_fan_in_from_many_pushers(self, ctx):
+        pull = ctx.pull().bind("inproc://sink")
+        pushers = [ctx.push().connect("inproc://sink") for _ in range(3)]
+        for index, push in enumerate(pushers):
+            push.send(f"from-{index}")
+        received = {pull.recv(block=False) for _ in range(3)}
+        assert received == {"from-0", "from-1", "from-2"}
+
+    def test_push_without_sinks_rejected(self, ctx):
+        push = ctx.push()
+        with pytest.raises(MessagingError):
+            push.send("x")
+
+    def test_push_blocks_then_times_out_when_full(self, ctx):
+        ctx.pull(hwm=1).bind("inproc://sink")
+        push = ctx.push().connect("inproc://sink")
+        push.send("fits")
+        with pytest.raises(WouldBlock):
+            push.send("overflow", timeout=0.02)
+
+    def test_push_unblocks_when_space_frees(self, ctx):
+        pull = ctx.pull(hwm=1).bind("inproc://sink")
+        push = ctx.push().connect("inproc://sink")
+        push.send("first")
+        done = []
+
+        def sender():
+            push.send("second", timeout=2.0)
+            done.append(True)
+
+        thread = threading.Thread(target=sender)
+        thread.start()
+        assert pull.recv(timeout=1.0) == "first"
+        thread.join(timeout=3)
+        assert done == [True]
+        assert pull.recv(timeout=1.0) == "second"
+
+
+class TestReqRep:
+    def test_request_reply(self, ctx):
+        rep = ctx.rep().bind("inproc://api")
+        req = ctx.req().connect("inproc://api")
+        result = []
+
+        def server():
+            rep.serve_once(lambda request: request * 2, timeout=2.0)
+
+        thread = threading.Thread(target=server)
+        thread.start()
+        result.append(req.request(21, timeout=2.0))
+        thread.join(timeout=3)
+        assert result == [42]
+
+    def test_handler_exception_propagates_to_requester(self, ctx):
+        rep = ctx.rep().bind("inproc://api")
+        req = ctx.req().connect("inproc://api")
+
+        def server():
+            def handler(request):
+                raise ValueError("bad request")
+
+            rep.serve_once(handler, timeout=2.0)
+
+        thread = threading.Thread(target=server)
+        thread.start()
+        with pytest.raises(ValueError, match="bad request"):
+            req.request("x", timeout=2.0)
+        thread.join(timeout=3)
+
+    def test_unconnected_request_rejected(self, ctx):
+        with pytest.raises(MessagingError):
+            ctx.req().request("x")
+
+    def test_serve_once_timeout_returns_false(self, ctx):
+        rep = ctx.rep().bind("inproc://api")
+        assert rep.serve_once(lambda r: r, timeout=0.01) is False
+
+    def test_request_timeout(self, ctx):
+        ctx.rep().bind("inproc://api")
+        req = ctx.req().connect("inproc://api")
+        with pytest.raises(WouldBlock):
+            req.request("never answered", timeout=0.02)
+
+
+class TestLifecycle:
+    def test_double_bind_rejected(self, ctx):
+        ctx.pub().bind("inproc://e")
+        with pytest.raises(AddressInUse):
+            ctx.pull().bind("inproc://e")
+
+    def test_connect_to_unbound_rejected(self, ctx):
+        with pytest.raises(AddressNotFound):
+            ctx.sub().connect("inproc://nothing")
+
+    def test_closed_socket_operations_rejected(self, ctx):
+        pub = ctx.pub().bind("inproc://e")
+        pub.close()
+        with pytest.raises(SocketClosed):
+            pub.send("t", 1)
+
+    def test_close_releases_endpoint(self, ctx):
+        pub = ctx.pub().bind("inproc://e")
+        pub.close()
+        ctx.pub().bind("inproc://e")  # rebinding now works
+
+    def test_closed_subscriber_no_longer_receives(self, ctx):
+        pub = ctx.pub().bind("inproc://e")
+        sub = ctx.sub().connect("inproc://e").subscribe("")
+        sub.close()
+        assert pub.send("t", 1) == 0
+
+    def test_context_close_closes_all(self, ctx):
+        pub = ctx.pub().bind("inproc://e")
+        ctx.close()
+        assert pub.closed
+        with pytest.raises(MessagingError):
+            ctx.pub().bind("inproc://f")
+
+    def test_endpoints_listing(self, ctx):
+        ctx.pub().bind("inproc://b")
+        ctx.pull().bind("inproc://a")
+        assert ctx.endpoints() == ["inproc://a", "inproc://b"]
+
+    def test_socket_as_context_manager(self, ctx):
+        with ctx.pub().bind("inproc://e") as pub:
+            pass
+        assert pub.closed

@@ -1,0 +1,225 @@
+"""Tests for the calibrated performance model — the paper's shapes.
+
+These assertions encode the *qualitative* results the reproduction must
+preserve: who wins, where the bottleneck is, what the fixes buy — with
+loose numeric tolerances around the paper's measurements.
+"""
+
+import pytest
+
+from repro.perf import AWS, IOTA, PipelineConfig, PipelineResult, run_pipeline
+from repro.perf.testbeds import PAPER_MONITOR_THROUGHPUT, PAPER_TABLE2
+
+
+def run(profile, **kwargs):
+    defaults = dict(profile=profile, duration=10.0)
+    defaults.update(kwargs)
+    return run_pipeline(PipelineConfig(**defaults))
+
+
+class TestBaselineThroughput:
+    def test_aws_monitor_rate_matches_paper(self):
+        result = run(AWS)
+        assert result.delivered_rate == pytest.approx(
+            PAPER_MONITOR_THROUGHPUT["AWS"], rel=0.05
+        )
+
+    def test_iota_monitor_rate_matches_paper(self):
+        result = run(IOTA)
+        assert result.delivered_rate == pytest.approx(
+            PAPER_MONITOR_THROUGHPUT["Iota"], rel=0.05
+        )
+
+    def test_iota_shortfall_near_paper_14_91_percent(self):
+        result = run(IOTA)
+        assert result.shortfall_percent == pytest.approx(14.91, abs=1.0)
+
+    def test_generation_rates_match_table2(self):
+        for profile in (AWS, IOTA):
+            result = run(profile)
+            assert result.generation_rate == pytest.approx(
+                PAPER_TABLE2[profile.name]["total"], rel=0.02
+            )
+
+    def test_bottleneck_is_processing_stage(self):
+        for profile in (AWS, IOTA):
+            result = run(profile)
+            assert result.bottleneck == "process"
+
+    def test_monitor_lags_generation_on_both_testbeds(self):
+        for profile in (AWS, IOTA):
+            result = run(profile)
+            assert result.delivered_rate < result.generation_rate
+            assert not result.keeps_up
+
+    def test_backlog_grows_when_lagging(self):
+        result = run(IOTA)
+        assert result.changelog_backlog_peak > 1000
+
+    def test_aggregation_not_a_bottleneck(self):
+        """Paper: 'the aggregation and reporting steps introduce no
+        additional overhead' — their utilisation stays low."""
+        result = run(IOTA)
+        util = result.stage_utilisation()
+        assert util["aggregate"] < 0.2
+        assert util["consume"] < 0.1
+
+
+class TestOptimisations:
+    def test_batching_alone_improves_throughput(self):
+        base = run(IOTA)
+        batched = run(IOTA, batch_size=64)
+        assert batched.delivered_rate > base.delivered_rate
+
+    def test_caching_alone_improves_throughput(self):
+        base = run(IOTA)
+        cached = run(IOTA, cache_size=4096)
+        assert cached.delivered_rate > base.delivered_rate
+        assert cached.cache_hit_rate > 0.9
+
+    def test_batching_plus_caching_keeps_up(self):
+        """The paper's proposed fix lets the monitor match generation."""
+        fixed = run(IOTA, batch_size=64, cache_size=4096)
+        assert fixed.keeps_up
+
+    def test_caching_reduces_d2path_invocations(self):
+        base = run(IOTA)
+        cached = run(IOTA, cache_size=4096)
+        assert cached.d2path_invocations < base.d2path_invocations / 5
+
+    def test_fewer_directories_cache_better(self):
+        narrow = run(IOTA, cache_size=256, n_directories=16)
+        wide = run(IOTA, cache_size=256, n_directories=4096)
+        assert narrow.cache_hit_rate > wide.cache_hit_rate
+
+
+class TestMultiMds:
+    def test_two_mds_surpasses_generation_rate(self):
+        """Paper: 'If the d2path resolutions were distributed across
+        multiple MDS, the throughput of the monitor would surpass the
+        event generation rate.'"""
+        result = run(IOTA, num_mds=2)
+        assert result.keeps_up
+
+    def test_scaling_monotone_until_saturation(self):
+        rates = [run(IOTA, num_mds=m).delivered_rate for m in (1, 2, 4)]
+        assert rates[0] < rates[1]
+        assert rates[1] <= rates[2] * 1.01  # saturates at generation rate
+
+    def test_saturated_rate_equals_generation(self):
+        result = run(IOTA, num_mds=4)
+        assert result.delivered_rate == pytest.approx(
+            result.generation_rate, rel=0.02
+        )
+
+
+class TestTransports:
+    def test_pushpull_and_pubsub_comparable(self):
+        pushpull = run(IOTA, transport="pushpull")
+        pubsub = run(IOTA, transport="pubsub")
+        assert pubsub.delivered_rate == pytest.approx(
+            pushpull.delivered_rate, rel=0.05
+        )
+
+    def test_reqrep_blocking_roundtrip_hurts(self):
+        reqrep = run(IOTA, transport="reqrep")
+        pushpull = run(IOTA, transport="pushpull")
+        assert reqrep.delivered_rate < 0.5 * pushpull.delivered_rate
+
+    def test_batching_amortises_reqrep_roundtrips(self):
+        slow = run(IOTA, transport="reqrep")
+        amortised = run(IOTA, transport="reqrep", batch_size=64, cache_size=4096)
+        assert amortised.delivered_rate > 2 * slow.delivered_rate
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(profile=IOTA, transport="carrier-pigeon")
+
+
+class TestResourceModel:
+    def test_iota_table3_cpu_shape(self):
+        result = run(IOTA, duration=30.0)
+        collector = result.resources["collector"]
+        aggregator = result.resources["aggregator"]
+        consumer = result.resources["consumer"]
+        # Collector >> aggregator > consumer, all small.
+        assert collector.cpu_percent == pytest.approx(6.667, rel=0.05)
+        assert aggregator.cpu_percent == pytest.approx(0.059, rel=0.1)
+        assert consumer.cpu_percent == pytest.approx(0.02, rel=0.15)
+        assert collector.cpu_percent < 10.0
+
+    def test_iota_table3_memory_shape(self):
+        result = run(IOTA, duration=30.0)
+        assert result.resources["collector"].memory_mb == pytest.approx(
+            281.6, rel=0.05
+        )
+        assert result.resources["aggregator"].memory_mb == pytest.approx(
+            217.6, rel=0.05
+        )
+        assert result.resources["consumer"].memory_mb == pytest.approx(
+            12.8, rel=0.05
+        )
+
+
+class TestModelMechanics:
+    def test_deterministic_given_seed(self):
+        a = run(IOTA, seed=3, cache_size=64)
+        b = run(IOTA, seed=3, cache_size=64)
+        assert a.delivered == b.delivered
+        assert a.d2path_invocations == b.d2path_invocations
+
+    def test_stochastic_arrivals_close_to_deterministic(self):
+        deterministic = run(IOTA)
+        stochastic = run(IOTA, stochastic_arrivals=True)
+        assert stochastic.delivered_rate == pytest.approx(
+            deterministic.delivered_rate, rel=0.05
+        )
+
+    def test_low_rate_keeps_up_easily(self):
+        result = run(IOTA, arrival_rate=100.0)
+        assert result.keeps_up
+        assert result.changelog_backlog_peak <= 2
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(profile=IOTA, duration=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(profile=IOTA, num_mds=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(profile=IOTA, batch_size=0)
+
+    def test_profile_d2path_helpers(self):
+        assert IOTA.d2path_seconds_per_event == pytest.approx(
+            IOTA.d2path_overhead_seconds + IOTA.d2path_per_fid_seconds
+        )
+        assert IOTA.d2path_batch_seconds(0) == 0.0
+        assert IOTA.d2path_batch_seconds(10) == pytest.approx(
+            IOTA.d2path_overhead_seconds + 10 * IOTA.d2path_per_fid_seconds
+        )
+
+    def test_op_latencies_derived_from_table2(self):
+        latencies = AWS.op_latencies
+        assert 1.0 / latencies.create == pytest.approx(352)
+
+
+class TestStochasticRobustness:
+    def test_stochastic_service_preserves_headline(self):
+        result = run(IOTA, stochastic_service=True, seed=11)
+        assert result.delivered_rate == pytest.approx(8162, rel=0.03)
+        assert result.bottleneck == "process"
+
+    def test_fully_stochastic_run_close_to_deterministic(self):
+        deterministic = run(IOTA)
+        noisy = run(
+            IOTA, stochastic_service=True, stochastic_arrivals=True, seed=13
+        )
+        assert noisy.delivered_rate == pytest.approx(
+            deterministic.delivered_rate, rel=0.05
+        )
+
+    def test_stochastic_fix_still_keeps_up(self):
+        fixed = run(
+            IOTA, batch_size=64, cache_size=4096,
+            stochastic_service=True, stochastic_arrivals=True, seed=17,
+        )
+        assert fixed.keeps_up

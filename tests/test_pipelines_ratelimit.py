@@ -1,0 +1,164 @@
+"""Tests for the pipeline builder and agent action rate limiting."""
+
+import pytest
+
+from repro.core.events import EventType
+from repro.errors import RuleValidationError
+from repro.ripple import (
+    Action,
+    PipelineBuilder,
+    RippleAgent,
+    RippleService,
+    Trigger,
+)
+from repro.util.clock import ManualClock
+from repro.util.tokens import TokenBucket
+
+
+class TestPipelineBuilder:
+    def _service_with_agents(self):
+        service = RippleService()
+        lab = RippleAgent("lab")
+        laptop = RippleAgent("laptop")
+        service.register_agent(lab)
+        service.register_agent(laptop)
+        lab.attach_local_filesystem()
+        laptop.attach_local_filesystem()
+        lab.fs.makedirs("/raw")
+        laptop.fs.makedirs("/inbox")
+        return service, lab, laptop
+
+    def test_three_stage_chain_executes(self):
+        service, lab, laptop = self._service_with_agents()
+        pipeline = (
+            PipelineBuilder("analysis")
+            .first(
+                "checksum", "lab", "/raw", "*.dat",
+                Action("command", "lab",
+                       {"command": "checksum", "dst": "{dir}/{stem}.sha"}),
+                output_pattern="*.sha",
+            )
+            .then(
+                "replicate",
+                Action("transfer", "lab",
+                       {"destination_agent": "laptop",
+                        "destination_path": "/inbox/{name}"}),
+                output_pattern="*.sha",
+                output_agent="laptop",
+                output_prefix="/inbox",
+            )
+            .then(
+                "notify",
+                Action("email", "laptop", {"to": "pi@lab"}),
+            )
+        )
+        rules = pipeline.install(service)
+        assert len(rules) == 3
+        assert rules[0].name == "analysis/checksum"
+        lab.fs.create("/raw/x.dat", b"bytes")
+        service.run_until_quiet()
+        assert lab.fs.exists("/raw/x.sha")
+        assert laptop.fs.exists("/inbox/x.sha")
+        assert len(service.outbox) == 1
+
+    def test_then_inherits_previous_location(self):
+        pipeline = (
+            PipelineBuilder("p")
+            .first("a", "agent", "/d", "*.in",
+                   Action("email", "agent", {"to": "x"}),
+                   output_pattern="*.out")
+            .then("b", Action("email", "agent", {"to": "y"}))
+        )
+        stage = pipeline.stages[1]
+        assert stage.agent_id == "agent"
+        assert stage.path_prefix == "/d"
+        assert stage.match_pattern == "*.out"
+
+    def test_then_without_first_rejected(self):
+        with pytest.raises(RuleValidationError):
+            PipelineBuilder("p").then("x", Action("email", "a", {"to": "x"}))
+
+    def test_then_after_terminal_stage_rejected(self):
+        pipeline = PipelineBuilder("p").first(
+            "a", "agent", "/d", "*.in", Action("email", "agent", {"to": "x"})
+        )
+        with pytest.raises(RuleValidationError):
+            pipeline.then("b", Action("email", "agent", {"to": "y"}))
+
+    def test_double_first_rejected(self):
+        pipeline = PipelineBuilder("p").first(
+            "a", "agent", "/d", "*", Action("email", "agent", {"to": "x"})
+        )
+        with pytest.raises(RuleValidationError):
+            pipeline.first(
+                "b", "agent", "/d", "*", Action("email", "agent", {"to": "x"})
+            )
+
+    def test_install_empty_rejected(self):
+        with pytest.raises(RuleValidationError):
+            PipelineBuilder("p").install(RippleService())
+
+    def test_describe_lists_stages(self):
+        pipeline = (
+            PipelineBuilder("tomo")
+            .first("stage", "lab", "/raw", "*.tiff",
+                   Action("email", "lab", {"to": "x"}),
+                   output_pattern="*.h5")
+            .then("publish", Action("email", "lab", {"to": "y"}))
+        )
+        text = pipeline.describe()
+        assert "tomo" in text
+        assert "stage" in text and "publish" in text
+        assert "*.tiff" in text
+
+
+class TestActionRateLimit:
+    def _burst_setup(self, bucket):
+        service = RippleService()
+        agent = RippleAgent("dev")
+        agent.rate_limiter = bucket
+        service.register_agent(agent)
+        agent.attach_local_filesystem()
+        agent.fs.makedirs("/in")
+        service.add_rule(
+            Trigger(agent_id="dev", path_prefix="/in", name_pattern="*.dat"),
+            Action("command", "dev",
+                   {"command": "copy", "dst": "{dir}/{stem}.bak"}),
+        )
+        return service, agent
+
+    def test_burst_limited_to_bucket_capacity(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=1, burst=3, clock=clock)
+        service, agent = self._burst_setup(bucket)
+        for index in range(10):
+            agent.fs.create(f"/in/f{index}.dat", b"")
+        agent.drain_detection()
+        service.executor.drain()
+        agent.execute_pending()
+        assert agent.actions_executed == 3
+        assert agent.actions_deferred == 1
+        assert len(agent.inbox) == 7
+
+    def test_deferred_actions_run_after_refill(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=1, burst=3, clock=clock)
+        service, agent = self._burst_setup(bucket)
+        for index in range(5):
+            agent.fs.create(f"/in/f{index}.dat", b"")
+        agent.drain_detection()
+        service.executor.drain()
+        agent.execute_pending()
+        assert agent.actions_executed == 3
+        clock.advance(2.0)  # 2 more tokens
+        agent.execute_pending()
+        assert agent.actions_executed == 5
+        assert not agent.inbox
+
+    def test_no_limiter_executes_everything(self):
+        service, agent = self._burst_setup(None)
+        agent.rate_limiter = None
+        for index in range(10):
+            agent.fs.create(f"/in/f{index}.dat", b"")
+        service.run_until_quiet()
+        assert agent.actions_executed == 10

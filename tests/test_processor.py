@@ -1,0 +1,189 @@
+"""Tests for the processing stage: resolution, batching, caching."""
+
+import pytest
+
+from repro.core.events import EventType
+from repro.core.processor import EventProcessor, PathCache, ProcessorConfig
+from repro.lustre import FidResolver, LustreFilesystem
+from repro.lustre.fid import Fid
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def fs():
+    fs = LustreFilesystem(clock=ManualClock())
+    fs.makedirs("/proj/data")
+    return fs
+
+
+def records_for(fs, user, changelog):
+    return changelog.read(user)
+
+
+def fresh_pipeline(fs, **config):
+    changelog = fs.changelogs()[0]
+    user = changelog.register_user()
+    resolver = FidResolver(fs)
+    processor = EventProcessor(resolver, ProcessorConfig(**config))
+    return changelog, user, resolver, processor
+
+
+class TestPathAssembly:
+    def test_event_path_from_parent_resolution(self, fs):
+        changelog, user, resolver, processor = fresh_pipeline(fs)
+        fs.create("/proj/data/f.dat")
+        events = processor.process(changelog.read(user), mdt_index=0)
+        assert [e.path for e in events] == ["/proj/data/f.dat"]
+
+    def test_root_parent_resolves(self, fs):
+        changelog, user, _resolver, processor = fresh_pipeline(fs)
+        fs.create("/top.txt")
+        (event,) = processor.process(changelog.read(user), mdt_index=0)
+        assert event.path == "/top.txt"
+
+    def test_delete_events_resolve_via_parent(self, fs):
+        """The target FID of an UNLNK is gone; the parent still resolves."""
+        changelog, user, _resolver, processor = fresh_pipeline(fs)
+        fs.create("/proj/data/gone.dat")
+        fs.unlink("/proj/data/gone.dat")
+        events = processor.process(changelog.read(user), mdt_index=0)
+        deleted = [e for e in events if e.event_type is EventType.DELETED]
+        assert deleted[0].path == "/proj/data/gone.dat"
+        assert processor.unresolved == 0
+
+    def test_rename_produces_old_and_new_paths(self, fs):
+        changelog, user, _resolver, processor = fresh_pipeline(fs)
+        fs.create("/proj/data/a.dat")
+        fs.rename("/proj/data/a.dat", "/proj/data/b.dat")
+        events = processor.process(changelog.read(user), mdt_index=0)
+        moved = [e for e in events if e.event_type is EventType.MOVED][0]
+        assert moved.old_path == "/proj/data/a.dat"
+        assert moved.path == "/proj/data/b.dat"
+
+    def test_parent_deleted_before_processing_marks_unresolved(self, fs):
+        changelog, user, _resolver, processor = fresh_pipeline(fs)
+        fs.mkdir("/proj/tmp")
+        fs.create("/proj/tmp/f")
+        fs.unlink("/proj/tmp/f")
+        fs.rmdir("/proj/tmp")
+        events = processor.process(changelog.read(user), mdt_index=0)
+        # The create/unlink of /proj/tmp/f cannot resolve /proj/tmp anymore.
+        assert processor.unresolved >= 1
+        assert any(not e.resolved for e in events)
+
+    def test_order_preserved(self, fs):
+        changelog, user, _resolver, processor = fresh_pipeline(fs, batch_size=4)
+        for index in range(10):
+            fs.create(f"/proj/data/f{index}")
+        events = processor.process(changelog.read(user), mdt_index=0)
+        indices = [e.record_index for e in events]
+        assert indices == sorted(indices)
+
+
+class TestResolverCost:
+    def test_per_event_resolution_invokes_tool_per_record(self, fs):
+        changelog, user, resolver, processor = fresh_pipeline(fs)
+        for index in range(10):
+            fs.create(f"/proj/data/f{index}")
+        processor.process(changelog.read(user), mdt_index=0)
+        assert resolver.invocations == 10
+
+    def test_batching_collapses_invocations(self, fs):
+        changelog, user, resolver, processor = fresh_pipeline(fs, batch_size=10)
+        for index in range(10):
+            fs.create(f"/proj/data/f{index}")
+        processor.process(changelog.read(user), mdt_index=0)
+        assert resolver.invocations == 1  # one resolve_many for the batch
+
+    def test_caching_collapses_invocations(self, fs):
+        changelog, user, resolver, processor = fresh_pipeline(fs, cache_size=16)
+        for index in range(10):
+            fs.create(f"/proj/data/f{index}")
+        processor.process(changelog.read(user), mdt_index=0)
+        assert resolver.invocations == 1
+        assert processor.cache.hits == 9
+
+    def test_cache_and_batching_compose(self, fs):
+        changelog, user, resolver, processor = fresh_pipeline(
+            fs, batch_size=5, cache_size=16
+        )
+        for index in range(20):
+            fs.create(f"/proj/data/f{index}")
+        processor.process(changelog.read(user), mdt_index=0)
+        # First chunk misses once; later chunks hit the cache entirely.
+        assert resolver.invocations == 1
+
+
+class TestCacheConsistency:
+    def test_rename_of_directory_invalidates_subtree(self, fs):
+        changelog, user, _resolver, processor = fresh_pipeline(fs, cache_size=16)
+        fs.mkdir("/proj/old")
+        fs.create("/proj/old/f1")
+        events = processor.process(changelog.read(user), mdt_index=0)
+        assert events[-1].path == "/proj/old/f1"
+        fs.rename("/proj/old", "/proj/new")
+        fs.create("/proj/new/f2")
+        events = processor.process(changelog.read(user), mdt_index=0)
+        created = [e for e in events if e.name == "f2"][0]
+        assert created.path == "/proj/new/f2"  # not the stale /proj/old/f2
+
+    def test_rmdir_invalidates_cached_entry(self, fs):
+        changelog, user, _resolver, processor = fresh_pipeline(fs, cache_size=16)
+        fs.mkdir("/proj/tmp")
+        fs.create("/proj/tmp/f")
+        processor.process(changelog.read(user), mdt_index=0)
+        fs.unlink("/proj/tmp/f")
+        fs.rmdir("/proj/tmp")
+        fs.mkdir("/proj/tmp2")
+        fs.create("/proj/tmp2/g")
+        events = processor.process(changelog.read(user), mdt_index=0)
+        final = [e for e in events if e.name == "g"][0]
+        assert final.path == "/proj/tmp2/g"
+
+
+class TestPathCacheUnit:
+    def test_lru_eviction(self):
+        cache = PathCache(capacity=2)
+        a, b, c = Fid(1, 1), Fid(1, 2), Fid(1, 3)
+        cache.put(a, "/a")
+        cache.put(b, "/b")
+        cache.get(a)  # refresh a
+        cache.put(c, "/c")  # evicts b
+        assert cache.peek(b) is None
+        assert cache.peek(a) == "/a"
+
+    def test_hit_rate(self):
+        cache = PathCache(capacity=4)
+        fid = Fid(1, 1)
+        cache.get(fid)  # miss
+        cache.put(fid, "/x")
+        cache.get(fid)  # hit
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_invalidate_prefix(self):
+        cache = PathCache(capacity=8)
+        cache.put(Fid(1, 1), "/a/b")
+        cache.put(Fid(1, 2), "/a/b/c")
+        cache.put(Fid(1, 3), "/a/bc")
+        removed = cache.invalidate_prefix("/a/b")
+        assert removed == 2
+        assert cache.peek(Fid(1, 3)) == "/a/bc"
+
+    def test_peek_does_not_count(self):
+        cache = PathCache(capacity=2)
+        cache.peek(Fid(1, 1))
+        assert cache.misses == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PathCache(0)
+
+
+class TestConfigValidation:
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(batch_size=0)
+
+    def test_invalid_cache_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(cache_size=-1)

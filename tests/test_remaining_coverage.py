@@ -1,0 +1,153 @@
+"""Remaining behavioural coverage across small surfaces."""
+
+import pytest
+
+from repro.core.store import EventStore
+from repro.fs.memfs import MemoryFilesystem, MutationKind
+from repro.fs.watchdog import Observer, PatternMatchingEventHandler
+from repro.msgq import Context
+from repro.perf import CloudConfig, run_cloud
+from repro.util.clock import ManualClock
+
+
+class TestMemfsRemaining:
+    @pytest.fixture
+    def fs(self):
+        return MemoryFilesystem(clock=ManualClock())
+
+    def test_touch_creates_missing_file(self, fs):
+        fs.touch("/new")
+        assert fs.is_file("/new")
+        assert fs.mutation_counts[MutationKind.CREATE] == 1
+
+    def test_touch_existing_bumps_mtime_via_setattr(self, fs):
+        clock = fs._clock
+        fs.create("/f")
+        clock.advance(5)
+        fs.touch("/f")
+        assert fs.stat("/f").mtime == 5
+        assert fs.mutation_counts[MutationKind.SETATTR] == 1
+
+    def test_append_grows_size_in_records(self, fs):
+        sizes = []
+        fs.add_hook(lambda record: sizes.append(record.size))
+        fs.create("/f", b"ab")
+        fs.append("/f", b"cd")
+        fs.append("/f", b"ef")
+        assert sizes == [2, 4, 6]
+
+    def test_truncate_emits_truncate_kind(self, fs):
+        kinds = []
+        fs.add_hook(lambda record: kinds.append(record.kind))
+        fs.create("/f", b"abcdef")
+        fs.truncate("/f", 2)
+        assert kinds[-1] is MutationKind.TRUNCATE
+
+    def test_walk_from_file_rejected(self, fs):
+        from repro.errors import NotADirectory
+
+        fs.create("/f")
+        with pytest.raises(NotADirectory):
+            list(fs.walk("/f"))
+
+    def test_stat_nlink_for_file_is_one(self, fs):
+        fs.create("/f")
+        assert fs.stat("/f").nlink == 1
+        assert fs.stat("/f").is_file
+        assert not fs.stat("/f").is_dir
+
+    def test_is_checks_on_missing_path(self, fs):
+        assert not fs.is_file("/nope")
+        assert not fs.is_dir("/nope")
+        assert not fs.exists("/nope")
+
+
+class TestPatternHandlerOverflow:
+    def test_overflow_always_dispatched(self):
+        fs = MemoryFilesystem(clock=ManualClock())
+        fs.mkdir("/w")
+        observer = Observer(fs)
+        observer.inotify.max_queued_events = 2
+        overflows = []
+
+        class Handler(PatternMatchingEventHandler):
+            def on_overflow(self, event):
+                overflows.append(event)
+
+        observer.schedule(Handler(patterns=["*.never-matches"]), "/w")
+        for index in range(10):
+            fs.create(f"/w/f{index}")
+        observer.drain()
+        assert len(overflows) == 1  # overflow bypasses pattern filters
+
+
+class TestSubSocketMultiplePrefixes:
+    def test_union_of_prefixes(self):
+        context = Context()
+        publisher = context.pub().bind("inproc://multi")
+        subscriber = (
+            context.sub().connect("inproc://multi")
+            .subscribe("a.").subscribe("b.")
+        )
+        for topic in ("a.1", "b.2", "c.3"):
+            publisher.send(topic, topic)
+        received = []
+        from repro.errors import WouldBlock
+
+        while True:
+            try:
+                received.append(subscriber.recv(block=False)[0])
+            except WouldBlock:
+                break
+        assert received == ["a.1", "b.2"]
+        assert publisher.published == 3
+
+
+class TestEventStorePersistenceEdges:
+    def test_save_empty_store(self, tmp_path):
+        store = EventStore()
+        path = str(tmp_path / "empty.jsonl")
+        assert store.save(path) == 0
+        restored = EventStore.load(path)
+        assert len(restored) == 0
+        assert restored.last_seq == 0
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            EventStore.load(str(tmp_path / "nope.jsonl"))
+
+
+class TestCloudLatency:
+    def test_latency_percentiles_sane_below_capacity(self):
+        result = run_cloud(
+            CloudConfig(arrival_rate=100.0, service_seconds=1e-3,
+                        concurrency=2, duration=10.0)
+        )
+        assert result.latency.total == result.processed
+        # Under light load latency ~ service time.
+        assert result.latency.mean == pytest.approx(1e-3, rel=0.5)
+        assert result.latency.percentile(0.5) <= result.latency.percentile(0.99)
+
+
+class TestHarnessReportObjects:
+    def test_figure3_peak_day_identifies_maximum(self):
+        from repro.harness import experiment_figure3
+
+        report = experiment_figure3(days=12, base_files=20_000, seed=3)
+        totals = [c + m for c, m in zip(report.created, report.modified)]
+        assert totals[report.days.index(report.peak_day)] == max(totals)
+
+    def test_throughput_report_paper_shortfall(self):
+        from repro.harness import experiment_throughput
+        from repro.perf import AWS
+
+        report = experiment_throughput(AWS, duration=2.0)
+        expected = 100.0 * (1 - 1053.0 / 1366.0)
+        assert report.paper_shortfall_percent == pytest.approx(expected)
+
+    def test_table2_report_render_has_ratio_column(self):
+        from repro.harness import experiment_table2
+        from repro.perf import AWS
+
+        text = experiment_table2(AWS, n_files=100).render()
+        assert "1.000x" in text

@@ -1,0 +1,66 @@
+"""Extra coverage for harness reporting and CLI experiment plumbing."""
+
+import pytest
+
+from repro.cli import main
+from repro.harness.reporting import ascii_chart, comparison_table, render_table
+
+
+class TestAsciiChartEdges:
+    def test_single_point_series(self):
+        text = ascii_chart({"only": [5.0]}, width=10, height=4)
+        assert "only" in text
+        assert "*" in text
+
+    def test_all_zero_series(self):
+        text = ascii_chart({"flat": [0.0, 0.0, 0.0]}, width=10, height=4)
+        assert "flat" in text  # must not divide by zero
+
+    def test_many_series_glyphs_cycle(self):
+        series = {f"s{i}": [float(i)] for i in range(8)}
+        text = ascii_chart(series, width=20, height=5)
+        for name in series:
+            assert name in text
+
+    def test_y_label_and_peak(self):
+        text = ascii_chart({"x": [10.0, 20.0]}, y_label="events", height=4)
+        assert "events (peak = 20)" in text
+
+
+class TestComparisonTableEdges:
+    def test_zero_paper_value_gives_nan_ratio(self):
+        text = comparison_table([("metric", 0.0, 5.0)])
+        assert "nan" in text
+
+    def test_custom_labels(self):
+        text = comparison_table(
+            [("m", 1.0, 1.0)], paper_label="expected", measured_label="got"
+        )
+        assert "expected" in text and "got" in text
+
+
+class TestRenderTableEdges:
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_non_string_cells_coerced(self):
+        text = render_table(["n"], [(42,), (3.14,)])
+        assert "42" in text and "3.14" in text
+
+
+class TestCliExperimentsRun:
+    def test_run_throughput_with_short_duration(self, capsys):
+        assert main(["experiments", "run", "throughput",
+                     "--duration", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "AWS" in out and "Iota" in out
+        assert "bottleneck stage: process" in out
+
+    def test_run_table3_short(self, capsys):
+        assert main(["experiments", "run", "table3", "--duration", "2"]) == 0
+        assert "Collector" in capsys.readouterr().out
+
+    def test_run_figure3(self, capsys):
+        assert main(["experiments", "run", "figure3"]) == 0
+        assert "Aurora" in capsys.readouterr().out

@@ -1,0 +1,172 @@
+"""Tests for If-Trigger-Then-Action rules."""
+
+import pytest
+
+from repro.core.events import EventType, FileEvent
+from repro.errors import RuleValidationError
+from repro.ripple.rules import Action, Rule, RuleSet, Trigger
+
+
+def event(path, event_type=EventType.CREATED, is_dir=False, old_path=None):
+    return FileEvent(
+        event_type=event_type, path=path, is_dir=is_dir, timestamp=0.0,
+        name=path.rsplit("/", 1)[-1] if path else "", source="inotify",
+        old_path=old_path,
+    )
+
+
+class TestTrigger:
+    def test_matches_created_under_prefix(self):
+        trigger = Trigger(agent_id="a", path_prefix="/data")
+        assert trigger.matches(event("/data/f.txt"))
+
+    def test_rejects_outside_prefix(self):
+        trigger = Trigger(agent_id="a", path_prefix="/data")
+        assert not trigger.matches(event("/other/f.txt"))
+
+    def test_rejects_wrong_event_type(self):
+        trigger = Trigger(agent_id="a", path_prefix="/data")
+        assert not trigger.matches(event("/data/f", EventType.DELETED))
+
+    def test_custom_event_types(self):
+        trigger = Trigger(
+            agent_id="a", path_prefix="/data",
+            event_types=frozenset({EventType.DELETED, EventType.MOVED}),
+        )
+        assert trigger.matches(event("/data/f", EventType.DELETED))
+        assert trigger.matches(event("/data/f", EventType.MOVED))
+        assert not trigger.matches(event("/data/f", EventType.CREATED))
+
+    def test_name_pattern_glob(self):
+        trigger = Trigger(agent_id="a", path_prefix="/d", name_pattern="*.tiff")
+        assert trigger.matches(event("/d/scan.tiff"))
+        assert not trigger.matches(event("/d/scan.jpg"))
+
+    def test_directories_excluded_by_default(self):
+        trigger = Trigger(agent_id="a", path_prefix="/d")
+        assert not trigger.matches(event("/d/sub", is_dir=True))
+
+    def test_directories_included_when_asked(self):
+        trigger = Trigger(agent_id="a", path_prefix="/d",
+                          include_directories=True)
+        assert trigger.matches(event("/d/sub", is_dir=True))
+
+    def test_prefix_normalized(self):
+        trigger = Trigger(agent_id="a", path_prefix="/d//x/")
+        assert trigger.path_prefix == "/d/x"
+
+    def test_moved_event_matches_by_old_path(self):
+        trigger = Trigger(
+            agent_id="a", path_prefix="/watched",
+            event_types=frozenset({EventType.MOVED}),
+        )
+        moved = event("/elsewhere/f", EventType.MOVED, old_path="/watched/f")
+        assert trigger.matches(moved)
+
+    def test_empty_agent_rejected(self):
+        with pytest.raises(RuleValidationError):
+            Trigger(agent_id="", path_prefix="/d")
+
+    def test_empty_event_types_rejected(self):
+        with pytest.raises(RuleValidationError):
+            Trigger(agent_id="a", path_prefix="/d", event_types=frozenset())
+
+
+class TestAction:
+    def test_known_types_accepted(self):
+        for action_type in ("transfer", "email", "container", "command",
+                            "callable"):
+            Action(action_type, "agent")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(RuleValidationError):
+            Action("teleport", "agent")
+
+    def test_empty_agent_rejected(self):
+        with pytest.raises(RuleValidationError):
+            Action("email", "")
+
+
+class TestRule:
+    def test_rule_ids_unique(self):
+        a = Rule(Trigger(agent_id="x", path_prefix="/d"), Action("email", "x"))
+        b = Rule(Trigger(agent_id="x", path_prefix="/d"), Action("email", "x"))
+        assert a.rule_id != b.rule_id
+
+    def test_disabled_rule_never_matches(self):
+        rule = Rule(
+            Trigger(agent_id="x", path_prefix="/d"), Action("email", "x"),
+            enabled=False,
+        )
+        assert not rule.matches(event("/d/f"))
+
+    def test_describe_mentions_key_facts(self):
+        rule = Rule(
+            Trigger(agent_id="lab", path_prefix="/d", name_pattern="*.csv"),
+            Action("transfer", "laptop"),
+            name="replicate",
+        )
+        text = rule.describe()
+        assert "replicate" in text
+        assert "*.csv" in text
+        assert "lab" in text
+        assert "transfer" in text
+
+
+class TestRuleSet:
+    def _rule(self, agent="a", prefix="/d", pattern="*"):
+        return Rule(
+            Trigger(agent_id=agent, path_prefix=prefix, name_pattern=pattern),
+            Action("email", agent),
+        )
+
+    def test_for_agent_indexes_by_trigger_agent(self):
+        rules = RuleSet()
+        rules.add(self._rule(agent="a"))
+        rules.add(self._rule(agent="b"))
+        assert len(rules.for_agent("a")) == 1
+        assert len(rules.for_agent("missing")) == 0
+
+    def test_matching_filters_by_event(self):
+        rules = RuleSet()
+        rules.add(self._rule(pattern="*.csv"))
+        rules.add(self._rule(pattern="*.txt"))
+        matched = rules.matching("a", event("/d/x.csv"))
+        assert len(matched) == 1
+
+    def test_remove(self):
+        rules = RuleSet()
+        rule = rules.add(self._rule())
+        rules.remove(rule.rule_id)
+        assert len(rules) == 0
+        assert rules.for_agent("a") == []
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(RuleValidationError):
+            RuleSet().remove(12345)
+
+    def test_get(self):
+        rules = RuleSet()
+        rule = rules.add(self._rule())
+        assert rules.get(rule.rule_id) is rule
+        with pytest.raises(RuleValidationError):
+            rules.get(-1)
+
+    def test_duplicate_add_rejected(self):
+        rules = RuleSet()
+        rule = rules.add(self._rule())
+        with pytest.raises(RuleValidationError):
+            rules.add(rule)
+
+    def test_watched_prefixes_deduplicated(self):
+        rules = RuleSet()
+        rules.add(self._rule(prefix="/d", pattern="*.a"))
+        rules.add(self._rule(prefix="/d", pattern="*.b"))
+        rules.add(self._rule(prefix="/e"))
+        assert rules.watched_prefixes("a") == ["/d", "/e"]
+
+    def test_iteration(self):
+        rules = RuleSet()
+        rules.add(self._rule())
+        rules.add(self._rule(agent="b"))
+        assert len(list(rules)) == 2

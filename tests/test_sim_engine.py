@@ -1,0 +1,319 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Interrupt
+from repro.sim.engine import Condition
+
+
+class TestTimeouts:
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        fired = []
+
+        def proc(env):
+            yield env.timeout(2.5)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert fired == [2.5]
+
+    def test_timeouts_fire_in_order(self):
+        env = Environment()
+        order = []
+
+        def proc(env, delay, tag):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(proc(env, 3, "c"))
+        env.process(proc(env, 1, "a"))
+        env.process(proc(env, 2, "b"))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo_tiebreak(self):
+        env = Environment()
+        order = []
+
+        def proc(env, tag):
+            yield env.timeout(1)
+            order.append(tag)
+
+        for tag in ("first", "second", "third"):
+            env.process(proc(env, tag))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_timeout_carries_value(self):
+        env = Environment()
+        got = []
+
+        def proc(env):
+            value = yield env.timeout(1, value="payload")
+            got.append(value)
+
+        env.process(proc(env))
+        env.run()
+        assert got == ["payload"]
+
+
+class TestRunModes:
+    def test_run_until_time_stops_at_horizon(self):
+        env = Environment()
+        fired = []
+
+        def proc(env):
+            while True:
+                yield env.timeout(1)
+                fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=3.5)
+        assert fired == [1, 2, 3]
+        assert env.now == 3.5
+
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(2)
+            return 42
+
+        process = env.process(worker(env))
+        assert env.run(until=process) == 42
+        assert env.now == 2
+
+    def test_run_until_past_time_rejected(self):
+        env = Environment()
+        env.run(until=5)
+        with pytest.raises(SimulationError):
+            env.run(until=1)
+
+    def test_run_drains_when_no_until(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(7)
+
+        env.process(proc(env))
+        env.run()
+        assert env.now == 7
+
+    def test_peek_reports_next_event_time(self):
+        env = Environment()
+        env.timeout(4)
+        assert env.peek() == 4
+
+    def test_peek_empty_heap_is_inf(self):
+        assert Environment().peek() == float("inf")
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(1)
+            return "done"
+
+        process = env.process(worker(env))
+        env.run()
+        assert process.value == "done"
+
+    def test_process_waits_on_another_process(self):
+        env = Environment()
+        log = []
+
+        def child(env):
+            yield env.timeout(2)
+            return "child-result"
+
+        def parent(env):
+            result = yield env.process(child(env))
+            log.append((env.now, result))
+
+        env.process(parent(env))
+        env.run()
+        assert log == [(2, "child-result")]
+
+    def test_exception_in_process_propagates(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1)
+            raise ValueError("boom")
+
+        env.process(bad(env))
+        with pytest.raises(ValueError, match="boom"):
+            env.run()
+
+    def test_waiting_on_failed_process_raises_inside_waiter(self):
+        env = Environment()
+        caught = []
+
+        def bad(env):
+            yield env.timeout(1)
+            raise ValueError("inner")
+
+        def waiter(env):
+            try:
+                yield env.process(bad(env))
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        env.process(waiter(env))
+        env.run()
+        assert caught == ["inner"]
+
+    def test_yield_non_event_is_error(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        env.process(bad(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_interrupt_wakes_sleeping_process(self):
+        env = Environment()
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                log.append((env.now, interrupt.cause))
+
+        def interrupter(env, victim):
+            yield env.timeout(3)
+            victim.interrupt("wake up")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert log == [(3, "wake up")]
+
+    def test_interrupting_finished_process_is_error(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1)
+
+        process = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_is_alive_lifecycle(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1)
+
+        process = env.process(quick(env))
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+
+class TestEvents:
+    def test_manual_event_succeed(self):
+        env = Environment()
+        got = []
+
+        def waiter(env, event):
+            value = yield event
+            got.append(value)
+
+        def firer(env, event):
+            yield env.timeout(5)
+            event.succeed("fired")
+
+        event = env.event()
+        env.process(waiter(env, event))
+        env.process(firer(env, event))
+        env.run()
+        assert got == ["fired"]
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_unhandled_failed_event_crashes_run(self):
+        env = Environment()
+        event = env.event()
+        event.fail(RuntimeError("lost"))
+        with pytest.raises(RuntimeError):
+            env.run()
+
+    def test_defused_failure_is_silent(self):
+        env = Environment()
+        event = env.event()
+        event.fail(RuntimeError("handled"))
+        event.defuse()
+        env.run()  # must not raise
+
+    def test_all_of_collects_values(self):
+        env = Environment()
+        got = []
+
+        def waiter(env):
+            values = yield env.all_of([env.timeout(1, "a"), env.timeout(2, "b")])
+            got.append((env.now, values))
+
+        env.process(waiter(env))
+        env.run()
+        assert got == [(2, ["a", "b"])]
+
+    def test_all_of_empty_fires_immediately(self):
+        env = Environment()
+        condition = Condition(env, [])
+        assert condition.triggered
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+        got = []
+
+        def waiter(env):
+            winner = yield env.any_of([env.timeout(5, "slow"), env.timeout(1, "fast")])
+            got.append((env.now, winner.value))
+
+        env.process(waiter(env))
+        env.run(until=10)
+        assert got == [(1, "fast")]
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build_and_run():
+            env = Environment()
+            trace = []
+
+            def proc(env, name, period):
+                for _ in range(5):
+                    yield env.timeout(period)
+                    trace.append((env.now, name))
+
+            env.process(proc(env, "x", 1.5))
+            env.process(proc(env, "y", 2.0))
+            env.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

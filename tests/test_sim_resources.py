@@ -1,0 +1,236 @@
+"""Tests for DES stores, resources and random streams."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, RandomStreams, Resource, Store
+
+
+class TestStore:
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            for item in ("a", "b", "c"):
+                yield store.put(item)
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(5)
+            yield store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(5, "late")]
+
+    def test_put_blocks_when_full(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer(env):
+            yield store.put("one")
+            times.append(env.now)
+            yield store.put("two")  # blocks until consumer frees space
+            times.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(3)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert times == [0, 3]
+
+    def test_counters(self):
+        env = Environment()
+        store = Store(env)
+
+        def flow(env):
+            yield store.put(1)
+            yield store.put(2)
+            yield store.get()
+
+        env.process(flow(env))
+        env.run()
+        assert store.total_put == 2
+        assert store.total_got == 1
+        assert store.peak_level == 2
+        assert store.level == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Store(Environment(), capacity=0)
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        log = []
+
+        def worker(env, tag):
+            request = resource.request()
+            yield request
+            log.append((env.now, tag, "start"))
+            yield env.timeout(2)
+            resource.release(request)
+            log.append((env.now, tag, "end"))
+
+        env.process(worker(env, "a"))
+        env.process(worker(env, "b"))
+        env.run()
+        assert log == [
+            (0, "a", "start"),
+            (2, "a", "end"),
+            (2, "b", "start"),
+            (4, "b", "end"),
+        ]
+
+    def test_multiple_slots_run_concurrently(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        ends = []
+
+        def worker(env):
+            request = resource.request()
+            yield request
+            yield env.timeout(3)
+            resource.release(request)
+            ends.append(env.now)
+
+        for _ in range(2):
+            env.process(worker(env))
+        env.run()
+        assert ends == [3, 3]
+
+    def test_utilisation_accounting(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+
+        def worker(env):
+            request = resource.request()
+            yield request
+            yield env.timeout(5)
+            resource.release(request)
+            yield env.timeout(5)  # idle tail
+
+        env.process(worker(env))
+        env.run()
+        assert resource.utilisation() == pytest.approx(0.5)
+        assert resource.total_served == 1
+
+    def test_queue_length_visible(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        observed = []
+
+        def holder(env):
+            request = resource.request()
+            yield request
+            yield env.timeout(10)
+            resource.release(request)
+
+        def waiter(env):
+            request = resource.request()
+            yield request
+            resource.release(request)
+
+        def observer(env):
+            yield env.timeout(1)
+            observed.append((resource.count, resource.queue_length))
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.process(observer(env))
+        env.run()
+        assert observed == [(1, 1)]
+
+    def test_release_unheld_request_is_error(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+
+        def bad(env):
+            yield env.timeout(1)
+            queued = resource.request()  # still queued, not granted
+            resource.release(queued)
+
+        env.process(bad(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_context_manager_releases(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def worker(env, tag):
+            with resource.request() as request:
+                yield request
+                order.append(tag)
+                yield env.timeout(1)
+
+        env.process(worker(env, "a"))
+        env.process(worker(env, "b"))
+        env.run()
+        assert order == ["a", "b"]
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(1).get("x").random()
+        b = RandomStreams(1).get("x").random()
+        assert a == b
+
+    def test_streams_are_independent(self):
+        streams = RandomStreams(1)
+        before = streams.get("a").random()
+        # Drawing from stream b must not change stream a's future draws.
+        fresh = RandomStreams(1)
+        fresh.get("b").random()
+        after = fresh.get("a").random()
+        assert before == after
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(1)
+        assert streams.get("a").random() != streams.get("b").random()
+
+    def test_exponential_mean_roughly_right(self):
+        streams = RandomStreams(42)
+        draws = [streams.exponential("arr", 2.0) for _ in range(5000)]
+        assert sum(draws) / len(draws) == pytest.approx(2.0, rel=0.1)
+
+    def test_lognormal_mean_matches_parameter(self):
+        streams = RandomStreams(42)
+        draws = [streams.lognormal("svc", 0.5) for _ in range(5000)]
+        assert sum(draws) / len(draws) == pytest.approx(0.5, rel=0.1)
+
+    def test_invalid_means_rejected(self):
+        streams = RandomStreams(0)
+        with pytest.raises(ValueError):
+            streams.exponential("x", 0)
+        with pytest.raises(ValueError):
+            streams.lognormal("x", -1)

@@ -1,0 +1,151 @@
+"""Tests for clocks, id generation and token buckets."""
+
+import threading
+
+import pytest
+
+from repro.util.clock import ManualClock, WallClock
+from repro.util.idgen import IdGenerator, prefixed_ids
+from repro.util.tokens import TokenBucket
+
+
+class TestManualClock:
+    def test_starts_at_given_time(self):
+        assert ManualClock(5.0).now() == 5.0
+
+    def test_advance_moves_forward(self):
+        clock = ManualClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_advance_returns_new_time(self):
+        clock = ManualClock(1.0)
+        assert clock.advance(1.0) == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1)
+
+    def test_set_jumps_to_absolute_time(self):
+        clock = ManualClock()
+        clock.set(100.0)
+        assert clock.now() == 100.0
+
+    def test_set_backwards_rejected(self):
+        clock = ManualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.set(5.0)
+
+    def test_thread_safe_advances(self):
+        clock = ManualClock()
+
+        def bump():
+            for _ in range(1000):
+                clock.advance(0.001)
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert clock.now() == pytest.approx(4.0)
+
+
+class TestWallClock:
+    def test_now_is_monotone_enough(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+    def test_sleep_zero_is_noop(self):
+        WallClock().sleep(0)  # must not raise or block
+
+
+class TestIdGenerator:
+    def test_sequence_from_start(self):
+        gen = IdGenerator(start=10)
+        assert [gen.next() for _ in range(3)] == [10, 11, 12]
+
+    def test_last_tracks_most_recent(self):
+        gen = IdGenerator()
+        gen.next()
+        gen.next()
+        assert gen.last == 2
+
+    def test_last_before_any_issue(self):
+        assert IdGenerator(start=5).last == 4
+
+    def test_concurrent_uniqueness(self):
+        gen = IdGenerator()
+        seen = []
+        lock = threading.Lock()
+
+        def take():
+            local = [gen.next() for _ in range(500)]
+            with lock:
+                seen.extend(local)
+
+        threads = [threading.Thread(target=take) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == len(set(seen)) == 2000
+
+    def test_prefixed_ids(self):
+        stream = prefixed_ids("agent", start=3)
+        assert next(stream) == "agent-3"
+        assert next(stream) == "agent-4"
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(rate=10, burst=5, clock=ManualClock())
+        assert bucket.tokens == pytest.approx(5)
+
+    def test_take_consumes(self):
+        bucket = TokenBucket(rate=10, burst=5, clock=ManualClock())
+        assert bucket.take(3)
+        assert bucket.tokens == pytest.approx(2)
+
+    def test_take_fails_when_insufficient(self):
+        bucket = TokenBucket(rate=10, burst=2, clock=ManualClock())
+        assert not bucket.take(3)
+
+    def test_refills_at_rate(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=10, burst=10, clock=clock)
+        bucket.take(10)
+        clock.advance(0.5)
+        assert bucket.tokens == pytest.approx(5)
+
+    def test_refill_capped_at_burst(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=100, burst=5, clock=clock)
+        clock.advance(10)
+        assert bucket.tokens == pytest.approx(5)
+
+    def test_delay_until_available(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=10, burst=10, clock=clock)
+        bucket.take(10)
+        assert bucket.delay_until_available(5) == pytest.approx(0.5)
+
+    def test_delay_zero_when_available(self):
+        bucket = TokenBucket(rate=10, burst=10, clock=ManualClock())
+        assert bucket.delay_until_available(1) == 0.0
+
+    def test_delay_beyond_burst_rejected(self):
+        bucket = TokenBucket(rate=10, burst=2, clock=ManualClock())
+        with pytest.raises(ValueError):
+            bucket.delay_until_available(5)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0)
+
+    def test_invalid_take_amount_rejected(self):
+        bucket = TokenBucket(rate=1, clock=ManualClock())
+        with pytest.raises(ValueError):
+            bucket.take(0)

@@ -1,0 +1,141 @@
+"""Tests for repro.util.paths."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidPath
+from repro.util.paths import (
+    basename,
+    depth,
+    dirname,
+    is_ancestor,
+    join,
+    normalize,
+    split_components,
+)
+
+
+class TestNormalize:
+    def test_plain_absolute_path_unchanged(self):
+        assert normalize("/a/b/c") == "/a/b/c"
+
+    def test_root(self):
+        assert normalize("/") == "/"
+
+    def test_collapses_repeated_separators(self):
+        assert normalize("/a//b///c") == "/a/b/c"
+
+    def test_strips_trailing_slash(self):
+        assert normalize("/a/b/") == "/a/b"
+
+    def test_resolves_dot(self):
+        assert normalize("/a/./b") == "/a/b"
+
+    def test_resolves_dotdot(self):
+        assert normalize("/a/b/../c") == "/a/c"
+
+    def test_dotdot_does_not_escape_root(self):
+        assert normalize("/../../a") == "/a"
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(InvalidPath):
+            normalize("a/b")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(InvalidPath):
+            normalize("")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(InvalidPath):
+            normalize(None)  # type: ignore[arg-type]
+
+    def test_nul_byte_rejected(self):
+        with pytest.raises(InvalidPath):
+            normalize("/a/b\x00c")
+
+    @given(st.lists(st.text(alphabet="abcXYZ09._-", min_size=1, max_size=8),
+                    max_size=6))
+    def test_idempotent(self, components):
+        path = "/" + "/".join(components)
+        once = normalize(path)
+        assert normalize(once) == once
+
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=4), max_size=5))
+    def test_result_always_absolute(self, components):
+        path = "/" + "//".join(components)
+        assert normalize(path).startswith("/")
+
+
+class TestSplitComponents:
+    def test_root_is_empty(self):
+        assert split_components("/") == []
+
+    def test_components_in_order(self):
+        assert split_components("/a/b/c") == ["a", "b", "c"]
+
+    def test_normalizes_first(self):
+        assert split_components("/a//b/./") == ["a", "b"]
+
+
+class TestJoin:
+    def test_single_component(self):
+        assert join("/a", "b") == "/a/b"
+
+    def test_multiple_components(self):
+        assert join("/", "a", "b", "c") == "/a/b/c"
+
+    def test_component_with_slash_rejected(self):
+        with pytest.raises(InvalidPath):
+            join("/a", "b/c")
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(InvalidPath):
+            join("/a", "")
+
+
+class TestBasenameDirname:
+    def test_basename(self):
+        assert basename("/a/b/c.txt") == "c.txt"
+
+    def test_basename_of_root(self):
+        assert basename("/") == ""
+
+    def test_dirname(self):
+        assert dirname("/a/b/c.txt") == "/a/b"
+
+    def test_dirname_of_top_level(self):
+        assert dirname("/a") == "/"
+
+    def test_dirname_of_root(self):
+        assert dirname("/") == "/"
+
+    @given(st.lists(st.text(alphabet="abc09", min_size=1, max_size=5),
+                    min_size=1, max_size=5))
+    def test_join_of_dirname_and_basename_roundtrips(self, components):
+        path = "/" + "/".join(components)
+        assert join(dirname(path), basename(path)) == normalize(path)
+
+
+class TestIsAncestor:
+    def test_root_is_ancestor_of_everything(self):
+        assert is_ancestor("/", "/a/b")
+
+    def test_self_is_ancestor(self):
+        assert is_ancestor("/a/b", "/a/b")
+
+    def test_proper_ancestor(self):
+        assert is_ancestor("/a", "/a/b/c")
+
+    def test_sibling_prefix_is_not_ancestor(self):
+        assert not is_ancestor("/a/b", "/a/bc")
+
+    def test_child_is_not_ancestor_of_parent(self):
+        assert not is_ancestor("/a/b", "/a")
+
+
+class TestDepth:
+    def test_root_depth_zero(self):
+        assert depth("/") == 0
+
+    def test_nested_depth(self):
+        assert depth("/a/b/c") == 3

@@ -1,0 +1,192 @@
+"""Tests for the Watchdog-style observer layer."""
+
+import pytest
+
+from repro.fs.memfs import MemoryFilesystem
+from repro.fs.watchdog import FileSystemEventHandler, Observer
+from repro.util.clock import ManualClock
+
+
+class Recorder(FileSystemEventHandler):
+    def __init__(self):
+        self.events = []
+
+    def on_any_event(self, event):
+        self.events.append(event)
+
+
+@pytest.fixture
+def fs():
+    return MemoryFilesystem(clock=ManualClock())
+
+
+@pytest.fixture
+def observer(fs):
+    return Observer(fs)
+
+
+class TestScheduling:
+    def test_schedule_crawls_tree_to_place_watches(self, fs, observer):
+        fs.makedirs("/root/a/b")
+        fs.makedirs("/root/c")
+        observer.schedule(Recorder(), "/root")
+        # /root, /root/a, /root/a/b, /root/c
+        assert observer.directories_watched == 4
+        assert observer.inotify.watch_count == 4
+
+    def test_non_recursive_schedule_places_one_watch(self, fs, observer):
+        fs.makedirs("/root/a")
+        observer.schedule(Recorder(), "/root", recursive=False)
+        assert observer.inotify.watch_count == 1
+
+    def test_unschedule_stops_dispatch(self, fs, observer):
+        fs.mkdir("/d")
+        handler = Recorder()
+        schedule = observer.schedule(handler, "/d")
+        observer.unschedule(schedule)
+        fs.create("/d/f")
+        observer.drain()
+        assert handler.events == []
+
+
+class TestDispatch:
+    def test_created_event(self, fs, observer):
+        fs.mkdir("/d")
+        handler = Recorder()
+        observer.schedule(handler, "/d")
+        fs.create("/d/f.txt")
+        observer.drain()
+        (event,) = handler.events
+        assert event.event_type == "created"
+        assert event.src_path == "/d/f.txt"
+        assert not event.is_directory
+
+    def test_modified_event(self, fs, observer):
+        fs.mkdir("/d")
+        fs.create("/d/f")
+        handler = Recorder()
+        observer.schedule(handler, "/d")
+        fs.write("/d/f", b"x")
+        observer.drain()
+        assert [e.event_type for e in handler.events] == ["modified"]
+
+    def test_deleted_event(self, fs, observer):
+        fs.mkdir("/d")
+        fs.create("/d/f")
+        handler = Recorder()
+        observer.schedule(handler, "/d")
+        fs.unlink("/d/f")
+        observer.drain()
+        assert handler.events[0].event_type == "deleted"
+
+    def test_attrib_event(self, fs, observer):
+        fs.mkdir("/d")
+        fs.create("/d/f")
+        handler = Recorder()
+        observer.schedule(handler, "/d")
+        fs.setattr("/d/f", mode=0o600)
+        observer.drain()
+        assert handler.events[0].event_type == "attrib"
+
+    def test_moved_event_pairs_src_and_dest(self, fs, observer):
+        fs.mkdir("/d")
+        fs.create("/d/a")
+        handler = Recorder()
+        observer.schedule(handler, "/d")
+        fs.rename("/d/a", "/d/b")
+        observer.drain()
+        (event,) = handler.events
+        assert event.event_type == "moved"
+        assert event.src_path == "/d/a"
+        assert event.dest_path == "/d/b"
+
+    def test_move_in_from_unwatched_tree_is_created(self, fs, observer):
+        fs.mkdir("/outside")
+        fs.mkdir("/watched")
+        fs.create("/outside/f")
+        handler = Recorder()
+        observer.schedule(handler, "/watched")
+        fs.rename("/outside/f", "/watched/f")
+        observer.drain()
+        (event,) = handler.events
+        assert event.event_type == "created"
+        assert event.src_path == "/watched/f"
+
+    def test_specific_hooks_called(self, fs, observer):
+        calls = []
+
+        class Hooked(FileSystemEventHandler):
+            def on_created(self, event):
+                calls.append(("created", event.src_path))
+
+            def on_deleted(self, event):
+                calls.append(("deleted", event.src_path))
+
+        fs.mkdir("/d")
+        observer.schedule(Hooked(), "/d")
+        fs.create("/d/f")
+        fs.unlink("/d/f")
+        observer.drain()
+        assert calls == [("created", "/d/f"), ("deleted", "/d/f")]
+
+    def test_non_recursive_ignores_subdirectory_events(self, fs, observer):
+        fs.makedirs("/d/sub")
+        handler = Recorder()
+        observer.schedule(handler, "/d", recursive=False)
+        fs.create("/d/sub/f")
+        fs.create("/d/top")
+        observer.drain()
+        assert [e.src_path for e in handler.events] == ["/d/top"]
+
+
+class TestRecursionMaintenance:
+    def test_new_subdirectory_gets_watched(self, fs, observer):
+        fs.mkdir("/d")
+        handler = Recorder()
+        observer.schedule(handler, "/d")
+        fs.mkdir("/d/new")
+        observer.drain()  # processes the mkdir, placing the new watch
+        fs.create("/d/new/f")
+        observer.drain()
+        paths = [e.src_path for e in handler.events]
+        assert "/d/new" in paths
+        assert "/d/new/f" in paths
+
+    def test_deeply_nested_creation_chain(self, fs, observer):
+        fs.mkdir("/d")
+        handler = Recorder()
+        observer.schedule(handler, "/d")
+        fs.mkdir("/d/a")
+        observer.drain()
+        fs.mkdir("/d/a/b")
+        observer.drain()
+        fs.create("/d/a/b/f")
+        observer.drain()
+        assert "/d/a/b/f" in [e.src_path for e in handler.events]
+
+
+class TestLiveMode:
+    def test_background_thread_delivers(self, fs, observer):
+        import time
+
+        fs.mkdir("/d")
+        handler = Recorder()
+        observer.schedule(handler, "/d")
+        observer.start(poll_interval=0.001)
+        try:
+            fs.create("/d/f")
+            deadline = time.time() + 2
+            while not handler.events and time.time() < deadline:
+                time.sleep(0.005)
+        finally:
+            observer.stop()
+        assert [e.event_type for e in handler.events] == ["created"]
+
+    def test_stop_flushes_pending(self, fs, observer):
+        fs.mkdir("/d")
+        handler = Recorder()
+        observer.schedule(handler, "/d")
+        observer.start(poll_interval=5.0)  # long interval: rely on stop flush
+        fs.create("/d/f")
+        observer.stop()
+        assert handler.events

@@ -1,0 +1,221 @@
+"""Tests for workload generators, NERSC dumps and traces."""
+
+import pytest
+
+from repro.lustre import LustreFilesystem
+from repro.util.clock import ManualClock
+from repro.workloads import (
+    DumpDiffer,
+    EventGenerator,
+    FileSystemDumpModel,
+    OpLatencies,
+    ScalingAnalysis,
+    TraceOp,
+    TraceReplayer,
+    synthetic_trace,
+)
+from repro.workloads.nersc import EIGHT_HOURS, SECONDS_PER_DAY
+
+
+class TestOpLatencies:
+    def test_from_rates(self):
+        latencies = OpLatencies.from_rates(100, 200, 400)
+        assert latencies.create == pytest.approx(0.01)
+        assert latencies.modify == pytest.approx(0.005)
+        assert latencies.delete == pytest.approx(0.0025)
+
+
+class TestEventGenerator:
+    def test_calibrated_rates_match_latencies(self):
+        clock = ManualClock()
+        fs = LustreFilesystem(clock=clock)
+        generator = EventGenerator(
+            fs, latencies=OpLatencies.from_rates(352, 534, 832)
+        )
+        report = generator.generate(n_files=500)
+        assert report.created_per_second == pytest.approx(352, rel=0.01)
+        assert report.modified_per_second == pytest.approx(534, rel=0.01)
+        assert report.deleted_per_second == pytest.approx(832, rel=0.01)
+
+    def test_each_phase_generates_one_record_per_file(self):
+        clock = ManualClock()
+        fs = LustreFilesystem(clock=clock)
+        generator = EventGenerator(
+            fs, latencies=OpLatencies.from_rates(10, 10, 10)
+        )
+        report = generator.generate(n_files=50)
+        assert report.records_created == 50
+        assert report.records_modified == 50
+        assert report.records_deleted == 50
+        assert report.total_records == 150
+
+    def test_calibrated_mode_advances_virtual_clock(self):
+        clock = ManualClock()
+        fs = LustreFilesystem(clock=clock)
+        generator = EventGenerator(
+            fs, latencies=OpLatencies(0.001, 0.001, 0.001)
+        )
+        generator.generate(n_files=100)
+        assert clock.now() == pytest.approx(0.3)
+
+    def test_calibrated_mode_requires_manual_clock(self):
+        fs = LustreFilesystem()  # wall clock
+        with pytest.raises(ValueError):
+            EventGenerator(fs, latencies=OpLatencies(1, 1, 1))
+
+    def test_wall_clock_mode_reports_positive_rates(self):
+        fs = LustreFilesystem()
+        generator = EventGenerator(fs)
+        report = generator.generate(n_files=200)
+        assert report.created_per_second > 0
+        assert report.total_events_per_second > 0
+
+    def test_mixed_workload_record_count(self):
+        clock = ManualClock()
+        fs = LustreFilesystem(clock=clock)
+        generator = EventGenerator(fs, seed=1)
+        records = generator.generate_mixed(n_ops=300, n_directories=8)
+        assert records >= 300  # at least one record per op
+
+    def test_mixed_workload_leaves_consistent_namespace(self):
+        fs = LustreFilesystem(clock=ManualClock())
+        generator = EventGenerator(fs, seed=2)
+        generator.generate_mixed(n_ops=200, n_directories=4)
+        for _dirpath, _dirs, files in fs.walk("/gen"):
+            for name in files:
+                assert name.startswith("m")
+
+    def test_invalid_weights_rejected(self):
+        fs = LustreFilesystem(clock=ManualClock())
+        generator = EventGenerator(fs)
+        with pytest.raises(ValueError):
+            generator.generate_mixed(10, create_weight=-1)
+
+
+class TestNerscDumps:
+    def test_series_length(self):
+        model = FileSystemDumpModel(base_files=1000, seed=1)
+        series = model.generate_series(days=10)
+        assert len(series) == 10
+
+    def test_diff_counts_created_and_modified(self):
+        model = FileSystemDumpModel(base_files=5000, seed=3)
+        series = model.generate_series(days=5)
+        diffs = DumpDiffer.analyze(series)
+        assert len(diffs) == 4
+        assert all(d.created >= 0 and d.modified >= 0 for d in diffs)
+        assert any(d.total_differences > 0 for d in diffs)
+
+    def test_diff_manual_example(self):
+        from repro.workloads.nersc import DailyDump
+
+        yesterday = DailyDump(0, {1: 0.0, 2: 0.0, 3: 0.0})
+        today = DailyDump(1, {1: 0.0, 2: 1.0, 4: 1.0})
+        diff = DumpDiffer.diff(yesterday, today)
+        assert diff.created == 1   # file 4
+        assert diff.modified == 1  # file 2
+        assert diff.deleted == 1   # file 3
+
+    def test_short_lived_files_invisible(self):
+        """Created-and-deleted-within-a-day files never appear in dumps
+        — the paper's stated limitation of dump differencing."""
+        from repro.workloads.nersc import DailyDump
+
+        yesterday = DailyDump(0, {})
+        today = DailyDump(1, {})  # churned file came and went
+        assert DumpDiffer.diff(yesterday, today).total_differences == 0
+
+    def test_reproducible_given_seed(self):
+        a = FileSystemDumpModel(base_files=2000, seed=9).generate_series(8)
+        b = FileSystemDumpModel(base_files=2000, seed=9).generate_series(8)
+        diffs_a = DumpDiffer.analyze(a)
+        diffs_b = DumpDiffer.analyze(b)
+        assert [d.total_differences for d in diffs_a] == [
+            d.total_differences for d in diffs_b
+        ]
+
+    def test_population_grows_with_creates(self):
+        model = FileSystemDumpModel(base_files=1000, churn_fraction=0.0, seed=4)
+        series = model.generate_series(days=10)
+        assert series.dumps[-1].file_count > series.dumps[0].file_count
+
+
+class TestScalingAnalysis:
+    def test_paper_arithmetic(self):
+        analysis = ScalingAnalysis(peak_diffs_per_day=3_600_000)
+        assert analysis.events_per_second_24h == pytest.approx(
+            3_600_000 / SECONDS_PER_DAY
+        )
+        assert analysis.events_per_second_24h == pytest.approx(41.7, abs=0.1)
+        assert analysis.events_per_second_8h == pytest.approx(
+            3_600_000 / EIGHT_HOURS
+        )
+        assert analysis.events_per_second_8h == pytest.approx(125, abs=1)
+
+    def test_aurora_extrapolation_factor(self):
+        analysis = ScalingAnalysis(peak_diffs_per_day=3_600_000)
+        assert analysis.aurora_factor == pytest.approx(21.1, abs=0.1)
+        # 8h worst case x capacity ratio ~= paper's 3,178 events/s
+        assert analysis.extrapolate() == pytest.approx(2641, rel=0.01)
+
+    def test_extrapolation_linear_in_capacity(self):
+        analysis = ScalingAnalysis(peak_diffs_per_day=1_000_000)
+        assert analysis.extrapolate(14.2) == pytest.approx(
+            2 * analysis.events_per_second_8h
+        )
+
+
+class TestTraces:
+    def test_trace_op_roundtrip(self):
+        op = TraceOp("rename", "/a/b", path2="/a/c", size=0)
+        assert TraceOp.from_line(op.to_line()) == op
+
+    def test_trace_op_roundtrip_with_size(self):
+        op = TraceOp("create", "/a/b", size=4096)
+        assert TraceOp.from_line(op.to_line()) == op
+
+    def test_synthetic_trace_replays_cleanly_on_lustre(self):
+        fs = LustreFilesystem(clock=ManualClock())
+        replayer = TraceReplayer(fs)
+        ops = list(synthetic_trace(200, seed=5))
+        applied = replayer.replay(ops)
+        assert applied == len(ops)
+        assert replayer.skipped == 0
+
+    def test_synthetic_trace_replays_on_memfs(self):
+        from repro.fs.memfs import MemoryFilesystem
+
+        fs = MemoryFilesystem(clock=ManualClock())
+        replayer = TraceReplayer(fs)
+        ops = list(synthetic_trace(150, seed=6))
+        assert replayer.replay(ops) == len(ops)
+
+    def test_same_seed_same_trace(self):
+        a = [op.to_line() for op in synthetic_trace(100, seed=7)]
+        b = [op.to_line() for op in synthetic_trace(100, seed=7)]
+        assert a == b
+
+    def test_replay_produces_identical_changelog_streams(self):
+        """The same trace replayed on two Lustre instances yields the
+        same record-type sequence — the basis for monitor/baseline A/B
+        comparisons."""
+        ops = list(synthetic_trace(100, seed=8))
+
+        def record_types(fs):
+            replayer = TraceReplayer(fs)
+            replayer.replay(ops)
+            return [
+                record.rec_type
+                for changelog in fs.changelogs()
+                for record in changelog._records
+            ]
+
+        first = record_types(LustreFilesystem(clock=ManualClock()))
+        second = record_types(LustreFilesystem(clock=ManualClock()))
+        assert first == second
+
+    def test_unknown_op_rejected(self):
+        fs = LustreFilesystem(clock=ManualClock())
+        replayer = TraceReplayer(fs)
+        with pytest.raises(ValueError):
+            replayer._apply(TraceOp("explode", "/x"))
