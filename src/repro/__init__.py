@@ -22,6 +22,7 @@ from repro.core import (
     MonitorConfig,
 )
 from repro.fs import MemoryFilesystem, Observer
+from repro.metrics import MetricsRegistry
 from repro.lustre import (
     ChangeLog,
     ChangelogRecord,
@@ -36,6 +37,12 @@ from repro.ripple import (
     RippleService,
     Rule,
     Trigger,
+)
+from repro.runtime import (
+    RestartPolicy,
+    Service,
+    ServiceCrash,
+    Supervisor,
 )
 
 __version__ = "1.0.0"
@@ -67,4 +74,10 @@ __all__ = [
     "Rule",
     "Trigger",
     "Action",
+    # service runtime
+    "Service",
+    "ServiceCrash",
+    "Supervisor",
+    "RestartPolicy",
+    "MetricsRegistry",
 ]

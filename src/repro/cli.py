@@ -170,6 +170,35 @@ def cmd_changelog_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_health_demo(args: argparse.Namespace) -> int:
+    """Run a live supervised monitor briefly and print its health tree."""
+    from repro.core import LustreMonitor
+    from repro.lustre import LustreFilesystem
+
+    fs = LustreFilesystem(num_mds=args.num_mds)
+    fs.makedirs("/demo/data")
+    monitor = LustreMonitor(fs)
+    monitor.subscribe(lambda _seq, _event: None, name="demo")
+    monitor.start()
+    try:
+        for index in range(args.events):
+            fs.create(f"/demo/data/f{index}")
+        monitor.drain()
+        print("== supervision tree ==")
+        for key, record in monitor.health()["services"].items():
+            workers = ", ".join(record["workers"]) or "-"
+            print(
+                f"{key:24s} {record['state']:8s} "
+                f"restarts={record['restart_count']} workers=[{workers}]"
+            )
+        print("\n== registry snapshot ==")
+        for name, value in sorted(monitor.registry.snapshot().items()):
+            print(f"{name:44s} {value}")
+    finally:
+        monitor.shutdown()
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -239,6 +268,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo.add_argument("--num-mds", type=int, default=1)
     demo.set_defaults(func=cmd_changelog_demo)
+
+    health = subparsers.add_parser(
+        "health-demo",
+        help="run a live supervised monitor and print its health tree",
+    )
+    health.add_argument("--num-mds", type=int, default=2)
+    health.add_argument("--events", type=int, default=50)
+    health.set_defaults(func=cmd_health_demo)
 
     return parser
 

@@ -5,25 +5,30 @@ serverless functions act on queue entries and remove them once
 successfully processed, and a cleanup function periodically re-drives
 entries whose processing failed.  :class:`ServerlessExecutor` and
 :class:`CleanupFunction` model exactly that loop.
+
+Both are :class:`~repro.runtime.Service`\\ s: the executor runs one
+named worker per unit of *concurrency* and the cleanup function runs a
+single periodic worker, so they can be composed under a
+:class:`~repro.runtime.Supervisor` (see ``repro.ripple.service``).
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Callable, Optional
 
 from repro.errors import ReceiptInvalid
 from repro.cloudq.sqs import ReliableQueue
+from repro.runtime import Service, WorkerSpec
 from repro.util.logging import get_logger
 
 
-class ServerlessExecutor:
+class ServerlessExecutor(Service):
     """A pool of Lambda-style workers pulling *queue* and calling *handler*.
 
     On handler success the message is deleted; on handler exception the
     message is left in flight and reappears after its visibility timeout
-    (at-least-once processing).  Workers run as daemon threads in live
-    mode; tests can instead call :meth:`poll_once` for deterministic
+    (at-least-once processing).  Live mode runs *concurrency* named
+    workers; tests can instead call :meth:`poll_once` for deterministic
     single-stepping.
     """
 
@@ -35,22 +40,35 @@ class ServerlessExecutor:
         batch_size: int = 10,
         poll_interval: float = 0.005,
         on_error: Optional[Callable[[Any, BaseException], None]] = None,
+        registry=None,
     ) -> None:
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1: {concurrency}")
+        super().__init__("executor", registry)
         self.queue = queue
         self.handler = handler
         self.concurrency = concurrency
         self.batch_size = batch_size
         self.poll_interval = poll_interval
         self.on_error = on_error
-        self._threads: list[threading.Thread] = []
-        self._stop = threading.Event()
-        # Counters.
-        self.invocations = 0
-        self.successes = 0
-        self.failures = 0
-        self._counter_lock = threading.Lock()
+        self._invocations = self.metrics.counter("invocations")
+        self._successes = self.metrics.counter("successes")
+        self._failures = self.metrics.counter("failures")
+        self.metrics.gauge_fn("queue_depth", lambda: queue.visible_depth)
+
+    # -- counters (registry-backed; old attribute names kept readable) ------
+
+    @property
+    def invocations(self) -> int:
+        return self._invocations.value
+
+    @property
+    def successes(self) -> int:
+        return self._successes.value
+
+    @property
+    def failures(self) -> int:
+        return self._failures.value
 
     # -- deterministic single-step mode -----------------------------------
 
@@ -62,13 +80,11 @@ class ServerlessExecutor:
         """
         processed = 0
         for message in self.queue.receive(max_messages=self.batch_size):
-            with self._counter_lock:
-                self.invocations += 1
+            self._invocations.inc()
             try:
                 self.handler(message.body)
             except Exception as exc:
-                with self._counter_lock:
-                    self.failures += 1
+                self._failures.inc()
                 if self.on_error is not None:
                     self.on_error(message.body, exc)
                 continue  # leave in flight; visibility timeout re-drives
@@ -79,8 +95,7 @@ class ServerlessExecutor:
                 # Someone else already completed this delivery (the
                 # at-least-once race); the work was done, count success.
                 pass
-            with self._counter_lock:
-                self.successes += 1
+            self._successes.inc()
             processed += 1
         return processed
 
@@ -94,34 +109,21 @@ class ServerlessExecutor:
                 break
         return total
 
-    # -- live threaded mode -----------------------------------------------
+    # -- live mode (service runtime) ----------------------------------------
 
-    def start(self) -> None:
-        """Start *concurrency* daemon worker threads."""
-        if self._threads:
-            return
-        self._stop.clear()
-        for index in range(self.concurrency):
-            thread = threading.Thread(
-                target=self._worker_loop, name=f"lambda-{index}", daemon=True
+    def worker_specs(self) -> list[WorkerSpec]:
+        return [
+            WorkerSpec(
+                f"lambda-{index}",
+                self.poll_once,
+                idle_wait=self.poll_interval,
+                max_idle_wait=max(self.poll_interval, 0.05),
             )
-            thread.start()
-            self._threads.append(thread)
-
-    def _worker_loop(self) -> None:
-        while not self._stop.is_set():
-            if self.poll_once() == 0:
-                self._stop.wait(self.poll_interval)
-
-    def stop(self) -> None:
-        """Stop the worker threads."""
-        self._stop.set()
-        for thread in self._threads:
-            thread.join(timeout=5)
-        self._threads.clear()
+            for index in range(self.concurrency)
+        ]
 
 
-class CleanupFunction:
+class CleanupFunction(Service):
     """The periodic sweeper that re-drives stalled in-flight messages.
 
     The paper: "A cleanup function periodically iterates through the
@@ -134,13 +136,17 @@ class CleanupFunction:
         queue: ReliableQueue,
         stall_threshold: float = 5.0,
         period: float = 10.0,
+        registry=None,
     ) -> None:
+        super().__init__("cleanup", registry)
         self.queue = queue
         self.stall_threshold = stall_threshold
         self.period = period
-        self._thread: Optional[threading.Thread] = None
-        self._stop = threading.Event()
-        self.total_redriven = 0
+        self._total_redriven = self.metrics.counter("total_redriven")
+
+    @property
+    def total_redriven(self) -> int:
+        return self._total_redriven.value
 
     def sweep_once(self) -> int:
         """One sweep: re-drive messages in flight longer than the threshold."""
@@ -150,27 +156,10 @@ class CleanupFunction:
                 "re-drove %d stalled message(s) on %s", redriven,
                 self.queue.name,
             )
-        self.total_redriven += redriven
+        self._total_redriven.inc(redriven)
         return redriven
 
-    def start(self) -> None:
-        """Run sweeps every *period* seconds in a daemon thread."""
-        if self._thread is not None:
-            return
-        self._stop.clear()
-
-        def _loop() -> None:
-            while not self._stop.is_set():
-                self._stop.wait(self.period)
-                if not self._stop.is_set():
-                    self.sweep_once()
-
-        self._thread = threading.Thread(target=_loop, name="cleanup", daemon=True)
-        self._thread.start()
-
-    def stop(self) -> None:
-        if self._thread is None:
-            return
-        self._stop.set()
-        self._thread.join(timeout=5)
-        self._thread = None
+    def worker_specs(self) -> list[WorkerSpec]:
+        # Periodic: wait a full period before the first sweep, matching
+        # the original daemon-thread behaviour.
+        return [WorkerSpec("sweep", self.sweep_once, interval=self.period)]

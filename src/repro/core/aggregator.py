@@ -11,26 +11,32 @@ and exposes an API to enable consumers to retrieve historic events."
 Structure here:
 
 * an inbound PULL endpoint collectors PUSH event batches to;
-* an internal queue feeding two worker threads — one stores into the
-  rotating :class:`EventStore`, one publishes on a PUB endpoint under
-  topic ``events`` (subscribers filter client-side);
-* a REP endpoint serving the historic-event API (``since``/``recent``/
+* an internal queue feeding two named service workers — ``pump`` stores
+  into the rotating :class:`EventStore` and publishes on a PUB endpoint
+  under topic ``events`` (subscribers filter client-side), ``api``
+  serves the historic-event REP endpoint (``since``/``recent``/
   ``query`` requests).
 
 Deterministic mode: :meth:`pump_once` performs receive→store→publish
 synchronously, which tests and virtual-time drivers use.
+
+As a :class:`~repro.runtime.Service`, the aggregator's counters live in
+the shared metrics registry and the ``{'op': 'stats'}`` API answer is
+derived from that registry (health record included) instead of scraping
+instance attributes.
 """
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
 from repro.core.events import EventType, FileEvent
 from repro.core.store import EventStore
 from repro.errors import WouldBlock
+from repro.metrics.registry import MetricsRegistry
 from repro.msgq import Context
+from repro.runtime import Service, WorkerSpec
 
 
 @dataclass(frozen=True)
@@ -49,7 +55,7 @@ class AggregatorConfig:
     topic_by_path: bool = False
 
 
-class Aggregator:
+class Aggregator(Service):
     """Receives event batches, stores them, and publishes them."""
 
     def __init__(
@@ -57,7 +63,10 @@ class Aggregator:
         context: Context,
         config: AggregatorConfig | None = None,
         store: EventStore | None = None,
+        registry: Optional[MetricsRegistry] = None,
+        name: str = "aggregator",
     ) -> None:
+        super().__init__(name, registry)
         self.context = context
         self.config = config or AggregatorConfig()
         #: The rotating catalog; pass a restored store (EventStore.load)
@@ -70,12 +79,31 @@ class Aggregator:
             self.config.publish_endpoint
         )
         self.api = context.rep().bind(self.config.api_endpoint)
-        self._threads: list[threading.Thread] = []
-        self._stop = threading.Event()
-        # Counters.
-        self.batches_received = 0
-        self.events_stored = 0
-        self.events_published = 0
+        # Pipeline counters (shared registry; property shims below).
+        self._batches_received = self.metrics.counter("batches_received")
+        self._events_stored = self.metrics.counter("events_stored")
+        self._events_published = self.metrics.counter("events_published")
+        self._api_requests = self.metrics.counter("api_requests")
+        self.metrics.gauge_fn("store_len", lambda: len(self.store))
+        self.metrics.gauge_fn("store_last_seq", lambda: self.store.last_seq)
+        self.metrics.gauge_fn("store_rotated", lambda: self.store.total_rotated)
+        self.metrics.gauge_fn(
+            "store_memory_bytes", lambda: self.store.approximate_memory_bytes()
+        )
+
+    # -- legacy counter names (read-only views over the registry) -----------
+
+    @property
+    def batches_received(self) -> int:
+        return self._batches_received.value
+
+    @property
+    def events_stored(self) -> int:
+        return self._events_stored.value
+
+    @property
+    def events_published(self) -> int:
+        return self._events_published.value
 
     # -- deterministic mode ----------------------------------------------------
 
@@ -102,6 +130,7 @@ class Aggregator:
             request, channel = self.api.recv(timeout=timeout)
         except WouldBlock:
             return False
+        self._api_requests.inc()
         try:
             channel.send(self._answer(request))
         except Exception as exc:
@@ -117,12 +146,12 @@ class Aggregator:
         return f"{self.config.publish_topic}.{top}"
 
     def _handle_batch(self, batch: list[FileEvent]) -> int:
-        self.batches_received += 1
+        self._batches_received.inc()
         for event in batch:
             seq = self.store.append(event)
-            self.events_stored += 1
+            self._events_stored.inc()
             self.publisher.send(self._topic_for(event), (seq, event))
-            self.events_published += 1
+            self._events_published.inc()
         return len(batch)
 
     # -- historic API ------------------------------------------------------------
@@ -142,15 +171,9 @@ class Aggregator:
         if op == "last_seq":
             return self.store.last_seq
         if op == "stats":
-            return {
-                "batches_received": self.batches_received,
-                "events_stored": self.events_stored,
-                "events_published": self.events_published,
-                "store_len": len(self.store),
-                "store_last_seq": self.store.last_seq,
-                "store_rotated": self.store.total_rotated,
-                "store_memory_bytes": self.store.approximate_memory_bytes(),
-            }
+            # Derived from the shared metrics registry — the same
+            # numbers every service exposes through Service.stats().
+            return {**self.metrics.snapshot(), "health": self.health()}
         if op == "query":
             event_type = request.get("event_type")
             return self.store.query(
@@ -162,42 +185,18 @@ class Aggregator:
             )
         raise ValueError(f"unknown API op: {op!r}")
 
-    # -- live threaded mode -------------------------------------------------------
+    # -- service runtime -------------------------------------------------------
 
-    def start(self) -> None:
-        """Start the store/publish pump and the API server threads."""
-        if self._threads:
-            return
-        self._stop.clear()
+    def worker_specs(self) -> list[WorkerSpec]:
+        return [
+            WorkerSpec("pump", self.pump_once, idle_wait=0.001),
+            WorkerSpec("api", self.serve_api_once, idle_wait=0.001),
+        ]
 
-        def _pump_loop() -> None:
-            while not self._stop.is_set():
-                if self.pump_once(timeout=0.01) == 0:
-                    continue
-            self.pump_once()  # final flush
+    def on_stop(self) -> None:
+        self.pump_once()  # final flush
 
-        def _api_loop() -> None:
-            while not self._stop.is_set():
-                self.serve_api_once(timeout=0.01)
-
-        for name, target in (("aggregator-pump", _pump_loop), ("aggregator-api", _api_loop)):
-            thread = threading.Thread(target=target, name=name, daemon=True)
-            thread.start()
-            self._threads.append(thread)
-
-    def stop(self) -> None:
-        """Stop worker threads, flushing pending batches."""
-        if not self._threads:
-            return
-        self._stop.set()
-        for thread in self._threads:
-            thread.join(timeout=10)
-        self._threads.clear()
-        self.pump_once()
-
-    def close(self) -> None:
-        """Stop and release every socket."""
-        self.stop()
+    def on_close(self) -> None:
         self.inbound.close()
         self.publisher.close()
         self.api.close()

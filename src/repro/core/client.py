@@ -8,12 +8,12 @@ historic-event REQ/REP API without subscribing to the live stream.
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Optional
 
 from repro.core.aggregator import Aggregator, AggregatorConfig
 from repro.core.events import EventType, FileEvent
 from repro.msgq import Context
+from repro.runtime import call_with_pump
 
 
 class MonitorClient:
@@ -46,23 +46,10 @@ class MonitorClient:
             return self._socket.request(payload, timeout=self.timeout)
         # Deterministic mode: issue the request from a helper thread and
         # serve it inline (REQ/REP stays lock-step).
-        box: list[Any] = []
-        error: list[BaseException] = []
-
-        def _ask() -> None:
-            try:
-                box.append(self._socket.request(payload, timeout=self.timeout))
-            except BaseException as exc:  # propagated below
-                error.append(exc)
-
-        asker = threading.Thread(target=_ask, daemon=True)
-        asker.start()
-        while asker.is_alive():
-            self.api_server.serve_api_once(timeout=0.05)
-            asker.join(timeout=0.001)
-        if error:
-            raise error[0]
-        return box[0]
+        return call_with_pump(
+            lambda: self._socket.request(payload, timeout=self.timeout),
+            lambda: self.api_server.serve_api_once(timeout=0.05),
+        )
 
     # -- queries ----------------------------------------------------------------
 

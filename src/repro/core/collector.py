@@ -14,13 +14,19 @@ its MDS it registers a changelog user, then loops:
 
 Reporting happens *before* clearing: a crash between the two causes
 redelivery, never loss (at-least-once, the same guarantee Ripple's cloud
-queue provides downstream).
+queue provides downstream).  That property is what makes supervisor
+restarts safe: a collector killed mid-poll and restarted re-reads the
+unpurged records and re-reports them.
+
+The collector is a :class:`~repro.runtime.Service`: live mode runs the
+``poll`` worker with idle backoff, counters live in the shared metrics
+registry (old attribute names remain readable as properties), and a
+:class:`~repro.runtime.Supervisor` can restart it after a crash.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol
 
 from repro.core.events import FileEvent
@@ -28,6 +34,8 @@ from repro.core.processor import EventProcessor, ProcessorConfig
 from repro.lustre.fid2path import FidResolver
 from repro.lustre.filesystem import LustreFilesystem
 from repro.lustre.mds import MetadataServer
+from repro.metrics.registry import MetricsRegistry
+from repro.runtime import Service, ServiceCrash, WorkerSpec
 from repro.util.logging import get_logger
 
 
@@ -47,7 +55,7 @@ class CollectorConfig:
     processor:
         Processing-stage configuration (batching/caching).
     poll_interval:
-        Sleep between polls in live threaded mode.
+        Idle-backoff base between polls in live threaded mode.
     event_types:
         Optional server-side filter: only these normalized event kinds
         are reported to the aggregator (None = report everything, the
@@ -57,7 +65,7 @@ class CollectorConfig:
     """
 
     read_batch: int = 256
-    processor: ProcessorConfig = ProcessorConfig()
+    processor: ProcessorConfig = field(default_factory=ProcessorConfig)
     poll_interval: float = 0.002
     event_types: Optional[frozenset] = None
 
@@ -68,7 +76,7 @@ class CollectorConfig:
             raise ValueError("event_types filter must be None or non-empty")
 
 
-class Collector:
+class Collector(Service):
     """Collects events from every MDT ChangeLog of one MDS."""
 
     def __init__(
@@ -79,8 +87,9 @@ class Collector:
         sink: EventSink,
         config: CollectorConfig | None = None,
         resolver: Optional[FidResolver] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
-        self.name = name
+        super().__init__(name, registry, scope=f"collector.{name}")
         self.fs = filesystem
         self.mds = mds
         self.sink = sink
@@ -91,14 +100,48 @@ class Collector:
         self._users: dict[int, str] = {
             mdt.index: mdt.changelog.register_user() for mdt in mds.mdts
         }
-        self._thread: Optional[threading.Thread] = None
-        self._stop = threading.Event()
         self._log = get_logger(f"core.collector.{name}")
-        # Counters.
-        self.records_read = 0
-        self.events_reported = 0
-        self.events_filtered = 0
-        self.report_failures = 0
+        # Pipeline counters (shared registry; see property shims below).
+        self._records_read = self.metrics.counter("records_read")
+        self._events_reported = self.metrics.counter("events_reported")
+        self._events_filtered = self.metrics.counter("events_filtered")
+        self._report_failures = self.metrics.counter("report_failures")
+        # Processing-stage numbers are derived on read, not double-kept.
+        self.metrics.gauge_fn(
+            "resolver_invocations", lambda: self.resolver.invocations
+        )
+        self.metrics.gauge_fn(
+            "resolver_failures", lambda: self.resolver.failures
+        )
+        self.metrics.gauge_fn(
+            "unresolved_events", lambda: self.processor.unresolved
+        )
+        self.metrics.gauge_fn(
+            "cache_hits",
+            lambda: self.processor.cache.hits if self.processor.cache else 0,
+        )
+        self.metrics.gauge_fn(
+            "cache_misses",
+            lambda: self.processor.cache.misses if self.processor.cache else 0,
+        )
+
+    # -- legacy counter names (read-only views over the registry) -----------
+
+    @property
+    def records_read(self) -> int:
+        return self._records_read.value
+
+    @property
+    def events_reported(self) -> int:
+        return self._events_reported.value
+
+    @property
+    def events_filtered(self) -> int:
+        return self._events_filtered.value
+
+    @property
+    def report_failures(self) -> int:
+        return self._report_failures.value
 
     # -- deterministic single-step mode --------------------------------------
 
@@ -113,7 +156,7 @@ class Collector:
             records = mdt.changelog.read(user, max_records=self.config.read_batch)
             if not records:
                 continue
-            self.records_read += len(records)
+            self._records_read.inc(len(records))
             events = self.processor.process(records, mdt.index)
             if self.config.event_types is not None:
                 kept = [
@@ -121,7 +164,7 @@ class Collector:
                     for event in events
                     if event.event_type in self.config.event_types
                 ]
-                self.events_filtered += len(events) - len(kept)
+                self._events_filtered.inc(len(events) - len(kept))
                 events = kept
             # Report first (repeatedly retried by the agent per the
             # paper; our in-proc fabric blocks instead), then purge.
@@ -129,8 +172,12 @@ class Collector:
             if events:
                 try:
                     self.sink.send(events)
+                except ServiceCrash:
+                    # Escalate: the worker dies and the supervisor
+                    # restarts it; unpurged records are re-read.
+                    raise
                 except Exception as exc:
-                    self.report_failures += 1
+                    self._report_failures.inc()
                     self._log.warning(
                         "report of %d events failed (%s); will re-read",
                         len(events), exc,
@@ -138,7 +185,7 @@ class Collector:
                     # Do NOT clear: records will be re-read and
                     # re-reported, preserving at-least-once delivery.
                     continue
-                self.events_reported += len(events)
+                self._events_reported.inc(len(events))
                 reported += len(events)
             mdt.changelog.clear(user, records[-1].index)
         return reported
@@ -159,40 +206,31 @@ class Collector:
             for mdt in self.mds.mdts
         )
 
-    # -- live threaded mode ----------------------------------------------------
+    # -- service runtime ------------------------------------------------------
 
-    def start(self) -> None:
-        """Run the poll loop in a daemon thread."""
-        if self._thread is not None:
-            return
-        self._stop.clear()
+    def worker_specs(self) -> list[WorkerSpec]:
+        return [
+            WorkerSpec(
+                "poll",
+                self.poll_once,
+                idle_wait=self.config.poll_interval,
+                max_idle_wait=max(self.config.poll_interval, 0.05),
+            )
+        ]
 
-        def _loop() -> None:
-            while not self._stop.is_set():
-                if self.poll_once() == 0:
-                    self._stop.wait(self.config.poll_interval)
-            self.drain(max_rounds=100)  # flush on shutdown
+    def on_stop(self) -> None:
+        self.drain(max_rounds=100)  # flush on shutdown
 
-        self._thread = threading.Thread(
-            target=_loop, name=f"collector-{self.name}", daemon=True
-        )
-        self._thread.start()
-
-    def stop(self) -> None:
-        """Stop the poll loop, flushing remaining records."""
-        if self._thread is None:
-            return
-        self._stop.set()
-        self._thread.join(timeout=10)
-        self._thread = None
-
-    def shutdown(self) -> None:
-        """Stop and deregister changelog users (releases purge pointers)."""
-        self.stop()
+    def on_close(self) -> None:
+        # Deregister changelog users (releases purge pointers).
         for mdt in self.mds.mdts:
             user = self._users.pop(mdt.index, None)
             if user is not None:
                 mdt.changelog.deregister_user(user)
+
+    def shutdown(self) -> None:
+        """Stop and deregister changelog users (alias for close())."""
+        self.close()
 
 
 class CallbackSink:

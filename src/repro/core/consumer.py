@@ -5,22 +5,28 @@ endpoint for the live stream and tracks the last sequence number it has
 seen.  After a disconnect (or on startup) it calls :meth:`catch_up`,
 which uses the historic-event API to fetch what it missed — the
 fault-tolerance mechanism the paper describes.
+
+Consumers are :class:`~repro.runtime.Service` instances: live mode runs
+a ``poll`` worker with idle backoff, a final poll on stop delivers
+whatever the aggregator flushed during shutdown, and counters live in
+the shared metrics registry (legacy attribute names stay readable).
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, Optional
 
 from repro.core.aggregator import AggregatorConfig
 from repro.core.events import FileEvent
 from repro.errors import WouldBlock
+from repro.metrics.registry import MetricsRegistry
 from repro.msgq import Context
+from repro.runtime import Service, WorkerSpec, call_with_pump
 
 EventCallback = Callable[[int, FileEvent], None]
 
 
-class Consumer:
+class Consumer(Service):
     """A subscribed event consumer with catch-up support."""
 
     def __init__(
@@ -30,11 +36,12 @@ class Consumer:
         config: AggregatorConfig | None = None,
         name: str = "consumer",
         topic: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
+        super().__init__(name, registry, scope=f"consumer.{name}")
         self.context = context
         self.config = config or AggregatorConfig()
         self.callback = callback
-        self.name = name
         #: Topic prefix filter; with ``topic_by_path`` aggregators, pass
         #: e.g. ``"events./projects"`` to receive only that subtree.
         self.topic = topic if topic is not None else self.config.publish_topic
@@ -45,18 +52,33 @@ class Consumer:
         )
         self.api = context.req().connect(self.config.api_endpoint)
         self.last_seq = 0
-        self._thread: Optional[threading.Thread] = None
-        self._stop = threading.Event()
-        # Counters.
-        self.events_consumed = 0
-        self.duplicates_skipped = 0
-        self.catch_ups = 0
+        self.poll_interval = 0.005
+        # Counters (shared registry; property shims below).
+        self._events_consumed = self.metrics.counter("events_consumed")
+        self._duplicates_skipped = self.metrics.counter("duplicates_skipped")
+        self._catch_ups = self.metrics.counter("catch_ups")
+        self.metrics.gauge_fn("last_seq", lambda: self.last_seq)
+        self.metrics.gauge_fn("dropped", lambda: self.subscription.dropped)
         #: Optional end-to-end latency tracking (operation timestamp ->
         #: delivery); assign a LatencyHistogram to enable.  Only
         #: meaningful when the filesystem and consumer share a clock
         #: domain (both wall-clock, or both on one ManualClock).
         self.latency = None
         self._latency_clock = None
+
+    # -- legacy counter names (read-only views over the registry) -----------
+
+    @property
+    def events_consumed(self) -> int:
+        return self._events_consumed.value
+
+    @property
+    def duplicates_skipped(self) -> int:
+        return self._duplicates_skipped.value
+
+    @property
+    def catch_ups(self) -> int:
+        return self._catch_ups.value
 
     def track_latency(self, clock=None) -> "Consumer":
         """Enable per-event delivery-latency recording; returns self."""
@@ -72,10 +94,10 @@ class Consumer:
     def _deliver(self, seq: int, event: FileEvent) -> None:
         if seq <= self.last_seq:
             # Duplicate (e.g. replayed during catch-up); idempotent skip.
-            self.duplicates_skipped += 1
+            self._duplicates_skipped.inc()
             return
         self.last_seq = seq
-        self.events_consumed += 1
+        self._events_consumed.inc()
         if self.latency is not None and event.timestamp:
             self.latency.record(
                 max(0.0, self._latency_clock.now() - event.timestamp)
@@ -105,22 +127,15 @@ class Consumer:
         answered synchronously (the request is issued from a helper
         thread to keep REQ/REP lock-step semantics intact).
         """
-        self.catch_ups += 1
+        self._catch_ups.inc()
         request = {"op": "since", "seq": self.last_seq}
         if api_server is None:
             missed = self.api.request(request, timeout=5.0)
         else:
-            result_box: list = []
-
-            def _ask() -> None:
-                result_box.append(self.api.request(request, timeout=5.0))
-
-            asker = threading.Thread(target=_ask, daemon=True)
-            asker.start()
-            while asker.is_alive():
-                api_server.serve_api_once(timeout=0.05)
-                asker.join(timeout=0.001)
-            missed = result_box[0]
+            missed = call_with_pump(
+                lambda: self.api.request(request, timeout=5.0),
+                lambda: api_server.serve_api_once(timeout=0.05),
+            )
         for seq, event in missed:
             self._deliver(seq, event)
         return len(missed)
@@ -134,34 +149,28 @@ class Consumer:
         """
         return self.subscription.dropped
 
-    # -- live threaded mode ------------------------------------------------------
+    # -- service runtime ---------------------------------------------------------
 
-    def start(self, poll_interval: float = 0.005) -> None:
-        """Consume continuously in a daemon thread."""
-        if self._thread is not None:
-            return
-        self._stop.clear()
+    def start(self, poll_interval: float | None = None) -> None:
+        """Consume continuously under the service runtime."""
+        if poll_interval is not None:
+            self.poll_interval = poll_interval
+        super().start()
 
-        def _loop() -> None:
-            while not self._stop.is_set():
-                if self.poll_once(timeout=poll_interval) == 0:
-                    continue
-            self.poll_once()
+    def worker_specs(self) -> list[WorkerSpec]:
+        return [
+            WorkerSpec(
+                "poll",
+                self.poll_once,
+                idle_wait=self.poll_interval,
+                max_idle_wait=max(self.poll_interval, 0.05),
+            )
+        ]
 
-        self._thread = threading.Thread(
-            target=_loop, name=f"consumer-{self.name}", daemon=True
-        )
-        self._thread.start()
+    def on_stop(self) -> None:
+        self.poll_once()  # deliver anything flushed during shutdown
 
-    def stop(self) -> None:
-        if self._thread is None:
-            return
-        self._stop.set()
-        self._thread.join(timeout=10)
-        self._thread = None
-
-    def close(self) -> None:
-        self.stop()
+    def on_close(self) -> None:
         self.subscription.close()
         self.api.close()
 
@@ -181,13 +190,19 @@ class DedupingConsumer(Consumer):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._record_high_water: dict[int, int] = {}
-        self.redeliveries_suppressed = 0
+        self._redeliveries_suppressed = self.metrics.counter(
+            "redeliveries_suppressed"
+        )
+
+    @property
+    def redeliveries_suppressed(self) -> int:
+        return self._redeliveries_suppressed.value
 
     def _deliver(self, seq: int, event: FileEvent) -> None:
         if event.mdt_index is not None and event.record_index is not None:
             high_water = self._record_high_water.get(event.mdt_index, 0)
             if event.record_index <= high_water:
-                self.redeliveries_suppressed += 1
+                self._redeliveries_suppressed.inc()
                 # Still advance the sequence cursor so catch-up works.
                 self.last_seq = max(self.last_seq, seq)
                 return

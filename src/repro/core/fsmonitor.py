@@ -20,7 +20,6 @@ is written once.
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, Optional, Union
 
 from repro.baselines.polling import PollingMonitor
@@ -30,6 +29,7 @@ from repro.errors import MonitorError
 from repro.fs.memfs import MemoryFilesystem
 from repro.fs.watchdog import FileSystemEvent, FileSystemEventHandler, Observer
 from repro.lustre.filesystem import LustreFilesystem
+from repro.runtime import Service, WorkerSpec
 
 EventCallback = Callable[[FileEvent], None]
 
@@ -55,6 +55,10 @@ class _Backend:
         raise NotImplementedError
 
     def close(self) -> None:
+        raise NotImplementedError
+
+    def health(self) -> dict:
+        """Uniform service-runtime health for this backend."""
         raise NotImplementedError
 
 
@@ -90,6 +94,9 @@ class _ChangelogBackend(_Backend):
 
     def close(self) -> None:
         self.monitor.shutdown()
+
+    def health(self) -> dict:
+        return self.monitor.health()
 
 
 class _WatchdogBackend(_Backend):
@@ -133,19 +140,25 @@ class _WatchdogBackend(_Backend):
     def close(self) -> None:
         self.observer.close()
 
+    def health(self) -> dict:
+        return self.observer.health()
 
-class _PollingBackend(_Backend):
-    """Crawl-and-diff detection (portable last resort)."""
 
-    name = "polling"
+class _PollingBackend(Service, _Backend):
+    """Crawl-and-diff detection (portable last resort).
+
+    A periodic :class:`~repro.runtime.Service` worker crawls every
+    watched root each *interval* seconds.
+    """
 
     def __init__(self, fs, interval: float) -> None:
+        Service.__init__(self, "polling")
         self.fs = fs
         self.interval = interval
         self._monitors: dict[str, PollingMonitor] = {}
         self._callbacks: list[EventCallback] = []
-        self._thread: Optional[threading.Thread] = None
-        self._stop = threading.Event()
+        self._polls = self.metrics.counter("polls")
+        self._events_delivered = self.metrics.counter("events_delivered")
 
     def subscribe(self, callback: EventCallback) -> None:
         self._callbacks.append(callback)
@@ -158,35 +171,22 @@ class _PollingBackend(_Backend):
 
     def drain(self) -> int:
         delivered = 0
+        self._polls.inc()
         for monitor in self._monitors.values():
             for event in monitor.poll().events:
                 for callback in list(self._callbacks):
                     callback(event)
                 delivered += 1
+        self._events_delivered.inc(delivered)
         return delivered
 
-    def start(self) -> None:
-        if self._thread is not None:
-            return
-        self._stop.clear()
+    def worker_specs(self) -> list[WorkerSpec]:
+        return [WorkerSpec("poll", self.drain, interval=self.interval)]
 
-        def _loop() -> None:
-            while not self._stop.is_set():
-                self.drain()
-                self._stop.wait(self.interval)
+    def on_stop(self) -> None:
+        self.drain()  # one final sweep
 
-        self._thread = threading.Thread(target=_loop, name="poller", daemon=True)
-        self._thread.start()
-
-    def stop(self) -> None:
-        if self._thread is None:
-            return
-        self._stop.set()
-        self._thread.join(timeout=5)
-        self._thread = None
-
-    def close(self) -> None:
-        self.stop()
+    def on_close(self) -> None:
         self._monitors.clear()
 
 
@@ -268,3 +268,7 @@ class StorageMonitor:
     def close(self) -> None:
         """Release all detection resources."""
         self._backend.close()
+
+    def health(self) -> dict:
+        """The backend's uniform service-runtime health record."""
+        return self._backend.health()

@@ -3,9 +3,21 @@
 This is the top-level object a deployment creates (Figure 2): it builds
 one :class:`Collector` per MDS of the target filesystem, a single
 :class:`Aggregator`, and hands out :class:`Consumer` subscriptions.  It
-supports both live threaded operation (``start()``/``stop()``) and
-deterministic stepping (``pump()``), and aggregates pipeline statistics
-for the experiments.
+supports both live supervised operation (``start()``/``stop()``) and
+deterministic stepping (``pump()``).
+
+The monitor is a :class:`~repro.runtime.Supervisor` composition: every
+stage is a supervised service sharing one metrics registry.  Start
+order is consumers → aggregator → collectors (producers last) and stop
+is the exact reverse — collectors stop and flush first, the aggregator
+pumps its final batches, and consumers take a final poll before
+stopping, so nothing flushed during shutdown is published into a dead
+subscription.  A collector that crashes mid-poll is restarted under
+the configured :class:`~repro.runtime.RestartPolicy`; report-before-
+purge makes that loss-free (at-least-once).
+
+``stats()`` is derived from the shared registry — no hand-scraped
+attribute sums — and includes every service's uniform health record.
 """
 
 from __future__ import annotations
@@ -18,21 +30,27 @@ from repro.core.consumer import Consumer, EventCallback
 from repro.core.events import FileEvent
 from repro.lustre.fid2path import FidResolver
 from repro.lustre.filesystem import LustreFilesystem
+from repro.metrics.registry import MetricsRegistry
 from repro.msgq import Context
+from repro.runtime import RestartPolicy, Supervisor
 
 
 @dataclass(frozen=True)
 class MonitorConfig:
     """Monitor-wide configuration."""
 
-    collector: CollectorConfig = CollectorConfig()
-    aggregator: AggregatorConfig = AggregatorConfig()
+    collector: CollectorConfig = field(default_factory=CollectorConfig)
+    aggregator: AggregatorConfig = field(default_factory=AggregatorConfig)
     #: Share one FidResolver across collectors (single-MDS testbeds) or
     #: give each collector its own (models per-MDS d2path distribution).
     shared_resolver: bool = False
     #: How long a collector's report may block on a full transport
     #: queue before failing (and retrying on the next poll).
     report_timeout: float = 5.0
+    #: How crashed pipeline services are restarted.
+    restart_policy: RestartPolicy = field(default_factory=RestartPolicy)
+    #: How often the supervisor sweeps for crashed children (seconds).
+    supervise_interval: float = 0.01
 
 
 class _PushSink:
@@ -48,7 +66,7 @@ class _PushSink:
 
 @dataclass
 class MonitorStats:
-    """A snapshot of pipeline counters."""
+    """A snapshot of pipeline counters (derived from the registry)."""
 
     records_read: int = 0
     events_reported: int = 0
@@ -61,6 +79,8 @@ class MonitorStats:
     cache_misses: int = 0
     store_len: int = 0
     per_collector: dict = field(default_factory=dict)
+    #: Uniform per-service health: state, restart_count, last_error.
+    services: dict = field(default_factory=dict)
 
 
 class LustreMonitor:
@@ -71,11 +91,23 @@ class LustreMonitor:
         filesystem: LustreFilesystem,
         config: MonitorConfig | None = None,
         context: Context | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.fs = filesystem
         self.config = config or MonitorConfig()
         self.context = context or Context()
-        self.aggregator = Aggregator(self.context, self.config.aggregator)
+        #: One registry shared by every service in this monitor's tree.
+        self.registry = registry or MetricsRegistry()
+        self.supervisor = Supervisor(
+            "monitor",
+            policy=self.config.restart_policy,
+            registry=self.registry,
+            poll_interval=self.config.supervise_interval,
+        )
+        self.aggregator = Aggregator(
+            self.context, self.config.aggregator, registry=self.registry
+        )
+        self._aggregator_key = self.supervisor.add_child(self.aggregator)
         shared = (
             FidResolver(filesystem) if self.config.shared_resolver else None
         )
@@ -91,10 +123,16 @@ class LustreMonitor:
                 sink=_PushSink(push, timeout=self.config.report_timeout),
                 config=self.config.collector,
                 resolver=shared or FidResolver(filesystem),
+                registry=self.registry,
+            )
+            # Collectors (producers) start after — and stop before —
+            # the aggregator that drains them.
+            self.supervisor.add_child(
+                collector, after=[self._aggregator_key],
+                key=collector.metrics.scope,
             )
             self.collectors.append(collector)
         self.consumers: list[Consumer] = []
-        self._running = False
 
     # -- consumers ---------------------------------------------------------------
 
@@ -106,11 +144,20 @@ class LustreMonitor:
         backfill from the historic API.
         """
         consumer = Consumer(
-            self.context, callback, config=self.config.aggregator, name=name
+            self.context,
+            callback,
+            config=self.config.aggregator,
+            name=name,
+            registry=self.registry,
         )
         self.consumers.append(consumer)
-        if self._running:
-            consumer.start()
+        # ``before`` the aggregator: consumers stop after it has taken
+        # its final flush, so shutdown publishes are still delivered.
+        self.supervisor.add_child(
+            consumer,
+            before=[self._aggregator_key],
+            key=consumer.metrics.scope,
+        )
         return consumer
 
     # -- deterministic stepping -----------------------------------------------------
@@ -140,59 +187,53 @@ class LustreMonitor:
                 break
         return total
 
-    # -- live threaded mode ------------------------------------------------------------
+    # -- live supervised mode ------------------------------------------------------
+
+    @property
+    def _running(self) -> bool:
+        return self.supervisor.running
 
     def start(self) -> None:
-        """Start aggregator, collectors and subscribed consumers."""
-        if self._running:
-            return
-        self.aggregator.start()
-        for collector in self.collectors:
-            collector.start()
-        for consumer in self.consumers:
-            consumer.start()
-        self._running = True
+        """Start the supervision tree (dependency order)."""
+        self.supervisor.start()
 
     def stop(self) -> None:
-        """Stop everything in dependency order, flushing in-flight events."""
-        if not self._running:
-            return
-        for collector in self.collectors:
-            collector.stop()
-        self.aggregator.stop()
-        for consumer in self.consumers:
-            consumer.stop()
-        self._running = False
+        """Stop everything in reverse dependency order, flushing
+        in-flight events: collectors drain, the aggregator pumps its
+        final batches, consumers take a final poll, then all are
+        stopped."""
+        self.supervisor.stop()
 
     def shutdown(self) -> None:
         """Stop and release changelog users and sockets."""
-        self.stop()
-        for collector in self.collectors:
-            collector.shutdown()
-        for consumer in self.consumers:
-            consumer.close()
-        self.aggregator.close()
+        self.supervisor.close()
+
+    def health(self) -> dict:
+        """Uniform per-service health for the whole tree."""
+        return self.supervisor.health()
 
     # -- statistics ------------------------------------------------------------------
 
     def stats(self) -> MonitorStats:
-        """Aggregate pipeline counters (for experiments and debugging)."""
+        """Pipeline counters, derived from the shared metrics registry."""
         stats = MonitorStats()
         for collector in self.collectors:
-            stats.records_read += collector.records_read
-            stats.events_reported += collector.events_reported
-            stats.resolver_invocations += collector.resolver.invocations
-            stats.resolver_failures += collector.resolver.failures
-            stats.unresolved_events += collector.processor.unresolved
-            if collector.processor.cache is not None:
-                stats.cache_hits += collector.processor.cache.hits
-                stats.cache_misses += collector.processor.cache.misses
+            snap = collector.metrics.snapshot()
+            stats.records_read += snap.get("records_read", 0)
+            stats.events_reported += snap.get("events_reported", 0)
+            stats.resolver_invocations += snap.get("resolver_invocations", 0)
+            stats.resolver_failures += snap.get("resolver_failures", 0)
+            stats.unresolved_events += snap.get("unresolved_events", 0)
+            stats.cache_hits += snap.get("cache_hits", 0)
+            stats.cache_misses += snap.get("cache_misses", 0)
             stats.per_collector[collector.name] = {
-                "records_read": collector.records_read,
-                "events_reported": collector.events_reported,
-                "resolver_invocations": collector.resolver.invocations,
+                "records_read": snap.get("records_read", 0),
+                "events_reported": snap.get("events_reported", 0),
+                "resolver_invocations": snap.get("resolver_invocations", 0),
             }
-        stats.events_stored = self.aggregator.events_stored
-        stats.events_published = self.aggregator.events_published
-        stats.store_len = len(self.aggregator.store)
+        aggregator_snap = self.aggregator.metrics.snapshot()
+        stats.events_stored = aggregator_snap.get("events_stored", 0)
+        stats.events_published = aggregator_snap.get("events_published", 0)
+        stats.store_len = aggregator_snap.get("store_len", 0)
+        stats.services = self.supervisor.health()["services"]
         return stats

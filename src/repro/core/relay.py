@@ -47,11 +47,14 @@ class RelayAggregator(Aggregator):
         self,
         context: Context,
         config: AggregatorConfig | None = None,
+        registry=None,
+        name: str = "relay",
     ) -> None:
-        super().__init__(context, config)
+        super().__init__(context, config, registry=registry, name=name)
         self._upstreams: list[tuple[str, object]] = []  # (name, SubSocket)
         #: Events relayed per upstream name.
         self.relayed_counts: dict[str, int] = {}
+        self._events_relayed = self.metrics.counter("events_relayed")
 
     def add_upstream(
         self,
@@ -90,6 +93,7 @@ class RelayAggregator(Aggregator):
                     break
                 self._handle_batch([event])
                 self.relayed_counts[label] += 1
+                self._events_relayed.inc()
                 handled += 1
         # Also accept directly-pushed batches (a relay can serve both
         # roles at once).

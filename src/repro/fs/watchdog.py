@@ -13,8 +13,8 @@ interface:
   directories created later so recursion stays complete.
 
 Dispatch is pull-based for determinism: call :meth:`Observer.drain` to
-deliver pending events, or run the observer's background thread with
-:meth:`start` for live operation.
+deliver pending events, or run the observer as a live
+:class:`~repro.runtime.Service` with :meth:`start`.
 """
 
 from __future__ import annotations
@@ -22,6 +22,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 from typing import Dict, Optional
+
+from repro.runtime import Service, WorkerSpec
 
 from repro.fs.inotify import (
     IN_ALL_EVENTS,
@@ -138,17 +140,26 @@ class _Schedule:
     recursive: bool
 
 
-class Observer:
-    """Schedules handlers over directory trees of a MemoryFilesystem."""
+class Observer(Service):
+    """Schedules handlers over directory trees of a MemoryFilesystem.
 
-    def __init__(self, filesystem: MemoryFilesystem) -> None:
+    A :class:`~repro.runtime.Service`: live mode runs a periodic
+    ``pump`` worker draining the inotify queue, with a final drain on
+    stop so no captured event is lost at shutdown.
+    """
+
+    def __init__(self, filesystem: MemoryFilesystem, registry=None) -> None:
+        super().__init__("observer", registry)
         self.fs = filesystem
         self.inotify = InotifyInstance(filesystem)
         self._schedules: list[_Schedule] = []
         self._lock = threading.RLock()
         self._pending_moves: Dict[int, InotifyEvent] = {}
-        self._thread: Optional[threading.Thread] = None
-        self._stop = threading.Event()
+        self.poll_interval = 0.005
+        self._events_dispatched = self.metrics.counter("events_dispatched")
+        self.metrics.gauge_fn(
+            "directories_watched", lambda: self.directories_watched
+        )
         #: Number of directories crawled when placing watches (setup cost).
         self.directories_watched = 0
 
@@ -200,6 +211,8 @@ class Observer:
             for event in self._translate(raw):
                 self._dispatch(event)
                 delivered += 1
+        if delivered:
+            self._events_dispatched.inc(delivered)
         return delivered
 
     def _translate(self, raw: InotifyEvent) -> list[FileSystemEvent]:
@@ -266,32 +279,20 @@ class Observer:
                     continue
             schedule.handler.dispatch(event)
 
-    # -- background operation -----------------------------------------------
+    # -- background operation (service runtime) -------------------------------
 
-    def start(self, poll_interval: float = 0.005) -> None:
-        """Run a background thread draining events every *poll_interval*."""
-        if self._thread is not None:
-            return
-        self._stop.clear()
+    def start(self, poll_interval: float | None = None) -> None:
+        """Run the pump worker draining events every *poll_interval*."""
+        if poll_interval is not None:
+            self.poll_interval = poll_interval
+        super().start()
 
-        def _pump() -> None:
-            while not self._stop.is_set():
-                self.drain()
-                self._stop.wait(poll_interval)
-            self.drain()
+    def worker_specs(self) -> list[WorkerSpec]:
+        return [WorkerSpec("pump", self.drain, interval=self.poll_interval)]
 
-        self._thread = threading.Thread(target=_pump, name="observer", daemon=True)
-        self._thread.start()
+    def on_stop(self) -> None:
+        self.drain()  # flush events captured before the stop
 
-    def stop(self) -> None:
-        """Stop the background thread (if running) and flush events."""
-        if self._thread is None:
-            return
-        self._stop.set()
-        self._thread.join(timeout=5)
-        self._thread = None
-
-    def close(self) -> None:
-        """Stop and release the inotify instance."""
-        self.stop()
+    def on_close(self) -> None:
+        """Release the inotify instance."""
         self.inotify.close()

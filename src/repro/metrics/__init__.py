@@ -1,10 +1,15 @@
-"""Measurement utilities: throughput meters, histograms, resource samples."""
+"""Measurement utilities: registries, meters, histograms, resources."""
 
+from repro.metrics.registry import Counter, Gauge, MetricsRegistry, ScopedRegistry
 from repro.metrics.throughput import RateMeter, StageTimer
 from repro.metrics.histogram import LatencyHistogram
 from repro.metrics.resources import ResourceSample, ResourceUsageModel
 
 __all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "ScopedRegistry",
     "RateMeter",
     "StageTimer",
     "LatencyHistogram",

@@ -1,0 +1,210 @@
+"""A shared metrics registry: named counters and gauges per service.
+
+Every long-running service in the pipeline (collectors, aggregator,
+consumers, serverless workers, Ripple agents) registers its counters
+here instead of keeping bare ``self.events_reported += 1`` instance
+attributes.  One registry is shared across a supervision tree, so
+pipeline-wide statistics — ``LustreMonitor.stats()``, the aggregator's
+``{'op': 'stats'}`` API answer, operator dashboards — are *derived*
+from the registry rather than hand-scraped from component attributes.
+
+Three metric kinds:
+
+* :class:`Counter` — a monotone, thread-safe count (events stored,
+  batches received, crashes observed).
+* :class:`Gauge` — a settable instantaneous value (queue depth).
+* callback gauges (:meth:`MetricsRegistry.gauge_fn`) — values computed
+  on read from existing state (store length, cache hit counts), which
+  lets components expose derived numbers without double bookkeeping.
+
+Metric names are dotted: ``<scope>.<metric>``, where the scope is the
+owning service's unique name within the registry (see
+:meth:`MetricsRegistry.unique_scope`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterator, Optional, Union
+
+
+class Counter:
+    """A thread-safe monotonically increasing counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up: {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """A thread-safe instantaneous value."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: Union[int, float] = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: Union[int, float]) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> Union[int, float]:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self._value})"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters and gauges.
+
+    Thread-safe; shared by every service of one supervision tree so a
+    single :meth:`snapshot` captures the whole pipeline.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._gauge_fns: Dict[str, Callable[[], Union[int, float]]] = {}
+        self._scopes: Dict[str, int] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Return the counter *name*, creating it on first use."""
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """Return the gauge *name*, creating it on first use."""
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def gauge_fn(self, name: str, fn: Callable[[], Union[int, float]]) -> None:
+        """Register a gauge whose value is computed by *fn* on read."""
+        with self._lock:
+            self._gauge_fns[name] = fn
+
+    def unique_scope(self, base: str) -> str:
+        """Reserve a unique scope name derived from *base*.
+
+        The first caller gets ``base`` itself, later callers get
+        ``base#2``, ``base#3``, … — so two consumers both named
+        ``"consumer"`` never share counters.
+        """
+        with self._lock:
+            count = self._scopes.get(base, 0) + 1
+            self._scopes[base] = count
+            return base if count == 1 else f"{base}#{count}"
+
+    # -- reading ------------------------------------------------------------
+
+    def value(self, name: str, default: Union[int, float] = 0) -> Union[int, float]:
+        """Current value of one metric (0/default when absent)."""
+        with self._lock:
+            if name in self._counters:
+                return self._counters[name].value
+            if name in self._gauges:
+                return self._gauges[name].value
+            fn = self._gauge_fns.get(name)
+        if fn is not None:
+            return fn()
+        return default
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(
+                set(self._counters) | set(self._gauges) | set(self._gauge_fns)
+            )
+
+    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, Union[int, float]]:
+        """All metric values, optionally restricted to a dotted *prefix*.
+
+        ``snapshot("collector.mds0")`` returns that scope's metrics with
+        the prefix stripped (``{"events_reported": 3, ...}``);
+        ``snapshot()`` returns everything fully qualified.
+        """
+        with self._lock:
+            pairs: list[tuple[str, Union[int, float, Callable]]] = [
+                *((name, c.value) for name, c in self._counters.items()),
+                *((name, g.value) for name, g in self._gauges.items()),
+                *(self._gauge_fns.items()),
+            ]
+        result: Dict[str, Union[int, float]] = {}
+        for name, value in pairs:
+            if prefix is not None:
+                if not name.startswith(prefix + "."):
+                    continue
+                key = name[len(prefix) + 1:]
+            else:
+                key = name
+            result[key] = value() if callable(value) else value
+        return result
+
+    def scoped(self, scope: str) -> "ScopedRegistry":
+        """A view that prefixes every metric name with ``scope.``."""
+        return ScopedRegistry(self, scope)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+
+class ScopedRegistry:
+    """A namespaced view over a :class:`MetricsRegistry`."""
+
+    def __init__(self, registry: MetricsRegistry, scope: str) -> None:
+        self.registry = registry
+        self.scope = scope
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.scope}.{name}"
+
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(self._qualify(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self.registry.gauge(self._qualify(name))
+
+    def gauge_fn(self, name: str, fn: Callable[[], Union[int, float]]) -> None:
+        self.registry.gauge_fn(self._qualify(name), fn)
+
+    def value(self, name: str, default: Union[int, float] = 0) -> Union[int, float]:
+        return self.registry.value(self._qualify(name), default)
+
+    def snapshot(self) -> Dict[str, Union[int, float]]:
+        return self.registry.snapshot(self.scope)

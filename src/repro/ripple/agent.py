@@ -14,6 +14,12 @@ responsibilities:
 
 Filesystem access is abstracted so the same agent code runs over the
 in-memory local filesystem and the Lustre model.
+
+The agent is a :class:`~repro.runtime.Service`: live mode runs one
+``pump`` worker draining detection sources and executing routed
+actions, and ``start()``/``stop()`` also manage the attached watchdog
+observer.  Counters live in the agent's metrics registry; the old
+attribute names (``events_reported`` etc.) remain readable properties.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from repro.ripple.actions import (
     default_registry,
 )
 from repro.ripple.rules import Rule
+from repro.runtime import Service, WorkerSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ripple.service import RippleService
@@ -46,12 +53,12 @@ class _AgentHandler(FileSystemEventHandler):
 
     def on_any_event(self, event: FileSystemEvent) -> None:
         if event.event_type == "overflow":
-            self.agent.overflows += 1
+            self.agent._overflows.inc()
             return
         self.agent.ingest_event(FileEvent.from_watchdog(event))
 
 
-class RippleAgent:
+class RippleAgent(Service):
     """One deployable Ripple agent."""
 
     def __init__(
@@ -60,9 +67,13 @@ class RippleAgent:
         filesystem: MemoryFilesystem | LustreFilesystem | None = None,
         executors: ExecutorRegistry | None = None,
         max_report_retries: int = 5,
+        registry=None,
     ) -> None:
         if not agent_id:
             raise RippleError("agent needs a non-empty id")
+        super().__init__(
+            f"agent-{agent_id}", registry, scope=f"agent.{agent_id}"
+        )
         self.agent_id = agent_id
         self.fs = filesystem if filesystem is not None else MemoryFilesystem()
         self.executors = executors or default_registry()
@@ -83,16 +94,55 @@ class RippleAgent:
         #: Named container images and callables available to actions.
         self.containers: Dict[str, Callable] = {}
         self.callables: Dict[str, Callable] = {}
-        # Counters.
-        self.events_seen = 0
-        self.events_matched = 0
-        self.events_reported = 0
-        self.report_retries = 0
-        self.reports_abandoned = 0
-        self.actions_executed = 0
-        self.action_failures = 0
-        self.actions_deferred = 0
-        self.overflows = 0
+        # Counters (registry-backed; see the properties below).
+        self._events_seen = self.metrics.counter("events_seen")
+        self._events_matched = self.metrics.counter("events_matched")
+        self._events_reported = self.metrics.counter("events_reported")
+        self._report_retries = self.metrics.counter("report_retries")
+        self._reports_abandoned = self.metrics.counter("reports_abandoned")
+        self._actions_executed = self.metrics.counter("actions_executed")
+        self._action_failures = self.metrics.counter("action_failures")
+        self._actions_deferred = self.metrics.counter("actions_deferred")
+        self._overflows = self.metrics.counter("overflows")
+        self.metrics.gauge_fn("inbox_depth", lambda: len(self.inbox))
+
+    # -- counters (old attribute names kept readable) -------------------
+
+    @property
+    def events_seen(self) -> int:
+        return self._events_seen.value
+
+    @property
+    def events_matched(self) -> int:
+        return self._events_matched.value
+
+    @property
+    def events_reported(self) -> int:
+        return self._events_reported.value
+
+    @property
+    def report_retries(self) -> int:
+        return self._report_retries.value
+
+    @property
+    def reports_abandoned(self) -> int:
+        return self._reports_abandoned.value
+
+    @property
+    def actions_executed(self) -> int:
+        return self._actions_executed.value
+
+    @property
+    def action_failures(self) -> int:
+        return self._action_failures.value
+
+    @property
+    def actions_deferred(self) -> int:
+        return self._actions_deferred.value
+
+    @property
+    def overflows(self) -> int:
+        return self._overflows.value
 
     # ------------------------------------------------------------------
     # Detection wiring
@@ -128,14 +178,40 @@ class RippleAgent:
         monitor.subscribe(self.ingest_event)
         self._storage_monitor = monitor
 
-    def drain_detection(self) -> None:
+    def drain_detection(self) -> int:
         """Deterministically deliver pending watchdog/monitor events."""
+        delivered = 0
         if self.observer is not None:
-            self.observer.drain()
+            delivered += self.observer.drain()
         if self._monitor_consumer is not None:
-            self._monitor_consumer.poll_once()
+            delivered += self._monitor_consumer.poll_once()
         if self._storage_monitor is not None:
-            self._storage_monitor.drain()
+            delivered += self._storage_monitor.drain()
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Live operation (service runtime)
+    # ------------------------------------------------------------------
+
+    def pump_once(self) -> int:
+        """One agent round: drain detection, execute routed actions."""
+        moved = self.drain_detection()
+        moved += len(self.execute_pending())
+        return moved
+
+    def worker_specs(self) -> list[WorkerSpec]:
+        return [WorkerSpec("pump", self.pump_once)]
+
+    def on_start(self) -> None:
+        # The observer keeps its own pump; starting it here means a
+        # started agent detects live without extra wiring.
+        if self.observer is not None and not self.observer.running:
+            self.observer.start()
+
+    def on_stop(self) -> None:
+        if self.observer is not None:
+            self.observer.stop()
+        self.pump_once()  # flush events detected before the stop
 
     # ------------------------------------------------------------------
     # Rules
@@ -166,11 +242,11 @@ class RippleAgent:
 
     def ingest_event(self, event: FileEvent) -> None:
         """Filter one detected event and report it if any rule matches."""
-        self.events_seen += 1
+        self._events_seen.inc()
         matched = [rule.rule_id for rule in self.rules if rule.matches(event)]
         if not matched:
             return
-        self.events_matched += 1
+        self._events_matched.inc()
         self._report_with_retry(event, matched)
 
     def _report_with_retry(self, event: FileEvent, rule_ids: list[int]) -> None:
@@ -180,11 +256,11 @@ class RippleAgent:
             try:
                 self.service.report_event(self.agent_id, event, rule_ids)
             except Exception:
-                self.report_retries += 1
+                self._report_retries.inc()
                 continue
-            self.events_reported += 1
+            self._events_reported.inc()
             return
-        self.reports_abandoned += 1
+        self._reports_abandoned.inc()
 
     # ------------------------------------------------------------------
     # Action execution
@@ -200,7 +276,7 @@ class RippleAgent:
         while self.inbox:
             if self.rate_limiter is not None and not self.rate_limiter.take():
                 # Out of tokens: leave the rest queued for a later round.
-                self.actions_deferred += 1
+                self._actions_deferred.inc()
                 break
             request = self.inbox.popleft()
             request.attempts += 1
@@ -208,7 +284,7 @@ class RippleAgent:
                 executor = self.executors.get(request.action_type)
                 result = executor(request, self)
             except Exception as exc:
-                self.action_failures += 1
+                self._action_failures.inc()
                 result = ActionResult(
                     request.request_id,
                     request.rule_id,
@@ -216,7 +292,7 @@ class RippleAgent:
                     detail=f"{type(exc).__name__}: {exc}",
                 )
             else:
-                self.actions_executed += 1
+                self._actions_executed.inc()
             results.append(result)
             if self.service is not None:
                 self.service.record_result(request, result)

@@ -17,19 +17,26 @@ This module wires those pieces over :mod:`repro.cloudq`:
 * failed actions are retried up to a bound, then parked in
   ``failed_actions``;
 * a :class:`~repro.cloudq.CleanupFunction` re-drives stalled entries.
+
+Live mode is a :class:`~repro.runtime.Supervisor` composition: the
+executor and the cleanup sweeper are supervised children sharing one
+metrics registry, restarted if they crash, with uniform health via
+:meth:`RippleService.health`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from repro.cloudq import CleanupFunction, QueueService, ServerlessExecutor
 from repro.core.events import FileEvent
 from repro.errors import AgentNotFound, RippleError
+from repro.metrics.registry import MetricsRegistry
 from repro.ripple.actions import ActionRequest, ActionResult
 from repro.ripple.agent import RippleAgent
 from repro.ripple.rules import Action, Rule, RuleSet, Trigger
+from repro.runtime import RestartPolicy, Supervisor
 from repro.util.clock import Clock, WallClock
 from repro.util.logging import get_logger
 
@@ -46,6 +53,10 @@ class ServiceConfig:
     max_action_attempts: int = 3
     cleanup_stall_threshold: float = 5.0
     cleanup_period: float = 10.0
+    #: How crashed cloud-side services are restarted.
+    restart_policy: RestartPolicy = field(default_factory=RestartPolicy)
+    #: How often the supervisor sweeps for crashed children (seconds).
+    supervise_interval: float = 0.01
 
 
 class RippleService:
@@ -55,9 +66,13 @@ class RippleService:
         self,
         config: ServiceConfig | None = None,
         clock: Clock | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.clock = clock or WallClock()
+        #: One registry shared by the service and its supervised workers.
+        self.registry = registry or MetricsRegistry()
+        self.metrics = self.registry.scoped("service")
         self.queues = QueueService(clock=self.clock)
         self.event_queue = self.queues.create_queue(
             self.config.queue_name,
@@ -65,17 +80,27 @@ class RippleService:
             max_receives=self.config.max_event_receives,
             with_dead_letter=True,
         )
+        self.supervisor = Supervisor(
+            "ripple",
+            policy=self.config.restart_policy,
+            registry=self.registry,
+            poll_interval=self.config.supervise_interval,
+        )
         self.executor = ServerlessExecutor(
             self.event_queue,
             self._process_event_entry,
             concurrency=self.config.lambda_concurrency,
             batch_size=self.config.lambda_batch_size,
+            registry=self.registry,
         )
         self.cleanup = CleanupFunction(
             self.event_queue,
             stall_threshold=self.config.cleanup_stall_threshold,
             period=self.config.cleanup_period,
+            registry=self.registry,
         )
+        self.supervisor.add_child(self.executor)
+        self.supervisor.add_child(self.cleanup)
         self.rules = RuleSet()
         self.agents: Dict[str, RippleAgent] = {}
         #: Simulated email outbox (email actions append here).
@@ -87,12 +112,33 @@ class RippleService:
         #: Optional fault hooks (tests): raise/True to simulate failures.
         self.report_fault: Optional[Callable[[str, FileEvent], bool]] = None
         self.dispatch_fault: Optional[Callable[[ActionRequest], bool]] = None
-        # Counters.
+        # Counters (registry-backed; see the properties below).
         self._log = get_logger("ripple.service")
-        self.events_accepted = 0
-        self.events_processed = 0
-        self.actions_dispatched = 0
-        self.actions_retried = 0
+        self._events_accepted = self.metrics.counter("events_accepted")
+        self._events_processed = self.metrics.counter("events_processed")
+        self._actions_dispatched = self.metrics.counter("actions_dispatched")
+        self._actions_retried = self.metrics.counter("actions_retried")
+        self.metrics.gauge_fn(
+            "queue_depth", lambda: self.event_queue.visible_depth
+        )
+
+    # -- counters (old attribute names kept readable) -------------------
+
+    @property
+    def events_accepted(self) -> int:
+        return self._events_accepted.value
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed.value
+
+    @property
+    def actions_dispatched(self) -> int:
+        return self._actions_dispatched.value
+
+    @property
+    def actions_retried(self) -> int:
+        return self._actions_retried.value
 
     # ------------------------------------------------------------------
     # Registration
@@ -165,7 +211,7 @@ class RippleService:
         self.event_queue.send(
             {"agent_id": agent_id, "event": event.to_dict(), "rule_ids": rule_ids}
         )
-        self.events_accepted += 1
+        self._events_accepted.inc()
 
     # ------------------------------------------------------------------
     # Lambda handler: evaluate + route
@@ -187,7 +233,7 @@ class RippleService:
                 rule_id=rule.rule_id,
             )
             self._dispatch(request)
-        self.events_processed += 1
+        self._events_processed.inc()
 
     def _dispatch(self, request: ActionRequest) -> None:
         if self.dispatch_fault is not None and self.dispatch_fault(request):
@@ -198,7 +244,7 @@ class RippleService:
                 f"action routed to unknown agent {request.agent_id!r}"
             )
         target.enqueue_action(request)
-        self.actions_dispatched += 1
+        self._actions_dispatched.inc()
 
     # ------------------------------------------------------------------
     # Results and retries (called by agents)
@@ -210,7 +256,7 @@ class RippleService:
         if result.success:
             return
         if request.attempts < self.config.max_action_attempts:
-            self.actions_retried += 1
+            self._actions_retried.inc()
             target = self.agents.get(request.agent_id)
             if target is not None:
                 target.enqueue_action(request)
@@ -272,11 +318,24 @@ class RippleService:
         return total
 
     def start(self) -> None:
-        """Start Lambda workers and the cleanup sweeper (live mode)."""
-        self.executor.start()
-        self.cleanup.start()
+        """Start the supervised Lambda workers and cleanup sweeper."""
+        self.supervisor.start()
 
     def stop(self) -> None:
-        """Stop live-mode threads."""
-        self.executor.stop()
-        self.cleanup.stop()
+        """Stop the supervision tree (workers flush, then stop)."""
+        self.supervisor.stop()
+
+    def shutdown(self) -> None:
+        """Stop and release every supervised child."""
+        self.supervisor.close()
+
+    def health(self) -> dict:
+        """Uniform per-service health for the cloud-side tree."""
+        return self.supervisor.health()
+
+    def stats(self) -> dict[str, Any]:
+        """Service counters plus per-child health, from the registry."""
+        return {
+            **self.metrics.snapshot(),
+            "services": self.supervisor.health()["services"],
+        }
