@@ -1,13 +1,21 @@
 """Component microbenchmarks: the hot paths of the live implementation."""
 
+import os
+
 import pytest
 
 from repro.cloudq import ReliableQueue
+from repro.core.aggregator import Aggregator, AggregatorConfig
 from repro.core.events import EventType, FileEvent
 from repro.core.processor import PathCache
 from repro.core.store import EventStore
 from repro.lustre.fid import Fid
 from repro.msgq import Context
+
+#: Workload size for the ingest micro-benchmark; the CI smoke step
+#: shrinks it so the counter assertions run in seconds.
+INGEST_EVENTS = int(os.environ.get("INGEST_BENCH_EVENTS", "5000"))
+INGEST_BATCH = 100
 
 
 def make_event(index):
@@ -43,6 +51,88 @@ class TestEventStoreBench:
             store.append(make_event(index))
         result = benchmark(store.query, path_prefix="/d/f42", limit=10)
         assert result
+
+
+class TestIngestBatchingBench:
+    """Per-event vs batched ingest through the real store+publish path.
+
+    The win is verified with *operation counters*, not wall-clock: the
+    batched path must take one store lock per batch and perform at most
+    one PUB send per (batch, topic), while the per-event path pays both
+    costs per event.
+    """
+
+    @staticmethod
+    def build(tag):
+        context = Context()
+        config = AggregatorConfig(
+            inbound_endpoint=f"inproc://ingest-in-{tag}",
+            publish_endpoint=f"inproc://ingest-pub-{tag}",
+            api_endpoint=f"inproc://ingest-rep-{tag}",
+            store_max_events=max(INGEST_EVENTS, 1),
+        )
+        aggregator = Aggregator(context, config)
+        subscriber = (
+            context.sub(hwm=10_000_000)
+            .connect(config.publish_endpoint)
+            .subscribe(config.publish_topic)
+        )
+        return aggregator, subscriber
+
+    def test_bench_ingest_per_event(self, benchmark):
+        events = [make_event(index) for index in range(INGEST_EVENTS)]
+        counter = {"round": 0}
+
+        def per_event():
+            aggregator, _sub = self.build(f"pe{counter['round']}")
+            counter["round"] += 1
+            for event in events:
+                aggregator._handle_batch([event])
+            return aggregator
+
+        aggregator = benchmark.pedantic(per_event, rounds=3, iterations=1)
+        # The per-event path pays one lock and one publish per event.
+        assert aggregator.store.lock_acquisitions == INGEST_EVENTS
+        assert aggregator.publisher.published == INGEST_EVENTS
+
+    def test_bench_ingest_batched(self, benchmark):
+        events = [make_event(index) for index in range(INGEST_EVENTS)]
+        batches = [
+            events[start:start + INGEST_BATCH]
+            for start in range(0, len(events), INGEST_BATCH)
+        ]
+        counter = {"round": 0}
+
+        def batched():
+            aggregator, _sub = self.build(f"b{counter['round']}")
+            counter["round"] += 1
+            for batch in batches:
+                aggregator._handle_batch(batch)
+            return aggregator
+
+        aggregator = benchmark.pedantic(batched, rounds=3, iterations=1)
+        # O(1) lock acquisitions per batch, ≤1 fabric send per
+        # (batch, topic) — one topic here, so exactly one per batch.
+        assert aggregator.store.lock_acquisitions == len(batches)
+        assert aggregator.publisher.published == len(batches)
+        assert aggregator.batches_published == len(batches)
+        assert aggregator.events_stored == INGEST_EVENTS
+
+    def test_since_on_full_store_is_indexed(self):
+        """Scan-count probe: ``since(seq)`` against a full 100k-event
+        store touches only the entries above *seq*, never the window
+        below it (the old implementation scanned all 100k)."""
+        size = min(100_000, max(INGEST_EVENTS * 20, 1000))
+        store = EventStore(max_events=size)
+        store.extend([make_event(index) for index in range(size)])
+        store.reset_op_counters()
+        tail = store.since(size - 50)
+        assert len(tail) == 50
+        assert store.events_scanned == 50  # not `size`
+        store.reset_op_counters()
+        page = store.since(0, limit=25)
+        assert len(page) == 25
+        assert store.events_scanned == 25  # limit bounds the scan itself
 
 
 class TestQueueBench:

@@ -7,6 +7,8 @@ d2path preprocessing step.  The pipeline model must *derive* those
 rates and that bottleneck from the calibrated per-op costs.
 """
 
+import os
+
 import pytest
 
 from repro.harness import experiment_throughput
@@ -37,3 +39,63 @@ def test_no_event_loss_after_processing():
     — everything the collector reports reaches the consumer."""
     result = experiment_throughput(IOTA, duration=10.0).result
     assert result.delivered >= result.collected - 64  # tail in flight at cutoff
+
+
+class TestLiveIngestBatching:
+    """Batched vs per-event ingest through the real monitor pipeline.
+
+    Complements the calibrated-model experiments above with the live
+    implementation: same workload, same delivery guarantees, but the
+    batched wire format amortises store locking and fabric sends —
+    verified by operation counters, not wall-clock.
+    """
+
+    N_FILES = int(os.environ.get("INGEST_BENCH_EVENTS", "2000"))
+
+    @staticmethod
+    def run_monitor(batch_events):
+        from repro.core import (
+            AggregatorConfig,
+            CollectorConfig,
+            LustreMonitor,
+            MonitorConfig,
+        )
+        from repro.lustre import LustreFilesystem
+        from repro.util.clock import ManualClock
+
+        fs = LustreFilesystem(clock=ManualClock())
+        fs.makedirs("/d")
+        monitor = LustreMonitor(
+            fs,
+            MonitorConfig(
+                collector=CollectorConfig(read_batch=256),
+                aggregator=AggregatorConfig(
+                    hwm=10_000_000, batch_events=batch_events
+                ),
+            ),
+        )
+        seen = []
+        monitor.subscribe(lambda seq, event: seen.append(seq))
+        for index in range(TestLiveIngestBatching.N_FILES):
+            fs.create(f"/d/f{index}")
+        monitor.drain()
+        return monitor, seen
+
+    @pytest.mark.parametrize("batch_events", [1, 0], ids=["per-event", "batched"])
+    def test_bench_live_ingest(self, benchmark, batch_events):
+        monitor, seen = benchmark.pedantic(
+            self.run_monitor, args=(batch_events,), rounds=3, iterations=1
+        )
+        n_events = monitor.aggregator.events_stored
+        assert len(seen) == n_events
+        if batch_events == 1:
+            # Per-event flush: one PUB message per event.
+            assert monitor.aggregator.batches_published == n_events
+        else:
+            # Whole-poll batches: PUB messages scale with polls, so the
+            # fabric does far less work for the same delivered stream.
+            assert monitor.aggregator.batches_published < n_events / 10
+            assert (
+                monitor.aggregator.store.lock_acquisitions
+                <= monitor.aggregator.batches_received + 1
+            )

@@ -20,7 +20,7 @@ tolerance.  Pipeline (paper §4, Figure 2):
 :class:`~repro.lustre.LustreFilesystem`.
 """
 
-from repro.core.events import EventType, FileEvent
+from repro.core.events import EventBatch, EventType, FileEvent, iter_entries
 from repro.core.processor import EventProcessor, PathCache, ProcessorConfig
 from repro.core.collector import Collector, CollectorConfig
 from repro.core.store import EventStore
@@ -33,6 +33,8 @@ from repro.core.relay import RelayAggregator, facility_relay
 
 __all__ = [
     "FileEvent",
+    "EventBatch",
+    "iter_entries",
     "EventType",
     "EventProcessor",
     "ProcessorConfig",

@@ -12,10 +12,14 @@ Structure here:
 
 * an inbound PULL endpoint collectors PUSH event batches to;
 * an internal queue feeding two named service workers — ``pump`` stores
-  into the rotating :class:`EventStore` and publishes on a PUB endpoint
-  under topic ``events`` (subscribers filter client-side), ``api``
-  serves the historic-event REP endpoint (``since``/``recent``/
-  ``query`` requests).
+  each collector batch *atomically* into the rotating
+  :class:`EventStore` (one lock acquisition, contiguous sequence
+  numbers) and publishes one
+  :class:`~repro.core.events.EventBatch` message per (batch, topic) on
+  the PUB endpoint (per-subtree topics when ``topic_by_path`` is on);
+  ``api`` serves the historic-event REP endpoint (``since``/``recent``/
+  ``query`` requests) with ``since`` honouring ``limit`` during the
+  indexed scan.
 
 Deterministic mode: :meth:`pump_once` performs receive→store→publish
 synchronously, which tests and virtual-time drivers use.
@@ -31,7 +35,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.core.events import EventType, FileEvent
+from repro.core.events import (
+    EventBatch,
+    EventType,
+    FileEvent,
+    approx_wire_bytes,
+)
 from repro.core.store import EventStore
 from repro.errors import WouldBlock
 from repro.metrics.registry import MetricsRegistry
@@ -53,6 +62,20 @@ class AggregatorConfig:
     #: (``events./projects``), so subscribers interested in one subtree
     #: filter *at the fabric* instead of discarding after delivery.
     topic_by_path: bool = False
+    #: Flush policy for published batch messages: a per-topic group
+    #: larger than ``batch_events`` events (0 = unbounded) or
+    #: ``batch_bytes`` approximate wire bytes (0 = unbounded) is split
+    #: into multiple :class:`~repro.core.events.EventBatch` messages.
+    #: Bounds the latency/memory cost of one PUB message without giving
+    #: up batch amortisation.
+    batch_events: int = 0
+    batch_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_events < 0:
+            raise ValueError(f"batch_events must be >= 0: {self.batch_events}")
+        if self.batch_bytes < 0:
+            raise ValueError(f"batch_bytes must be >= 0: {self.batch_bytes}")
 
 
 class Aggregator(Service):
@@ -83,6 +106,7 @@ class Aggregator(Service):
         self._batches_received = self.metrics.counter("batches_received")
         self._events_stored = self.metrics.counter("events_stored")
         self._events_published = self.metrics.counter("events_published")
+        self._batches_published = self.metrics.counter("batches_published")
         self._api_requests = self.metrics.counter("api_requests")
         self.metrics.gauge_fn("store_len", lambda: len(self.store))
         self.metrics.gauge_fn("store_last_seq", lambda: self.store.last_seq)
@@ -105,36 +129,51 @@ class Aggregator(Service):
     def events_published(self) -> int:
         return self._events_published.value
 
+    @property
+    def batches_published(self) -> int:
+        """PUB messages sent — one per (stored batch, topic) chunk."""
+        return self._batches_published.value
+
     # -- deterministic mode ----------------------------------------------------
 
     def pump_once(self, timeout: float = 0.0) -> int:
         """Receive pending batches and store+publish them synchronously.
 
-        Returns the number of events handled.
+        Drain-style: all queued batches are taken from the inbound
+        socket in one fabric operation.  Returns the number of events
+        handled.
         """
         handled = 0
         while True:
             try:
-                batch: list[FileEvent] = self.inbound.recv(
+                batches: list[list[FileEvent]] = self.inbound.recv_many(
                     timeout=timeout, block=timeout > 0
                 )
             except WouldBlock:
                 break
-            handled += self._handle_batch(batch)
-            timeout = 0.0  # only wait for the first batch
+            for batch in batches:
+                handled += self._handle_batch(batch)
+            timeout = 0.0  # only wait for the first drain
         return handled
 
     def serve_api_once(self, timeout: float = 0.0) -> bool:
-        """Answer one pending historic-API request (False if none)."""
+        """Answer one pending historic-API request (False if none).
+
+        The answer is computed first and sent exactly once: only
+        :meth:`_answer` failures become error replies, so a failure
+        inside the reply send can never trigger a second send on the
+        one-shot REQ/REP channel.
+        """
         try:
             request, channel = self.api.recv(timeout=timeout)
         except WouldBlock:
             return False
         self._api_requests.inc()
         try:
-            channel.send(self._answer(request))
+            answer = self._answer(request)
         except Exception as exc:
-            channel.send(exc)
+            answer = exc
+        channel.send(answer)
         return True
 
     def _topic_for(self, event: FileEvent) -> str:
@@ -145,13 +184,49 @@ class Aggregator(Service):
         top = "/" + parts[1] if len(parts) > 1 and parts[1] else "/"
         return f"{self.config.publish_topic}.{top}"
 
+    def _flush_chunks(self, entries: list[tuple[int, FileEvent]]):
+        """Split one topic group per the batch_events/batch_bytes policy."""
+        max_events = self.config.batch_events or None
+        max_bytes = self.config.batch_bytes or None
+        if max_events is None and max_bytes is None:
+            yield entries
+            return
+        chunk: list[tuple[int, FileEvent]] = []
+        chunk_bytes = 0
+        for seq, event in entries:
+            size = approx_wire_bytes(event) if max_bytes else 0
+            full = chunk and (
+                (max_events is not None and len(chunk) >= max_events)
+                or (max_bytes is not None and chunk_bytes + size > max_bytes)
+            )
+            if full:
+                yield chunk
+                chunk, chunk_bytes = [], 0
+            chunk.append((seq, event))
+            chunk_bytes += size
+        if chunk:
+            yield chunk
+
     def _handle_batch(self, batch: list[FileEvent]) -> int:
+        """Store *batch* atomically and publish per-topic batch messages.
+
+        One EventStore lock acquisition per batch, one PUB send per
+        (batch, topic) flush chunk — per-topic order matches store
+        order, which is what fabric-side filtering can guarantee.
+        """
         self._batches_received.inc()
-        for event in batch:
-            seq = self.store.append(event)
-            self._events_stored.inc()
-            self.publisher.send(self._topic_for(event), (seq, event))
-            self._events_published.inc()
+        if not batch:
+            return 0
+        seqs = self.store.extend(batch)
+        self._events_stored.inc(len(batch))
+        groups: dict[str, list[tuple[int, FileEvent]]] = {}
+        for seq, event in zip(seqs, batch):
+            groups.setdefault(self._topic_for(event), []).append((seq, event))
+        for topic, entries in groups.items():
+            for chunk in self._flush_chunks(entries):
+                self.publisher.send(topic, EventBatch(tuple(chunk)))
+                self._batches_published.inc()
+                self._events_published.inc(len(chunk))
         return len(batch)
 
     # -- historic API ------------------------------------------------------------

@@ -60,8 +60,32 @@ class MonitorClient:
     def events_since(
         self, seq: int, limit: Optional[int] = None
     ) -> list[tuple[int, FileEvent]]:
-        """Events newer than *seq* (the catch-up primitive)."""
+        """Events newer than *seq* (the catch-up primitive).
+
+        The aggregator's store honors *limit* during the scan, so this
+        is O(limit) even against a full retained window.
+        """
         return self._request({"op": "since", "seq": seq, "limit": limit})
+
+    def events_since_all(
+        self, seq: int, page_size: int = 1024
+    ) -> list[tuple[int, FileEvent]]:
+        """Every event newer than *seq*, fetched in bounded pages.
+
+        Speaks the batched catch-up pattern consumers use: repeated
+        ``since`` requests of at most *page_size* entries, so no single
+        reply materialises the whole window.
+        """
+        if page_size < 1:
+            raise ValueError(f"page_size must be >= 1: {page_size}")
+        collected: list[tuple[int, FileEvent]] = []
+        cursor = seq
+        while True:
+            page = self.events_since(cursor, limit=page_size)
+            collected.extend(page)
+            if len(page) < page_size:
+                return collected
+            cursor = page[-1][0]
 
     def recent(self, count: int) -> list[tuple[int, FileEvent]]:
         """The most recent *count* events."""

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol
 
-from repro.core.events import FileEvent
+from repro.core.events import FileEvent, approx_wire_bytes
 from repro.core.processor import EventProcessor, ProcessorConfig
 from repro.lustre.fid2path import FidResolver
 from repro.lustre.filesystem import LustreFilesystem
@@ -40,7 +40,12 @@ from repro.util.logging import get_logger
 
 
 class EventSink(Protocol):
-    """Anything that can accept a batch of events from a collector."""
+    """Anything that can accept a batch of events from a collector.
+
+    Sinks may additionally implement ``send_many(payloads)`` — a list
+    of batches moved in one fabric round-trip; collectors use it when
+    the flush policy splits a poll into several report messages.
+    """
 
     def send(self, payload: list[FileEvent]) -> None:  # pragma: no cover
         ...
@@ -62,18 +67,30 @@ class CollectorConfig:
         paper's configuration).  Filtering here saves both transport
         and downstream work when consumers only care about, say,
         creations and deletions.
+    batch_events / batch_bytes:
+        Report flush policy: a poll's events are split into report
+        messages of at most ``batch_events`` events (0 = whole poll in
+        one message) or ``batch_bytes`` approximate wire bytes (0 =
+        unbounded); all chunks of one MDT poll still move in a single
+        fabric round-trip when the sink supports ``send_many``.
     """
 
     read_batch: int = 256
     processor: ProcessorConfig = field(default_factory=ProcessorConfig)
     poll_interval: float = 0.002
     event_types: Optional[frozenset] = None
+    batch_events: int = 0
+    batch_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.read_batch < 1:
             raise ValueError(f"read_batch must be >= 1: {self.read_batch}")
         if self.event_types is not None and not self.event_types:
             raise ValueError("event_types filter must be None or non-empty")
+        if self.batch_events < 0:
+            raise ValueError(f"batch_events must be >= 0: {self.batch_events}")
+        if self.batch_bytes < 0:
+            raise ValueError(f"batch_bytes must be >= 0: {self.batch_bytes}")
 
 
 class Collector(Service):
@@ -171,7 +188,7 @@ class Collector(Service):
             # An all-filtered batch skips the report but still clears.
             if events:
                 try:
-                    self.sink.send(events)
+                    self._report(events)
                 except ServiceCrash:
                     # Escalate: the worker dies and the supervisor
                     # restarts it; unpurged records are re-read.
@@ -189,6 +206,49 @@ class Collector(Service):
                 reported += len(events)
             mdt.changelog.clear(user, records[-1].index)
         return reported
+
+    def _flush_chunks(self, events: list[FileEvent]) -> list[list[FileEvent]]:
+        """Split one poll's events per the batch_events/batch_bytes policy."""
+        max_events = self.config.batch_events or None
+        max_bytes = self.config.batch_bytes or None
+        if max_events is None and max_bytes is None:
+            return [events]
+        chunks: list[list[FileEvent]] = []
+        chunk: list[FileEvent] = []
+        chunk_bytes = 0
+        for event in events:
+            size = approx_wire_bytes(event) if max_bytes else 0
+            full = chunk and (
+                (max_events is not None and len(chunk) >= max_events)
+                or (max_bytes is not None and chunk_bytes + size > max_bytes)
+            )
+            if full:
+                chunks.append(chunk)
+                chunk, chunk_bytes = [], 0
+            chunk.append(event)
+            chunk_bytes += size
+        if chunk:
+            chunks.append(chunk)
+        return chunks
+
+    def _report(self, events: list[FileEvent]) -> None:
+        """Send one poll's events, honouring the flush policy.
+
+        Multiple chunks go through the sink's ``send_many`` when it has
+        one (a single fabric round-trip); otherwise they are sent
+        sequentially.  A failure anywhere leaves the changelog
+        unpurged, so the whole poll is re-read and re-reported —
+        at-least-once, never loss.
+        """
+        chunks = self._flush_chunks(events)
+        send_many = getattr(self.sink, "send_many", None)
+        if len(chunks) == 1:
+            self.sink.send(chunks[0])
+        elif send_many is not None:
+            send_many(chunks)
+        else:
+            for chunk in chunks:
+                self.sink.send(chunk)
 
     def drain(self, max_rounds: int = 10_000) -> int:
         """Poll until every ChangeLog is exhausted; returns total events."""
@@ -241,3 +301,7 @@ class CallbackSink:
 
     def send(self, payload: list[FileEvent]) -> None:
         self.callback(payload)
+
+    def send_many(self, payloads: list[list[FileEvent]]) -> None:
+        for payload in payloads:
+            self.callback(payload)

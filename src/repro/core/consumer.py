@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.core.aggregator import AggregatorConfig
-from repro.core.events import FileEvent
+from repro.core.events import FileEvent, iter_entries
 from repro.errors import WouldBlock
 from repro.metrics.registry import MetricsRegistry
 from repro.msgq import Context
@@ -53,9 +53,14 @@ class Consumer(Service):
         self.api = context.req().connect(self.config.api_endpoint)
         self.last_seq = 0
         self.poll_interval = 0.005
+        #: Historic-API page size used by :meth:`catch_up`: missed
+        #: events are fetched in bounded chunks so one request never
+        #: materialises the whole retained window.
+        self.catch_up_page = 1024
         # Counters (shared registry; property shims below).
         self._events_consumed = self.metrics.counter("events_consumed")
         self._duplicates_skipped = self.metrics.counter("duplicates_skipped")
+        self._batches_consumed = self.metrics.counter("batches_consumed")
         self._catch_ups = self.metrics.counter("catch_ups")
         self.metrics.gauge_fn("last_seq", lambda: self.last_seq)
         self.metrics.gauge_fn("dropped", lambda: self.subscription.dropped)
@@ -79,6 +84,11 @@ class Consumer(Service):
     @property
     def catch_ups(self) -> int:
         return self._catch_ups.value
+
+    @property
+    def batches_consumed(self) -> int:
+        """Live PUB messages received (batch or legacy single-event)."""
+        return self._batches_consumed.value
 
     def track_latency(self, clock=None) -> "Consumer":
         """Enable per-event delivery-latency recording; returns self."""
@@ -105,40 +115,64 @@ class Consumer(Service):
         self.callback(seq, event)
 
     def poll_once(self, timeout: float = 0.0) -> int:
-        """Drain pending live events; returns the number delivered."""
+        """Drain pending live messages; returns the number of events
+        delivered.
+
+        Messages are taken from the subscription queue drain-style (one
+        fabric operation for everything pending) and may be
+        :class:`~repro.core.events.EventBatch` batches or legacy
+        ``(seq, event)`` singles — the shim accepts both.
+        """
         delivered = 0
         while True:
             try:
-                _topic, (seq, event) = self.subscription.recv(
+                messages = self.subscription.recv_many(
                     timeout=timeout, block=timeout > 0
                 )
             except WouldBlock:
                 break
-            self._deliver(seq, event)
-            delivered += 1
+            for _topic, payload in messages:
+                self._batches_consumed.inc()
+                for seq, event in iter_entries(payload):
+                    self._deliver(seq, event)
+                    delivered += 1
             timeout = 0.0
         return delivered
+
+    def _request(self, request, api_server=None):
+        if api_server is None:
+            return self.api.request(request, timeout=5.0)
+        return call_with_pump(
+            lambda: self.api.request(request, timeout=5.0),
+            lambda: api_server.serve_api_once(timeout=0.05),
+        )
 
     def catch_up(self, api_server=None) -> int:
         """Fetch events missed since ``last_seq`` via the historic API.
 
-        In live mode the Aggregator's API thread answers; deterministic
-        tests pass the aggregator as *api_server* so the request is
-        answered synchronously (the request is issued from a helper
-        thread to keep REQ/REP lock-step semantics intact).
+        Pages through the ``since`` API in ``catch_up_page``-sized
+        requests — the indexed store makes every page O(page), so a
+        consumer far behind never forces one unbounded reply.  In live
+        mode the Aggregator's API thread answers; deterministic tests
+        pass the aggregator as *api_server* so requests are answered
+        synchronously (issued from a helper thread to keep REQ/REP
+        lock-step semantics intact).
         """
         self._catch_ups.inc()
-        request = {"op": "since", "seq": self.last_seq}
-        if api_server is None:
-            missed = self.api.request(request, timeout=5.0)
-        else:
-            missed = call_with_pump(
-                lambda: self.api.request(request, timeout=5.0),
-                lambda: api_server.serve_api_once(timeout=0.05),
-            )
-        for seq, event in missed:
-            self._deliver(seq, event)
-        return len(missed)
+        recovered = 0
+        while True:
+            request = {
+                "op": "since", "seq": self.last_seq,
+                "limit": self.catch_up_page,
+            }
+            missed = self._request(request, api_server)
+            for seq, event in missed:
+                self._deliver(seq, event)
+                # Advance even over redeliveries so paging terminates.
+                self.last_seq = max(self.last_seq, seq)
+            recovered += len(missed)
+            if len(missed) < self.catch_up_page:
+                return recovered
 
     @property
     def dropped(self) -> int:

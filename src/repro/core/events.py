@@ -164,3 +164,70 @@ class FileEvent:
             ):
                 return True
         return False
+
+
+# ---------------------------------------------------------------------------
+# Batch wire format
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EventBatch:
+    """A sequenced batch of events — the PUB wire format.
+
+    The Aggregator stores a whole collector batch atomically and
+    publishes one :class:`EventBatch` per (batch, topic) instead of one
+    message per event, amortising fabric work over the batch (the §4
+    "minimal overhead" property).  ``entries`` are ``(seq, event)``
+    pairs in publish order; sequence numbers are contiguous per topic
+    group within a batch.
+    """
+
+    entries: tuple[tuple[int, "FileEvent"], ...]
+
+    def __post_init__(self) -> None:
+        # Normalise lists to tuples so batches stay hashable/frozen.
+        if not isinstance(self.entries, tuple):
+            object.__setattr__(self, "entries", tuple(self.entries))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def first_seq(self) -> Optional[int]:
+        return self.entries[0][0] if self.entries else None
+
+    @property
+    def last_seq(self) -> Optional[int]:
+        return self.entries[-1][0] if self.entries else None
+
+
+def iter_entries(payload: Any) -> tuple[tuple[int, "FileEvent"], ...]:
+    """Normalise a published payload into ``(seq, event)`` entries.
+
+    The compatibility shim for the batch wire format: new publishers
+    send :class:`EventBatch`; pre-batching publishers sent a single
+    ``(seq, event)`` tuple.  Subscribers call this instead of
+    unpacking, so both generations of publisher interoperate.
+    """
+    if isinstance(payload, EventBatch):
+        return payload.entries
+    seq, event = payload  # legacy single-event message
+    return ((seq, event),)
+
+
+#: Flat per-event overhead assumed by the byte-based flush policy (the
+#: same O(1) estimate EventStore uses for its memory gauge).
+EVENT_OVERHEAD_BYTES = 256
+
+
+def approx_wire_bytes(event: "FileEvent") -> int:
+    """Rough serialised size of one event, for ``batch_bytes`` policies."""
+    size = EVENT_OVERHEAD_BYTES
+    for text in (event.path, event.old_path, event.name):
+        if text:
+            size += len(text)
+    return size

@@ -63,6 +63,10 @@ class _PushSink:
     def send(self, payload: list[FileEvent]) -> None:
         self.socket.send(payload, timeout=self.timeout)
 
+    def send_many(self, payloads: list[list[FileEvent]]) -> None:
+        """Move several report chunks in one fabric round-trip."""
+        self.socket.send_many(payloads, timeout=self.timeout)
+
 
 @dataclass
 class MonitorStats:

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.aggregator import Aggregator, AggregatorConfig
-from repro.core.events import FileEvent
+from repro.core.events import FileEvent, iter_entries
 from repro.errors import WouldBlock
 from repro.msgq import Context
 
@@ -81,20 +81,27 @@ class RelayAggregator(Aggregator):
         return label
 
     def pump_once(self, timeout: float = 0.0) -> int:
-        """Drain every upstream subscription, then any direct inbound."""
+        """Drain every upstream subscription, then any direct inbound.
+
+        Upstream messages are drained batch-wise (one fabric operation
+        per subscription) and re-ingested as whole batches, so a relay
+        preserves the upstream's batch amortisation instead of
+        dissolving it back into per-event work.  The
+        :func:`~repro.core.events.iter_entries` shim accepts both batch
+        and legacy single-event upstream publishers.
+        """
         handled = 0
         for label, subscription in self._upstreams:
-            while True:
-                try:
-                    _topic, (upstream_seq, event) = subscription.recv(
-                        block=False
-                    )
-                except WouldBlock:
-                    break
-                self._handle_batch([event])
-                self.relayed_counts[label] += 1
-                self._events_relayed.inc()
-                handled += 1
+            try:
+                messages = subscription.recv_many(block=False)
+            except WouldBlock:
+                continue
+            for _topic, payload in messages:
+                entries = iter_entries(payload)
+                self._handle_batch([event for _seq, event in entries])
+                self.relayed_counts[label] += len(entries)
+                self._events_relayed.inc(len(entries))
+                handled += len(entries)
         # Also accept directly-pushed batches (a relay can serve both
         # roles at once).
         handled += super().pump_once(timeout=timeout)

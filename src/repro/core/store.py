@@ -5,15 +5,48 @@ it as a *rotating* catalog (old events age out at a size bound — Table 3
 attributes the Aggregator's memory footprint to this store and notes a
 production deployment would cap it) and "exposes an API to enable
 consumers to retrieve historic events" for fault tolerance.
+
+Two properties matter for the §5.2 hot path and are kept observable via
+operation counters (``lock_acquisitions``, ``events_scanned``):
+
+* **Batch ingest is atomic** — :meth:`extend` assigns a contiguous run
+  of sequence numbers under ONE lock acquisition, so concurrent
+  collectors never interleave within a batch and the per-event locking
+  cost is amortised away.
+* **Catch-up is indexed** — sequence numbers in the retained window are
+  contiguous (append assigns consecutively, rotation evicts from the
+  left), so :meth:`since` locates its start position with index
+  arithmetic (a degenerate bisect) instead of scanning the whole deque,
+  and honors ``limit`` during the scan.
 """
 
 from __future__ import annotations
 
 import threading
+from bisect import bisect_right
 from collections import deque
+from itertools import islice
 from typing import Deque, Optional
 
 from repro.core.events import EventType, FileEvent
+
+
+class _SeqView:
+    """An indexable view of the stored sequence numbers (bisect support).
+
+    Only used on the fallback path when the retained window is not
+    contiguous (e.g. a hand-crafted restore); bisect then performs
+    O(log n) indexed probes instead of a full scan.
+    """
+
+    def __init__(self, events: Deque[tuple[int, FileEvent]]) -> None:
+        self._events = events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index: int) -> int:
+        return self._events[index][0]
 
 
 class EventStore:
@@ -33,40 +66,88 @@ class EventStore:
         self._next_seq = 1
         self.total_stored = 0
         self.total_rotated = 0
+        #: Operation counters: how often the store lock was taken and how
+        #: many (seq, event) pairs retrieval scans have touched.  The
+        #: ingest micro-benchmark asserts batching keeps both O(batches),
+        #: not O(events).
+        self.lock_acquisitions = 0
+        self.events_scanned = 0
 
     def append(self, event: FileEvent) -> int:
         """Store *event*; returns its sequence number."""
-        with self._lock:
-            seq = self._next_seq
-            self._next_seq += 1
-            self._events.append((seq, event))
-            self.total_stored += 1
-            while len(self._events) > self.max_events:
-                self._events.popleft()
-                self.total_rotated += 1
-            return seq
+        return self.extend([event])[0]
 
     def extend(self, events: list[FileEvent]) -> list[int]:
-        """Store a batch; returns the assigned sequence numbers."""
-        return [self.append(event) for event in events]
+        """Store a batch atomically; returns the assigned sequence numbers.
+
+        One lock acquisition per call: the batch receives a contiguous
+        run of sequence numbers, so concurrent extenders can never
+        interleave their numbering within a batch.
+        """
+        if not events:
+            return []
+        with self._lock:
+            self.lock_acquisitions += 1
+            first = self._next_seq
+            self._next_seq += len(events)
+            self._events.extend(
+                (first + offset, event) for offset, event in enumerate(events)
+            )
+            self.total_stored += len(events)
+            overflow = len(self._events) - self.max_events
+            if overflow > 0:
+                for _ in range(overflow):
+                    self._events.popleft()
+                self.total_rotated += overflow
+            return list(range(first, first + len(events)))
 
     # -- retrieval API ------------------------------------------------------
 
+    def _start_index(self, seq: int) -> int:
+        """Index of the first retained entry with sequence > *seq*.
+
+        Callers hold the lock.  Sequence numbers in the window are
+        contiguous by construction, so the position is pure arithmetic;
+        a non-contiguous window (only possible via a hand-built restore)
+        falls back to bisect over an indexable view.
+        """
+        if not self._events:
+            return 0
+        oldest = self._events[0][0]
+        newest = self._events[-1][0]
+        if newest - oldest == len(self._events) - 1:  # contiguous
+            return min(max(seq - oldest + 1, 0), len(self._events))
+        return bisect_right(_SeqView(self._events), seq)
+
     def since(self, seq: int, limit: Optional[int] = None) -> list[tuple[int, FileEvent]]:
-        """Events with sequence number > *seq* (the catch-up primitive)."""
+        """Events with sequence number > *seq* (the catch-up primitive).
+
+        Indexed: events at or below *seq* are never touched, and
+        *limit* bounds the scan itself, not a post-filter — so catching
+        up near the head of a full store is O(limit), not O(window).
+        """
         with self._lock:
-            matched = [(s, e) for s, e in self._events if s > seq]
-        if limit is not None:
-            matched = matched[:limit]
+            self.lock_acquisitions += 1
+            start = self._start_index(seq)
+            stop = len(self._events)
+            if limit is not None:
+                stop = min(stop, start + max(limit, 0))
+            matched = list(islice(self._events, start, stop))
+            self.events_scanned += len(matched)
         return matched
 
     def recent(self, count: int) -> list[tuple[int, FileEvent]]:
         """The most recent *count* events, oldest first."""
         if count < 0:
             raise ValueError(f"negative count: {count}")
+        if count == 0:
+            return []
         with self._lock:
-            snapshot = list(self._events)
-        return snapshot[-count:] if count else []
+            self.lock_acquisitions += 1
+            start = max(len(self._events) - count, 0)
+            matched = list(islice(self._events, start, len(self._events)))
+            self.events_scanned += len(matched)
+        return matched
 
     def query(
         self,
@@ -78,9 +159,11 @@ class EventStore:
     ) -> list[tuple[int, FileEvent]]:
         """Filtered retrieval over the retained window."""
         with self._lock:
+            self.lock_acquisitions += 1
             snapshot = list(self._events)
         results: list[tuple[int, FileEvent]] = []
         for seq, event in snapshot:
+            self.events_scanned += 1
             if event_type is not None and event.event_type is not event_type:
                 continue
             if since_time is not None and event.timestamp < since_time:
@@ -112,22 +195,35 @@ class EventStore:
         with self._lock:
             return self._events[0][0] if self._events else None
 
+    def reset_op_counters(self) -> None:
+        """Zero the lock/scan operation counters (benchmark hygiene)."""
+        with self._lock:
+            self.lock_acquisitions = 0
+            self.events_scanned = 0
+
     # -- persistence ------------------------------------------------------
 
     def save(self, path: str) -> int:
         """Persist the retained window to *path* as JSON lines.
 
-        Returns the number of events written.  The sequence counter is
-        saved too, so a restore continues numbering without reuse.
+        Returns the number of events written.  The header carries the
+        sequence counter (so a restore continues numbering without
+        reuse) and the lifetime ``total_stored``/``total_rotated``
+        counters, so the ``store_rotated`` and lifetime-stored gauges
+        survive an aggregator restart.
         """
         import json
 
         with self._lock:
             snapshot = list(self._events)
             next_seq = self._next_seq
+            total_stored = self.total_stored
+            total_rotated = self.total_rotated
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(json.dumps({"next_seq": next_seq,
-                                     "max_events": self.max_events}) + "\n")
+                                     "max_events": self.max_events,
+                                     "total_stored": total_stored,
+                                     "total_rotated": total_rotated}) + "\n")
             for seq, event in snapshot:
                 handle.write(
                     json.dumps({"seq": seq, "event": event.to_dict()}) + "\n"
@@ -150,7 +246,15 @@ class EventStore:
                     (entry["seq"], FileEvent.from_dict(entry["event"]))
                 )
             store._next_seq = header["next_seq"]
-            store.total_stored = len(store._events)
+            # Restore lifetime counters.  Files written before the
+            # counters were persisted derive them from the numbering:
+            # every assigned sequence number was stored once, and
+            # whatever is not retained was rotated out.
+            derived_stored = store._next_seq - 1
+            store.total_stored = header.get("total_stored", derived_stored)
+            store.total_rotated = header.get(
+                "total_rotated", derived_stored - len(store._events)
+            )
         return store
 
     def approximate_memory_bytes(self) -> int:

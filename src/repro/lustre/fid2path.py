@@ -72,14 +72,21 @@ class FidResolver:
         Batch resolution deduplicates FIDs and charges a single
         invocation for the batch plus one unit per *unique* FID — the
         cost structure that makes the paper's proposed batching fix
-        effective.  Unresolvable FIDs map to ``None``.
+        effective (the same ``overhead + n * per_fid`` model the A1
+        ablation's calibrated pipeline charges).  Unresolvable FIDs map
+        to ``None``.
         """
+        if not fids:
+            return {}
         unique = {}
         for fid in fids:
             if fid not in unique:
                 unique[fid] = None
         with self._lock:
-            self.invocations += 1
+            # One batch invocation plus one unit per unique FID, per
+            # the documented cost model; charging a flat 1 here made
+            # the batching ablation overstate its win.
+            self.invocations += 1 + len(unique)
         if self.latency_hook is not None:
             self.latency_hook()
         for fid in unique:

@@ -96,6 +96,58 @@ class _Mailbox:
             self._ready.notify()
             return True
 
+    def put_many(self, items: list, timeout: Optional[float] = None) -> bool:
+        """Enqueue a whole batch under one lock acquisition.
+
+        Waits for room for the *entire* batch (a batch larger than the
+        high-water mark is admitted in hwm-sized waves so it cannot
+        deadlock), then extends the queue in one operation — the
+        fabric-side analogue of :meth:`EventStore.extend`.
+        """
+        if not items:
+            return True
+        with self._lock:
+            start = 0
+            while start < len(items):
+                wave = min(len(items) - start, self.hwm)
+                if not self._space.wait_for(
+                    lambda: len(self._queue) + wave <= self.hwm,
+                    timeout=timeout,
+                ):
+                    return False
+                self._queue.extend(items[start:start + wave])
+                self.delivered += wave
+                self._ready.notify_all()
+                start += wave
+            return True
+
+    def get_many(
+        self,
+        max_items: Optional[int] = None,
+        timeout: Optional[float] = None,
+        block: bool = True,
+    ) -> list:
+        """Drain up to *max_items* pending items in one lock acquisition.
+
+        Raises WouldBlock exactly like :meth:`get` when nothing arrives
+        in time; otherwise returns at least one item.
+        """
+        with self._lock:
+            if not block:
+                if not self._queue:
+                    raise WouldBlock("no message available")
+            else:
+                if not self._ready.wait_for(
+                    lambda: bool(self._queue), timeout=timeout
+                ):
+                    raise WouldBlock("receive timed out")
+            count = len(self._queue)
+            if max_items is not None:
+                count = min(count, max(max_items, 1))
+            items = [self._queue.popleft() for _ in range(count)]
+            self._space.notify_all()
+            return items
+
     def get(self, timeout: Optional[float] = None, block: bool = True) -> Any:
         """Receive the next item; raises WouldBlock on timeout/empty."""
         with self._lock:
@@ -214,6 +266,19 @@ class SubSocket(Socket):
         self._check_open()
         return self._mailbox.get(timeout=timeout, block=block)
 
+    def recv_many(
+        self,
+        max_messages: Optional[int] = None,
+        timeout: Optional[float] = None,
+        block: bool = True,
+    ) -> list[tuple[str, Any]]:
+        """Drain pending (topic, payload) pairs in one fabric operation;
+        raises WouldBlock exactly like :meth:`recv`."""
+        self._check_open()
+        return self._mailbox.get_many(
+            max_items=max_messages, timeout=timeout, block=block
+        )
+
     @property
     def pending(self) -> int:
         """Messages buffered and not yet received."""
@@ -254,6 +319,19 @@ class PullSocket(Socket):
         self._check_open()
         return self._mailbox.get(timeout=timeout, block=block)
 
+    def recv_many(
+        self,
+        max_messages: Optional[int] = None,
+        timeout: Optional[float] = None,
+        block: bool = True,
+    ) -> list:
+        """Drain every pending message (up to *max_messages*) in one
+        fabric operation; raises WouldBlock exactly like :meth:`recv`."""
+        self._check_open()
+        return self._mailbox.get_many(
+            max_items=max_messages, timeout=timeout, block=block
+        )
+
     @property
     def pending(self) -> int:
         return len(self._mailbox)
@@ -273,6 +351,9 @@ class PushSocket(Socket):
         self._sinks: list[PullSocket] = []
         self._rr = 0
         self.sent = 0
+        #: Fabric round-trips performed (one per send/send_many call) —
+        #: the operation counter the ingest micro-benchmark asserts on.
+        self.send_ops = 0
 
     def connect(self, endpoint: str) -> "PushSocket":
         """Attach to the PULL socket bound at *endpoint*."""
@@ -283,16 +364,40 @@ class PushSocket(Socket):
         self._sinks.append(sink)
         return self
 
-    def send(self, payload: Any, timeout: Optional[float] = None) -> None:
-        """Send to the next sink round-robin, blocking while it is full."""
-        self._check_open()
+    def _next_sink(self) -> PullSocket:
         if not self._sinks:
             raise MessagingError("PUSH socket has no connected sinks")
         sink = self._sinks[self._rr % len(self._sinks)]
         self._rr += 1
+        return sink
+
+    def send(self, payload: Any, timeout: Optional[float] = None) -> None:
+        """Send to the next sink round-robin, blocking while it is full."""
+        self._check_open()
+        sink = self._next_sink()
+        self.send_ops += 1
         if not sink._mailbox.put(payload, timeout=timeout):
             raise WouldBlock("downstream queue full (send timed out)")
         self.sent += 1
+
+    def send_many(
+        self, payloads: list, timeout: Optional[float] = None
+    ) -> None:
+        """Move several messages to ONE sink in one fabric round-trip.
+
+        The whole group lands on the same PULL socket (one mailbox lock
+        acquisition), preserving intra-group order — which is why a
+        collector flushing one poll's chunks uses this instead of N
+        round-robined :meth:`send` calls.
+        """
+        self._check_open()
+        if not payloads:
+            return
+        sink = self._next_sink()
+        self.send_ops += 1
+        if not sink._mailbox.put_many(list(payloads), timeout=timeout):
+            raise WouldBlock("downstream queue full (send timed out)")
+        self.sent += len(payloads)
 
 
 # ---------------------------------------------------------------------------
@@ -323,27 +428,38 @@ class RepSocket(Socket):
         """Receive one request and reply with ``handler(request)``.
 
         Returns False if the wait timed out.  Handler exceptions are sent
-        to the requester as the reply (and re-raised there).
+        to the requester as the reply (and re-raised there).  The answer
+        is computed *before* the reply is sent so a failure inside the
+        send itself can never trigger a second send on the one-shot
+        reply channel.
         """
         try:
             request, channel = self.recv(timeout=timeout)
         except WouldBlock:
             return False
         try:
-            channel.send(handler(request))
+            reply = handler(request)
         except Exception as exc:  # deliver failures to the caller
-            channel.send(exc)
+            reply = exc
+        channel.send(reply)
         return True
 
 
 class _ReplyChannel:
-    """One-shot reply slot handed to REP handlers."""
+    """One-shot reply slot handed to REP handlers.
+
+    REQ/REP is lock-step: exactly one reply per request.  A second send
+    raises instead of silently overwriting the reply the requester may
+    already have observed.
+    """
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._value: Any = None
 
     def send(self, value: Any) -> None:
+        if self._event.is_set():
+            raise MessagingError("reply channel already used")
         self._value = value
         self._event.set()
 

@@ -51,13 +51,19 @@ class TestBackpressure:
 
     def test_subscriber_hwm_protects_aggregator_not_stream(self):
         """A slow subscriber loses messages (counted), but the store
-        keeps them, so catch-up recovers the full stream."""
+        keeps them, so catch-up recovers the full stream.
+
+        The subscriber HWM counts *messages*; ``batch_events=1`` flushes
+        one event per message so the drop accounting is per-event here.
+        """
         fs = LustreFilesystem(clock=ManualClock())
         fs.makedirs("/d")
-        monitor = LustreMonitor(fs)
+        monitor = LustreMonitor(
+            fs, MonitorConfig(aggregator=AggregatorConfig(batch_events=1))
+        )
         from repro.core.consumer import Consumer
 
-        slow_config = AggregatorConfig(hwm=3)
+        slow_config = AggregatorConfig(hwm=3, batch_events=1)
         seen = []
         slow = Consumer(monitor.context, lambda seq, ev: seen.append(seq),
                         config=slow_config, name="slow")

@@ -51,12 +51,26 @@ class TestResolve:
 
 
 class TestResolveMany:
-    def test_batch_is_single_invocation(self, fs):
+    def test_batch_charges_overhead_plus_unique(self, fs):
+        # Documented cost model: one batch invocation + one unit per
+        # unique FID (overhead + n * per_fid).  A flat charge of 1 made
+        # the batching ablation overstate its win.
         resolver = FidResolver(fs)
         fids = [fs.fid_of("/a"), fs.fid_of("/a/b"), fs.fid_of("/a/b/f1")]
         result = resolver.resolve_many(fids)
-        assert resolver.invocations == 1
+        assert resolver.invocations == 1 + 3
         assert result[fs.fid_of("/a/b/f1")] == "/a/b/f1"
+
+    def test_batch_duplicates_charged_once(self, fs):
+        resolver = FidResolver(fs)
+        fid = fs.fid_of("/a")
+        resolver.resolve_many([fid, fid, fs.fid_of("/a/b"), fid])
+        assert resolver.invocations == 1 + 2  # 2 unique across 4 requested
+
+    def test_empty_batch_is_free(self, fs):
+        resolver = FidResolver(fs)
+        assert resolver.resolve_many([]) == {}
+        assert resolver.invocations == 0
 
     def test_batch_deduplicates(self, fs):
         resolver = FidResolver(fs)

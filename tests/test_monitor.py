@@ -119,14 +119,16 @@ class TestHistoricApi:
         assert consumer.duplicates_skipped == 0
 
     def test_dropped_consumer_recovers_via_catch_up(self):
+        # batch_events=1 flushes one event per PUB message so the tiny
+        # subscription HWM (which counts messages) drops per-event.
         fs, monitor = build(
-            aggregator=AggregatorConfig(hwm=100_000),
+            aggregator=AggregatorConfig(hwm=100_000, batch_events=1),
         )
         # Give this consumer a tiny queue by subscribing directly.
         from repro.core.consumer import Consumer
 
         seen = []
-        config = AggregatorConfig(hwm=5)
+        config = AggregatorConfig(hwm=5, batch_events=1)
         consumer = Consumer(
             monitor.context, lambda seq, ev: seen.append(seq), config=config
         )

@@ -93,7 +93,8 @@ class TestResolverCost:
         for index in range(10):
             fs.create(f"/proj/data/f{index}")
         processor.process(changelog.read(user), mdt_index=0)
-        assert resolver.invocations == 1  # one resolve_many for the batch
+        # One resolve_many: 1 batch overhead + 1 unique parent FID.
+        assert resolver.invocations == 2
 
     def test_caching_collapses_invocations(self, fs):
         changelog, user, resolver, processor = fresh_pipeline(fs, cache_size=16)
@@ -110,8 +111,9 @@ class TestResolverCost:
         for index in range(20):
             fs.create(f"/proj/data/f{index}")
         processor.process(changelog.read(user), mdt_index=0)
-        # First chunk misses once; later chunks hit the cache entirely.
-        assert resolver.invocations == 1
+        # First chunk misses once (1 batch + 1 unique FID); later chunks
+        # hit the cache entirely and never reach the resolver.
+        assert resolver.invocations == 2
 
 
 class TestCacheConsistency:
