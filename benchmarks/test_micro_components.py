@@ -58,7 +58,8 @@ class TestIngestBatchingBench:
 
     The win is verified with *operation counters*, not wall-clock: the
     batched path must take one store lock per batch and perform at most
-    one PUB send per (batch, topic), while the per-event path pays both
+    one PUB send per same-topic run of a batch (exactly one per batch
+    on a single-topic workload), while the per-event path pays both
     costs per event.
     """
 

@@ -14,9 +14,10 @@ Structure here:
 * an internal queue feeding two named service workers — ``pump`` stores
   each collector batch *atomically* into the rotating
   :class:`EventStore` (one lock acquisition, contiguous sequence
-  numbers) and publishes one
-  :class:`~repro.core.events.EventBatch` message per (batch, topic) on
-  the PUB endpoint (per-subtree topics when ``topic_by_path`` is on);
+  numbers) and publishes
+  :class:`~repro.core.events.EventBatch` messages on the PUB endpoint
+  in global sequence order — one message per contiguous same-topic run
+  of the batch (per-subtree topics when ``topic_by_path`` is on);
   ``api`` serves the historic-event REP endpoint (``since``/``recent``/
   ``query`` requests) with ``since`` honouring ``limit`` during the
   indexed scan.
@@ -62,7 +63,7 @@ class AggregatorConfig:
     #: (``events./projects``), so subscribers interested in one subtree
     #: filter *at the fabric* instead of discarding after delivery.
     topic_by_path: bool = False
-    #: Flush policy for published batch messages: a per-topic group
+    #: Flush policy for published batch messages: a same-topic run
     #: larger than ``batch_events`` events (0 = unbounded) or
     #: ``batch_bytes`` approximate wire bytes (0 = unbounded) is split
     #: into multiple :class:`~repro.core.events.EventBatch` messages.
@@ -131,7 +132,7 @@ class Aggregator(Service):
 
     @property
     def batches_published(self) -> int:
-        """PUB messages sent — one per (stored batch, topic) chunk."""
+        """PUB messages sent — one per same-topic run chunk of a batch."""
         return self._batches_published.value
 
     # -- deterministic mode ----------------------------------------------------
@@ -185,7 +186,7 @@ class Aggregator(Service):
         return f"{self.config.publish_topic}.{top}"
 
     def _flush_chunks(self, entries: list[tuple[int, FileEvent]]):
-        """Split one topic group per the batch_events/batch_bytes policy."""
+        """Split one same-topic run per the batch_events/batch_bytes policy."""
         max_events = self.config.batch_events or None
         max_bytes = self.config.batch_bytes or None
         if max_events is None and max_bytes is None:
@@ -208,21 +209,30 @@ class Aggregator(Service):
             yield chunk
 
     def _handle_batch(self, batch: list[FileEvent]) -> int:
-        """Store *batch* atomically and publish per-topic batch messages.
+        """Store *batch* atomically and publish batch messages in order.
 
-        One EventStore lock acquisition per batch, one PUB send per
-        (batch, topic) flush chunk — per-topic order matches store
-        order, which is what fabric-side filtering can guarantee.
+        One EventStore lock acquisition per batch; publication splits
+        the batch at topic *boundaries* (one PUB send per contiguous
+        same-topic run, further split by the flush policy) instead of
+        grouping the whole batch per topic.  Chunks therefore go out in
+        global sequence order: a broad-prefix subscriber that matches
+        several per-path topics sees monotone sequence numbers and its
+        watermark dedup never mistakes a cross-topic chunk for a
+        replay, while scoped subscribers still receive their subtree in
+        store order.
         """
         self._batches_received.inc()
         if not batch:
             return 0
         seqs = self.store.extend(batch)
         self._events_stored.inc(len(batch))
-        groups: dict[str, list[tuple[int, FileEvent]]] = {}
+        runs: list[tuple[str, list[tuple[int, FileEvent]]]] = []
         for seq, event in zip(seqs, batch):
-            groups.setdefault(self._topic_for(event), []).append((seq, event))
-        for topic, entries in groups.items():
+            topic = self._topic_for(event)
+            if not runs or runs[-1][0] != topic:
+                runs.append((topic, []))
+            runs[-1][1].append((seq, event))
+        for topic, entries in runs:
             for chunk in self._flush_chunks(entries):
                 self.publisher.send(topic, EventBatch(tuple(chunk)))
                 self._batches_published.inc()

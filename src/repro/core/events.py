@@ -176,11 +176,12 @@ class EventBatch:
     """A sequenced batch of events — the PUB wire format.
 
     The Aggregator stores a whole collector batch atomically and
-    publishes one :class:`EventBatch` per (batch, topic) instead of one
-    message per event, amortising fabric work over the batch (the §4
-    "minimal overhead" property).  ``entries`` are ``(seq, event)``
-    pairs in publish order; sequence numbers are contiguous per topic
-    group within a batch.
+    publishes one :class:`EventBatch` per contiguous same-topic run of
+    the batch instead of one message per event, amortising fabric work
+    over the batch (the §4 "minimal overhead" property).  ``entries``
+    are ``(seq, event)`` pairs in publish order; sequence numbers are
+    contiguous within one message, and messages go out in global
+    sequence order so broad-prefix subscribers see monotone seqs.
     """
 
     entries: tuple[tuple[int, "FileEvent"], ...]

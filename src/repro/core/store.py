@@ -157,24 +157,30 @@ class EventStore:
         until_time: Optional[float] = None,
         limit: Optional[int] = None,
     ) -> list[tuple[int, FileEvent]]:
-        """Filtered retrieval over the retained window."""
+        """Filtered retrieval over the retained window.
+
+        The scan runs under the lock — like :meth:`since` and
+        :meth:`recent` — so ``events_scanned`` updates atomically with
+        respect to concurrent queries and :meth:`reset_op_counters`.
+        """
         with self._lock:
             self.lock_acquisitions += 1
-            snapshot = list(self._events)
-        results: list[tuple[int, FileEvent]] = []
-        for seq, event in snapshot:
-            self.events_scanned += 1
-            if event_type is not None and event.event_type is not event_type:
-                continue
-            if since_time is not None and event.timestamp < since_time:
-                continue
-            if until_time is not None and event.timestamp > until_time:
-                continue
-            if path_prefix is not None and not event.matches_prefix(path_prefix):
-                continue
-            results.append((seq, event))
-            if limit is not None and len(results) >= limit:
-                break
+            results: list[tuple[int, FileEvent]] = []
+            for seq, event in self._events:
+                self.events_scanned += 1
+                if event_type is not None and event.event_type is not event_type:
+                    continue
+                if since_time is not None and event.timestamp < since_time:
+                    continue
+                if until_time is not None and event.timestamp > until_time:
+                    continue
+                if path_prefix is not None and not event.matches_prefix(
+                    path_prefix
+                ):
+                    continue
+                results.append((seq, event))
+                if limit is not None and len(results) >= limit:
+                    break
         return results
 
     # -- introspection ----------------------------------------------------------

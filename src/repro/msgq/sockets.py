@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import deque
 from typing import Any, Deque, Optional
 
@@ -96,30 +97,42 @@ class _Mailbox:
             self._ready.notify()
             return True
 
-    def put_many(self, items: list, timeout: Optional[float] = None) -> bool:
+    def put_many(self, items: list, timeout: Optional[float] = None) -> int:
         """Enqueue a whole batch under one lock acquisition.
 
-        Waits for room for the *entire* batch (a batch larger than the
-        high-water mark is admitted in hwm-sized waves so it cannot
-        deadlock), then extends the queue in one operation — the
-        fabric-side analogue of :meth:`EventStore.extend`.
+        Waits for room for the *entire* batch before admitting anything
+        (all-or-nothing for batches within the high-water mark); a
+        batch larger than the mark cannot fit at once and is admitted
+        in hwm-sized waves so it cannot deadlock.  *timeout* is a
+        deadline across the whole call, not per wave.  Returns the
+        number of items admitted — less than ``len(items)`` only when a
+        multi-wave batch times out after earlier waves were already
+        consumed downstream, so callers can account for the partial
+        delivery instead of assuming none.
         """
         if not items:
-            return True
+            return 0
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
         with self._lock:
-            start = 0
-            while start < len(items):
-                wave = min(len(items) - start, self.hwm)
+            admitted = 0
+            while admitted < len(items):
+                wave = min(len(items) - admitted, self.hwm)
+                remaining = (
+                    None if deadline is None
+                    else max(deadline - time.monotonic(), 0.0)
+                )
                 if not self._space.wait_for(
                     lambda: len(self._queue) + wave <= self.hwm,
-                    timeout=timeout,
+                    timeout=remaining,
                 ):
-                    return False
-                self._queue.extend(items[start:start + wave])
+                    return admitted
+                self._queue.extend(items[admitted:admitted + wave])
                 self.delivered += wave
                 self._ready.notify_all()
-                start += wave
-            return True
+                admitted += wave
+            return admitted
 
     def get_many(
         self,
@@ -389,15 +402,27 @@ class PushSocket(Socket):
         acquisition), preserving intra-group order — which is why a
         collector flushing one poll's chunks uses this instead of N
         round-robined :meth:`send` calls.
+
+        Admission is all-or-nothing for groups within the sink's
+        high-water mark.  A larger group moves in waves under one
+        *timeout* deadline; if a later wave times out, ``sent`` still
+        reflects the messages the sink already admitted and the raised
+        WouldBlock reports the partial count, so retrying callers know
+        the delivery was partial rather than absent.
         """
         self._check_open()
         if not payloads:
             return
+        payloads = list(payloads)
         sink = self._next_sink()
         self.send_ops += 1
-        if not sink._mailbox.put_many(list(payloads), timeout=timeout):
-            raise WouldBlock("downstream queue full (send timed out)")
-        self.sent += len(payloads)
+        admitted = sink._mailbox.put_many(payloads, timeout=timeout)
+        self.sent += admitted
+        if admitted < len(payloads):
+            raise WouldBlock(
+                "downstream queue full (send timed out after admitting "
+                f"{admitted}/{len(payloads)} messages)"
+            )
 
 
 # ---------------------------------------------------------------------------

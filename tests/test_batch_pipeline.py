@@ -292,7 +292,7 @@ class TestWireFormat:
         assert seen == [1, 2, 3]
         assert consumer.batches_consumed == 2
 
-    def test_aggregator_publishes_one_message_per_topic_group(self):
+    def test_aggregator_publishes_topic_runs_in_seq_order(self):
         context = Context()
         config = AggregatorConfig(
             inbound_endpoint="inproc://group-in",
@@ -308,15 +308,47 @@ class TestWireFormat:
             make_event("/projects/a"),
             make_event("/scratch/b"),
             make_event("/projects/c"),
+            make_event("/projects/d"),
         ]
         aggregator._handle_batch(batch)
-        # Two topics → exactly two PUB messages for one stored batch.
-        assert aggregator.batches_published == 2
+        # One PUB message per contiguous same-topic run — never regrouped
+        # across runs, so chunks go out in global sequence order.
+        assert aggregator.batches_published == 3
         messages = subscriber.recv_many(block=False)
-        by_topic = {topic: iter_entries(payload) for topic, payload in messages}
-        assert set(by_topic) == {"events./projects", "events./scratch"}
-        assert [seq for seq, _ in by_topic["events./projects"]] == [1, 3]
-        assert [seq for seq, _ in by_topic["events./scratch"]] == [2]
+        assert [
+            (topic, [seq for seq, _ in iter_entries(payload)])
+            for topic, payload in messages
+        ] == [
+            ("events./projects", [1]),
+            ("events./scratch", [2]),
+            ("events./projects", [3, 4]),
+        ]
+
+    def test_broad_prefix_subscriber_gets_every_event_of_multitopic_batch(
+        self,
+    ):
+        # Regression: grouping a whole batch per topic published seqs
+        # [1, 3] then [2, 4]; a broad-prefix subscriber's watermark
+        # dedup then dropped seq 2 as a duplicate.
+        context = Context()
+        config = AggregatorConfig(
+            inbound_endpoint="inproc://broad-in",
+            publish_endpoint="inproc://broad-pub",
+            api_endpoint="inproc://broad-rep",
+            topic_by_path=True,
+        )
+        aggregator = Aggregator(context, config)
+        seen = []
+        # Default topic "events" matches every per-path topic.
+        consumer = Consumer(
+            context, lambda seq, ev: seen.append(seq), config=config
+        )
+        aggregator._handle_batch(
+            [make_event(p) for p in ["/a/f", "/b/f", "/a/g", "/b/g"]]
+        )
+        assert consumer.poll_once() == 4
+        assert seen == [1, 2, 3, 4]
+        assert consumer.duplicates_skipped == 0
 
     def test_flush_policy_splits_batches(self):
         context = Context()
@@ -408,6 +440,61 @@ class TestFabricBatching:
         with pytest.raises(WouldBlock):
             sink.recv_many(block=False)
 
+    def test_send_many_within_hwm_is_all_or_nothing(self):
+        context = Context()
+        sink = context.pull(hwm=4).bind("inproc://atomic")
+        push = context.push(hwm=4).connect("inproc://atomic")
+        push.send(0)  # leave room for only 3
+        with pytest.raises(WouldBlock):
+            push.send_many(["a", "b", "c", "d"], timeout=0.05)
+        # Nothing from the failed group was admitted or counted sent.
+        assert push.sent == 1
+        assert sink.recv_many(block=False) == [0]
+
+    def test_send_many_accounts_for_partial_multiwave_delivery(self):
+        # A group larger than the HWM moves in waves; when a later wave
+        # times out, `sent` must reflect the messages the sink already
+        # admitted (the old code reported zero, so re-reports
+        # duplicated the delivered chunks).
+        context = Context()
+        sink = context.pull(hwm=3).bind("inproc://partial")
+        push = context.push(hwm=3).connect("inproc://partial")
+        with pytest.raises(WouldBlock) as excinfo:
+            push.send_many(list(range(10)), timeout=0.05)
+        assert push.sent == 3
+        assert "3/10" in str(excinfo.value)
+        assert sink.recv_many(block=False) == [0, 1, 2]
+
+    def test_send_many_timeout_is_a_deadline_across_waves(self):
+        import time as _time
+
+        context = Context()
+        sink = context.pull(hwm=1).bind("inproc://deadline")
+        push = context.push(hwm=1).connect("inproc://deadline")
+        stop = threading.Event()
+
+        def slow_drain():
+            # One item per 0.2s: each wave's wait succeeds well inside
+            # a fresh 0.5s timeout, so the old per-wave timeout would
+            # let all 8 waves through (~1.6s total).  A 0.5s *deadline*
+            # must give up partway instead.
+            while not stop.is_set():
+                _time.sleep(0.2)
+                try:
+                    sink.recv_many(block=False)
+                except WouldBlock:
+                    pass
+
+        thread = threading.Thread(target=slow_drain, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(WouldBlock):
+                push.send_many(list(range(8)), timeout=0.5)
+            assert push.sent < 8
+        finally:
+            stop.set()
+            thread.join()
+
 
 # ---------------------------------------------------------------------------
 # Property: batched ≡ per-event ingest
@@ -438,17 +525,18 @@ def build_aggregator(tag, topic_by_path, batch_events=0):
 
 
 def published_entries(subscriber):
-    """Per-topic publish order as {topic: [seq, ...]}."""
-    order = {}
+    """Publish order, global and per-topic: ([seq, ...], {topic: [seq, ...]})."""
+    global_order = []
+    per_topic = {}
     while True:
         try:
             messages = subscriber.recv_many(block=False)
         except WouldBlock:
-            return order
+            return global_order, per_topic
         for topic, payload in messages:
-            order.setdefault(topic, []).extend(
-                seq for seq, _event in iter_entries(payload)
-            )
+            seqs = [seq for seq, _event in iter_entries(payload)]
+            global_order.extend(seqs)
+            per_topic.setdefault(topic, []).extend(seqs)
 
 
 class TestBatchedEqualsPerEvent:
@@ -473,8 +561,16 @@ class TestBatchedEqualsPerEvent:
             single._handle_batch([event])
         assert batched.store.since(0) == single.store.since(0)
         assert batched.events_stored == single.events_stored == len(events)
-        # Identical per-topic sequence order on the wire.
-        assert published_entries(batched_sub) == published_entries(single_sub)
+        # Identical sequence order on the wire — *globally*, not just
+        # per topic: a broad-prefix subscriber matching every per-path
+        # topic must see monotone seqs or its watermark dedup loses
+        # events.
+        batched_global, batched_topics = published_entries(batched_sub)
+        single_global, single_topics = published_entries(single_sub)
+        assert batched_global == single_global == list(
+            range(1, len(events) + 1)
+        )
+        assert batched_topics == single_topics
         # And batching actually amortised the store lock.
         if events:
             assert batched.store.lock_acquisitions < \
