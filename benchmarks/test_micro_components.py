@@ -136,6 +136,87 @@ class TestIngestBatchingBench:
         assert store.events_scanned == 25  # limit bounds the scan itself
 
 
+class TestTracingOverheadBench:
+    """Op-counter proof that stage tracing costs what it claims.
+
+    ``trace_sample_rate=0.0`` must compile to no-ops: zero histograms
+    registered, zero histogram lock acquisitions, and the batched-path
+    invariants (one store lock / one PUB send per batch) unchanged.
+    At the default rate 1.0, tracing adds exactly one histogram lock
+    per published chunk and nothing else.
+    """
+
+    @staticmethod
+    def build(tag, sample_rate):
+        context = Context()
+        config = AggregatorConfig(
+            inbound_endpoint=f"inproc://trace-in-{tag}",
+            publish_endpoint=f"inproc://trace-pub-{tag}",
+            api_endpoint=f"inproc://trace-rep-{tag}",
+            store_max_events=max(INGEST_EVENTS, 1),
+            trace_sample_rate=sample_rate,
+        )
+        return Aggregator(context, config)
+
+    @staticmethod
+    def feed(aggregator):
+        events = [make_event(index) for index in range(INGEST_EVENTS)]
+        batches = [
+            events[start:start + INGEST_BATCH]
+            for start in range(0, len(events), INGEST_BATCH)
+        ]
+        for batch in batches:
+            aggregator._handle_batch(batch)
+        return batches
+
+    def test_tracing_disabled_adds_zero_lock_acquisitions(self, benchmark):
+        counter = {"round": 0}
+
+        def run():
+            aggregator = self.build(f"off{counter['round']}", 0.0)
+            counter["round"] += 1
+            self.feed(aggregator)
+            return aggregator
+
+        aggregator = benchmark.pedantic(run, rounds=3, iterations=1)
+        registry = aggregator.metrics.registry
+        # No histograms exist at all, so no histogram lock was ever
+        # taken — the disabled path performs zero tracing work.
+        assert registry.histograms() == {}
+        assert sum(
+            h.lock_acquisitions for h in registry.histograms().values()
+        ) == 0
+        # The batching invariants are untouched.
+        batches = INGEST_EVENTS // INGEST_BATCH
+        assert aggregator.store.lock_acquisitions == batches
+        assert aggregator.publisher.published == batches
+
+    def test_tracing_enabled_costs_one_lock_per_chunk(self, benchmark):
+        counter = {"round": 0}
+
+        def run():
+            aggregator = self.build(f"on{counter['round']}", 1.0)
+            counter["round"] += 1
+            self.feed(aggregator)
+            return aggregator
+
+        aggregator = benchmark.pedantic(run, rounds=3, iterations=1)
+        registry = aggregator.metrics.registry
+        batches = INGEST_EVENTS // INGEST_BATCH
+        # Raw-list input carries no collected_ts, so only the publish
+        # stage records: exactly one histogram lock per published chunk
+        # (single topic + default flush policy => one chunk per batch).
+        locks = {
+            name: h.lock_acquisitions
+            for name, h in registry.histograms().items()
+        }
+        assert locks == {"pipeline.publish": batches}
+        assert registry.histogram("pipeline.publish").total == batches
+        # Store/publish invariants hold at full sampling too.
+        assert aggregator.store.lock_acquisitions == batches
+        assert aggregator.publisher.published == batches
+
+
 class TestQueueBench:
     def test_bench_sqs_send_receive_delete(self, benchmark):
         queue = ReliableQueue("bench", visibility_timeout=60.0)

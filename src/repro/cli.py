@@ -8,6 +8,7 @@ Usage (also via ``python -m repro``):
     repro throughput --testbed aws --duration 20 --batch-size 64
     repro figure3 --days 36
     repro changelog-demo
+    repro metrics-demo --events 500 --prometheus
 
 Every subcommand prints the same tables the paper reports.
 """
@@ -199,6 +200,65 @@ def cmd_health_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics_demo(args: argparse.Namespace) -> int:
+    """Run the sim pipeline and print per-stage latency percentiles."""
+    from repro.core import (
+        AggregatorConfig,
+        LustreMonitor,
+        MonitorClient,
+        MonitorConfig,
+    )
+    from repro.lustre import LustreFilesystem
+
+    # Default wall clock: event timestamps and tracer stamps share a
+    # clock domain, so the collect stage is meaningful.
+    fs = LustreFilesystem(num_mds=args.num_mds)
+    fs.makedirs("/demo/data")
+    monitor = LustreMonitor(
+        fs,
+        MonitorConfig(
+            aggregator=AggregatorConfig(
+                trace_sample_rate=args.sample_rate
+            )
+        ),
+    )
+    monitor.subscribe(lambda _seq, _event: None, name="demo")
+    try:
+        for index in range(args.events):
+            fs.create(f"/demo/data/f{index}")
+            if args.batch and (index + 1) % args.batch == 0:
+                monitor.pump()
+        monitor.drain()
+        stages = monitor.stats().stage_latency
+        print("== per-stage latency (seconds) ==")
+        header = (
+            f"{'stage':10s} {'count':>7s} {'p50':>10s} {'p95':>10s} "
+            f"{'p99':>10s} {'mean':>10s} {'max':>10s}"
+        )
+        print(header)
+        if not stages:
+            print("(tracing disabled: sample rate 0)")
+        for stage in ("collect", "aggregate", "publish", "deliver",
+                      "relay", "action"):
+            summary = stages.get(stage)
+            if summary is None:
+                continue
+            print(
+                f"{stage:10s} {summary['count']:7d} "
+                f"{summary['p50']:10.6f} {summary['p95']:10.6f} "
+                f"{summary['p99']:10.6f} {summary['mean']:10.6f} "
+                f"{summary['max']:10.6f}"
+            )
+        if args.prometheus:
+            client = MonitorClient.for_monitor(monitor)
+            print("\n== prometheus exposition ==")
+            print(client.metrics()["prometheus"], end="")
+            client.close()
+    finally:
+        monitor.shutdown()
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -276,6 +336,20 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument("--num-mds", type=int, default=2)
     health.add_argument("--events", type=int, default=50)
     health.set_defaults(func=cmd_health_demo)
+
+    metrics = subparsers.add_parser(
+        "metrics-demo",
+        help="run the sim pipeline and print per-stage latency percentiles",
+    )
+    metrics.add_argument("--num-mds", type=int, default=1)
+    metrics.add_argument("--events", type=int, default=500)
+    metrics.add_argument("--batch", type=int, default=64,
+                         help="pump the pipeline every N creates (0 = once)")
+    metrics.add_argument("--sample-rate", type=float, default=1.0,
+                         help="tracing sample rate (0 disables tracing)")
+    metrics.add_argument("--prometheus", action="store_true",
+                         help="also dump the Prometheus exposition")
+    metrics.set_defaults(func=cmd_metrics_demo)
 
     return parser
 

@@ -20,7 +20,14 @@ tolerance.  Pipeline (paper §4, Figure 2):
 :class:`~repro.lustre.LustreFilesystem`.
 """
 
-from repro.core.events import EventBatch, EventType, FileEvent, iter_entries
+from repro.core.events import (
+    EventBatch,
+    EventType,
+    FileEvent,
+    ReportBatch,
+    iter_entries,
+    iter_report,
+)
 from repro.core.processor import EventProcessor, PathCache, ProcessorConfig
 from repro.core.collector import Collector, CollectorConfig
 from repro.core.store import EventStore
@@ -34,7 +41,9 @@ from repro.core.relay import RelayAggregator, facility_relay
 __all__ = [
     "FileEvent",
     "EventBatch",
+    "ReportBatch",
     "iter_entries",
+    "iter_report",
     "EventType",
     "EventProcessor",
     "ProcessorConfig",

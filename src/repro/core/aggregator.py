@@ -33,6 +33,7 @@ instance attributes.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -41,12 +42,15 @@ from repro.core.events import (
     EventType,
     FileEvent,
     approx_wire_bytes,
+    iter_report,
 )
 from repro.core.store import EventStore
 from repro.errors import WouldBlock
 from repro.metrics.registry import MetricsRegistry
+from repro.metrics.tracing import Tracer, make_tracer
 from repro.msgq import Context
 from repro.runtime import Service, WorkerSpec
+from repro.util.logging import get_logger
 
 
 @dataclass(frozen=True)
@@ -71,12 +75,21 @@ class AggregatorConfig:
     #: up batch amortisation.
     batch_events: int = 0
     batch_bytes: int = 0
+    #: Fraction of batches stamped with stage timestamps and recorded
+    #: into the ``pipeline.*`` latency histograms (one histogram lock
+    #: per stage per sampled batch).  ``0.0`` compiles the tracing path
+    #: to no-ops: no histograms registered, no clock reads, no locks.
+    trace_sample_rate: float = 1.0
 
     def __post_init__(self) -> None:
         if self.batch_events < 0:
             raise ValueError(f"batch_events must be >= 0: {self.batch_events}")
         if self.batch_bytes < 0:
             raise ValueError(f"batch_bytes must be >= 0: {self.batch_bytes}")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError(
+                f"trace_sample_rate must be in [0, 1]: {self.trace_sample_rate}"
+            )
 
 
 class Aggregator(Service):
@@ -89,10 +102,19 @@ class Aggregator(Service):
         store: EventStore | None = None,
         registry: Optional[MetricsRegistry] = None,
         name: str = "aggregator",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         super().__init__(name, registry)
         self.context = context
         self.config = config or AggregatorConfig()
+        self._log = get_logger(f"core.aggregator.{name}")
+        #: Stage tracer: stamps sampled batches at store and publish
+        #: time, recording the ``aggregate`` and ``publish`` stages.
+        self.tracer: Tracer = (
+            tracer
+            if tracer is not None
+            else make_tracer(self.metrics, self.config.trace_sample_rate)
+        )
         #: The rotating catalog; pass a restored store (EventStore.load)
         #: to resume after a restart with history intact.
         self.store = store or EventStore(max_events=self.config.store_max_events)
@@ -208,36 +230,75 @@ class Aggregator(Service):
         if chunk:
             yield chunk
 
-    def _handle_batch(self, batch: list[FileEvent]) -> int:
+    def _handle_batch(self, batch) -> int:
         """Store *batch* atomically and publish batch messages in order.
 
-        One EventStore lock acquisition per batch; publication splits
-        the batch at topic *boundaries* (one PUB send per contiguous
-        same-topic run, further split by the flush policy) instead of
-        grouping the whole batch per topic.  Chunks therefore go out in
-        global sequence order: a broad-prefix subscriber that matches
-        several per-path topics sees monotone sequence numbers and its
-        watermark dedup never mistakes a cross-topic chunk for a
-        replay, while scoped subscribers still receive their subtree in
-        store order.
+        *batch* is a plain event list or a traced
+        :class:`~repro.core.events.ReportBatch` (the ``iter_report``
+        shim accepts both).  One EventStore lock acquisition per batch;
+        publication splits the batch at topic *boundaries* (one PUB
+        send per contiguous same-topic run, further split by the flush
+        policy) instead of grouping the whole batch per topic.  Chunks
+        therefore go out in global sequence order: a broad-prefix
+        subscriber that matches several per-path topics sees monotone
+        sequence numbers and its watermark dedup never mistakes a
+        cross-topic chunk for a replay, while scoped subscribers still
+        receive their subtree in store order.
+
+        A sampled batch (stamped upstream, or locally when the tracer
+        samples it) is stamped ``aggregated_ts`` at store time and
+        ``published_ts`` per PUB chunk; the ``aggregate`` and
+        ``publish`` stage deltas are recorded here — O(1) tracing work
+        per batch, none at all at sample rate 0.
         """
         self._batches_received.inc()
         if not batch:
             return 0
-        seqs = self.store.extend(batch)
-        self._events_stored.inc(len(batch))
+        events, collected_ts = iter_report(batch)
+        if not events:
+            return 0
+        seqs = self.store.extend(events)
+        aggregated_ts = None
+        if self.tracer.enabled and (
+            collected_ts is not None or self.tracer.sample()
+        ):
+            aggregated_ts = self.tracer.now()
+            if collected_ts is not None:
+                self.tracer.record("aggregate", aggregated_ts - collected_ts)
+        self._events_stored.inc(len(events))
+        if self._log.isEnabledFor(logging.DEBUG):
+            self._log.debug(
+                "stored batch seq %d..%d (%d events)",
+                seqs[0], seqs[-1], len(events),
+                extra={
+                    "first_seq": seqs[0],
+                    "last_seq": seqs[-1],
+                    "batch_events": len(events),
+                },
+            )
         runs: list[tuple[str, list[tuple[int, FileEvent]]]] = []
-        for seq, event in zip(seqs, batch):
+        for seq, event in zip(seqs, events):
             topic = self._topic_for(event)
             if not runs or runs[-1][0] != topic:
                 runs.append((topic, []))
             runs[-1][1].append((seq, event))
         for topic, entries in runs:
             for chunk in self._flush_chunks(entries):
-                self.publisher.send(topic, EventBatch(tuple(chunk)))
+                if aggregated_ts is not None:
+                    published_ts = self.tracer.now()
+                    self.tracer.record("publish", published_ts - aggregated_ts)
+                    message = EventBatch(
+                        tuple(chunk),
+                        collected_ts=collected_ts,
+                        aggregated_ts=aggregated_ts,
+                        published_ts=published_ts,
+                    )
+                else:
+                    message = EventBatch(tuple(chunk))
+                self.publisher.send(topic, message)
                 self._batches_published.inc()
                 self._events_published.inc(len(chunk))
-        return len(batch)
+        return len(events)
 
     # -- historic API ------------------------------------------------------------
 
@@ -245,8 +306,9 @@ class Aggregator(Service):
         """Dispatch a historic-API request.
 
         Requests are dicts: ``{'op': 'since', 'seq': N, 'limit': M}``,
-        ``{'op': 'recent', 'count': N}``, ``{'op': 'query', ...filters}``
-        or ``{'op': 'last_seq'}``.
+        ``{'op': 'recent', 'count': N}``, ``{'op': 'query', ...filters}``,
+        ``{'op': 'last_seq'}``, ``{'op': 'stats'}`` or
+        ``{'op': 'metrics'}``.
         """
         op = request.get("op")
         if op == "since":
@@ -259,6 +321,18 @@ class Aggregator(Service):
             # Derived from the shared metrics registry — the same
             # numbers every service exposes through Service.stats().
             return {**self.metrics.snapshot(), "health": self.health()}
+        if op == "metrics":
+            # The exposition answer: every metric in the shared
+            # registry (the whole supervision tree, not just this
+            # scope) as Prometheus text plus per-histogram summaries.
+            registry = self.metrics.registry
+            return {
+                "prometheus": registry.render_prometheus(),
+                "histograms": {
+                    name: histogram.summary()
+                    for name, histogram in registry.histograms().items()
+                },
+            }
         if op == "query":
             event_type = request.get("event_type")
             return self.store.query(

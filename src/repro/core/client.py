@@ -115,6 +115,16 @@ class MonitorClient:
         """Aggregator-side counters (store size, rotation, throughput)."""
         return self._request({"op": "stats"})
 
+    def metrics(self) -> dict[str, Any]:
+        """The exposition answer: Prometheus text + histogram summaries.
+
+        ``result['prometheus']`` is the registry rendered in the
+        Prometheus text format; ``result['histograms']`` maps each
+        histogram name (``pipeline.collect`` …) to its
+        ``count/mean/max/p50/p95/p99`` summary.
+        """
+        return self._request({"op": "metrics"})
+
     def activity_summary(self, path_prefix: str = "/") -> dict[str, int]:
         """Counts by event type under *path_prefix* (retained window)."""
         counts: dict[str, int] = {}

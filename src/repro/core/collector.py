@@ -26,15 +26,17 @@ registry (old attribute names remain readable as properties), and a
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol
 
-from repro.core.events import FileEvent, approx_wire_bytes
+from repro.core.events import FileEvent, ReportBatch, approx_wire_bytes
 from repro.core.processor import EventProcessor, ProcessorConfig
 from repro.lustre.fid2path import FidResolver
 from repro.lustre.filesystem import LustreFilesystem
 from repro.lustre.mds import MetadataServer
 from repro.metrics.registry import MetricsRegistry
+from repro.metrics.tracing import NULL_TRACER, Tracer
 from repro.runtime import Service, ServiceCrash, WorkerSpec
 from repro.util.logging import get_logger
 
@@ -105,11 +107,15 @@ class Collector(Service):
         config: CollectorConfig | None = None,
         resolver: Optional[FidResolver] = None,
         registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         super().__init__(name, registry, scope=f"collector.{name}")
         self.fs = filesystem
         self.mds = mds
         self.sink = sink
+        #: Stage tracer (shared across the monitor tree); collectors
+        #: stamp sampled reports and record the ``collect`` stage.
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
         self.config = config or CollectorConfig()
         self.resolver = resolver or FidResolver(filesystem)
         self.processor = EventProcessor(self.resolver, self.config.processor)
@@ -204,6 +210,19 @@ class Collector(Service):
                     continue
                 self._events_reported.inc(len(events))
                 reported += len(events)
+                if self._log.isEnabledFor(logging.DEBUG):
+                    # Correlation: the collector's sequence domain is
+                    # the ChangeLog record index range of the batch.
+                    self._log.debug(
+                        "reported %d events from MDT%d records %d..%d",
+                        len(events), mdt.index,
+                        records[0].index, records[-1].index,
+                        extra={
+                            "first_seq": records[0].index,
+                            "last_seq": records[-1].index,
+                            "batch_events": len(events),
+                        },
+                    )
             mdt.changelog.clear(user, records[-1].index)
         return reported
 
@@ -239,8 +258,22 @@ class Collector(Service):
         sequentially.  A failure anywhere leaves the changelog
         unpurged, so the whole poll is re-read and re-reported —
         at-least-once, never loss.
+
+        A sampled poll is stamped once (``collected_ts``) and wrapped
+        in :class:`~repro.core.events.ReportBatch`; the ``collect``
+        stage delta (oldest record timestamp → report stamp) is
+        recorded here.  Unsampled polls stay plain lists — zero
+        tracing work on the hot path.
         """
-        chunks = self._flush_chunks(events)
+        chunks: list = self._flush_chunks(events)
+        if self.tracer.sample():
+            collected_ts = self.tracer.now()
+            self.tracer.record(
+                "collect", collected_ts - events[0].timestamp
+            )
+            chunks = [
+                ReportBatch(tuple(chunk), collected_ts) for chunk in chunks
+            ]
         send_many = getattr(self.sink, "send_many", None)
         if len(chunks) == 1:
             self.sink.send(chunks[0])

@@ -14,14 +14,17 @@ the shared metrics registry (legacy attribute names stay readable).
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Optional
 
 from repro.core.aggregator import AggregatorConfig
 from repro.core.events import FileEvent, iter_entries
 from repro.errors import WouldBlock
 from repro.metrics.registry import MetricsRegistry
+from repro.metrics.tracing import Tracer, make_tracer
 from repro.msgq import Context
 from repro.runtime import Service, WorkerSpec, call_with_pump
+from repro.util.logging import get_logger
 
 EventCallback = Callable[[int, FileEvent], None]
 
@@ -37,11 +40,20 @@ class Consumer(Service):
         name: str = "consumer",
         topic: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         super().__init__(name, registry, scope=f"consumer.{name}")
         self.context = context
         self.config = config or AggregatorConfig()
         self.callback = callback
+        self._log = get_logger(f"core.consumer.{name}")
+        #: Stage tracer: records the ``deliver`` stage (PUB send stamp
+        #: → delivery) for batches stamped by the aggregator.
+        self.tracer: Tracer = (
+            tracer
+            if tracer is not None
+            else make_tracer(self.metrics, self.config.trace_sample_rate)
+        )
         #: Topic prefix filter; with ``topic_by_path`` aggregators, pass
         #: e.g. ``"events./projects"`` to receive only that subtree.
         self.topic = topic if topic is not None else self.config.publish_topic
@@ -65,9 +77,12 @@ class Consumer(Service):
         self.metrics.gauge_fn("last_seq", lambda: self.last_seq)
         self.metrics.gauge_fn("dropped", lambda: self.subscription.dropped)
         #: Optional end-to-end latency tracking (operation timestamp ->
-        #: delivery); assign a LatencyHistogram to enable.  Only
-        #: meaningful when the filesystem and consumer share a clock
-        #: domain (both wall-clock, or both on one ManualClock).
+        #: delivery); call :meth:`track_latency` to enable.  Backed by
+        #: a registry :class:`~repro.metrics.Histogram`, so the monitor
+        #: stats and aggregator stats API report it without double
+        #: bookkeeping.  Only meaningful when the filesystem and
+        #: consumer share a clock domain (both wall-clock, or both on
+        #: one ManualClock).
         self.latency = None
         self._latency_clock = None
 
@@ -91,11 +106,16 @@ class Consumer(Service):
         return self._batches_consumed.value
 
     def track_latency(self, clock=None) -> "Consumer":
-        """Enable per-event delivery-latency recording; returns self."""
-        from repro.metrics.histogram import LatencyHistogram
+        """Enable per-event delivery-latency recording; returns self.
+
+        The histogram is the registry metric ``<scope>.latency``
+        (thread-safe, summarised in ``snapshot()``), so it reaches
+        ``LustreMonitor.stats()`` and the aggregator stats/metrics API
+        with no second bookkeeping path.
+        """
         from repro.util.clock import WallClock
 
-        self.latency = LatencyHistogram()
+        self.latency = self.metrics.histogram("latency")
         self._latency_clock = clock or WallClock()
         return self
 
@@ -133,7 +153,23 @@ class Consumer(Service):
                 break
             for _topic, payload in messages:
                 self._batches_consumed.inc()
-                for seq, event in iter_entries(payload):
+                entries = iter_entries(payload)
+                published_ts = getattr(payload, "published_ts", None)
+                if published_ts is not None and self.tracer.enabled:
+                    self.tracer.record(
+                        "deliver", self.tracer.now() - published_ts
+                    )
+                if entries and self._log.isEnabledFor(logging.DEBUG):
+                    self._log.debug(
+                        "delivering batch seq %d..%d (%d events)",
+                        entries[0][0], entries[-1][0], len(entries),
+                        extra={
+                            "first_seq": entries[0][0],
+                            "last_seq": entries[-1][0],
+                            "batch_events": len(entries),
+                        },
+                    )
+                for seq, event in entries:
                     self._deliver(seq, event)
                     delivered += 1
             timeout = 0.0

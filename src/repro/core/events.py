@@ -182,9 +182,20 @@ class EventBatch:
     are ``(seq, event)`` pairs in publish order; sequence numbers are
     contiguous within one message, and messages go out in global
     sequence order so broad-prefix subscribers see monotone seqs.
+
+    Traced batches additionally carry **stage timestamps** — stamped
+    once per batch by the collector (``collected_ts``) and aggregator
+    (``aggregated_ts`` at store time, ``published_ts`` at PUB send), so
+    downstream stages can record stage-to-stage latency deltas without
+    per-event work.  ``None`` means the batch was not sampled (or came
+    from a pre-tracing publisher); consumers must treat the stamps as
+    optional.
     """
 
     entries: tuple[tuple[int, "FileEvent"], ...]
+    collected_ts: Optional[float] = None
+    aggregated_ts: Optional[float] = None
+    published_ts: Optional[float] = None
 
     def __post_init__(self) -> None:
         # Normalise lists to tuples so batches stay hashable/frozen.
@@ -210,14 +221,55 @@ def iter_entries(payload: Any) -> tuple[tuple[int, "FileEvent"], ...]:
     """Normalise a published payload into ``(seq, event)`` entries.
 
     The compatibility shim for the batch wire format: new publishers
-    send :class:`EventBatch`; pre-batching publishers sent a single
-    ``(seq, event)`` tuple.  Subscribers call this instead of
-    unpacking, so both generations of publisher interoperate.
+    send :class:`EventBatch` (optionally carrying stage timestamps);
+    pre-batching publishers sent a single ``(seq, event)`` tuple.
+    Subscribers call this instead of unpacking, so both generations of
+    publisher interoperate.
     """
     if isinstance(payload, EventBatch):
         return payload.entries
     seq, event = payload  # legacy single-event message
     return ((seq, event),)
+
+
+@dataclass(frozen=True)
+class ReportBatch:
+    """A traced collector→aggregator report — the PUSH wire format.
+
+    A sampled collector report wraps its events with the collection
+    stamp so the aggregator can record the collect→aggregate latency.
+    The class is sequence-like (``len``/``iter``/indexing), so sinks
+    and stores written against plain event lists handle it unchanged;
+    unsampled reports stay plain lists and pay zero tracing cost.
+    """
+
+    events: tuple["FileEvent", ...]
+    collected_ts: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __getitem__(self, index):
+        return self.events[index]
+
+
+def iter_report(payload: Any) -> tuple[list["FileEvent"], Optional[float]]:
+    """Normalise an inbound report into ``(events, collected_ts)``.
+
+    The PUSH-side compatibility shim: traced collectors send
+    :class:`ReportBatch`, untraced (and pre-tracing) collectors send a
+    plain event list — the aggregator accepts both.
+    """
+    if isinstance(payload, ReportBatch):
+        return list(payload.events), payload.collected_ts
+    return payload, None
 
 
 #: Flat per-event overhead assumed by the byte-based flush policy (the

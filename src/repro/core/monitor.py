@@ -31,6 +31,7 @@ from repro.core.events import FileEvent
 from repro.lustre.fid2path import FidResolver
 from repro.lustre.filesystem import LustreFilesystem
 from repro.metrics.registry import MetricsRegistry
+from repro.metrics.tracing import TRACE_SCOPE, Tracer, make_tracer
 from repro.msgq import Context
 from repro.runtime import RestartPolicy, Supervisor
 
@@ -85,6 +86,10 @@ class MonitorStats:
     per_collector: dict = field(default_factory=dict)
     #: Uniform per-service health: state, restart_count, last_error.
     services: dict = field(default_factory=dict)
+    #: Per-stage latency summaries (``{stage: {count, mean, max, p50,
+    #: p95, p99}}``) from the pipeline tracing histograms; empty when
+    #: tracing is disabled (sample rate 0).
+    stage_latency: dict = field(default_factory=dict)
 
 
 class LustreMonitor:
@@ -102,6 +107,16 @@ class LustreMonitor:
         self.context = context or Context()
         #: One registry shared by every service in this monitor's tree.
         self.registry = registry or MetricsRegistry()
+        #: One stage tracer shared by the whole tree, clocked by the
+        #: filesystem's clock so stage deltas live in the same time
+        #: domain as the events (wall-clock live, virtual in sims).
+        #: ``config.aggregator.trace_sample_rate`` is the single knob;
+        #: 0.0 disables tracing end to end.
+        self.tracer: Tracer = make_tracer(
+            self.registry,
+            self.config.aggregator.trace_sample_rate,
+            clock=getattr(filesystem, "clock", None),
+        )
         self.supervisor = Supervisor(
             "monitor",
             policy=self.config.restart_policy,
@@ -109,7 +124,10 @@ class LustreMonitor:
             poll_interval=self.config.supervise_interval,
         )
         self.aggregator = Aggregator(
-            self.context, self.config.aggregator, registry=self.registry
+            self.context,
+            self.config.aggregator,
+            registry=self.registry,
+            tracer=self.tracer,
         )
         self._aggregator_key = self.supervisor.add_child(self.aggregator)
         shared = (
@@ -128,6 +146,7 @@ class LustreMonitor:
                 config=self.config.collector,
                 resolver=shared or FidResolver(filesystem),
                 registry=self.registry,
+                tracer=self.tracer,
             )
             # Collectors (producers) start after — and stop before —
             # the aggregator that drains them.
@@ -153,6 +172,7 @@ class LustreMonitor:
             config=self.config.aggregator,
             name=name,
             registry=self.registry,
+            tracer=self.tracer,
         )
         self.consumers.append(consumer)
         # ``before`` the aggregator: consumers stop after it has taken
@@ -240,4 +260,10 @@ class LustreMonitor:
         stats.events_published = aggregator_snap.get("events_published", 0)
         stats.store_len = aggregator_snap.get("store_len", 0)
         stats.services = self.supervisor.health()["services"]
+        prefix = TRACE_SCOPE + "."
+        stats.stage_latency = {
+            name[len(prefix):]: histogram.summary()
+            for name, histogram in self.registry.histograms().items()
+            if name.startswith(prefix)
+        }
         return stats

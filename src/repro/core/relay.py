@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.aggregator import Aggregator, AggregatorConfig
-from repro.core.events import FileEvent, iter_entries
+from repro.core.events import FileEvent, ReportBatch, iter_entries
 from repro.errors import WouldBlock
 from repro.msgq import Context
 
@@ -89,6 +89,11 @@ class RelayAggregator(Aggregator):
         dissolving it back into per-event work.  The
         :func:`~repro.core.events.iter_entries` shim accepts both batch
         and legacy single-event upstream publishers.
+
+        Tracing: a stamped upstream batch records the ``relay`` stage
+        (upstream PUB send → relay re-ingest) and is re-ingested with
+        its original ``collected_ts`` preserved, so the downstream
+        ``aggregate`` delta still measures from first collection.
         """
         handled = 0
         for label, subscription in self._upstreams:
@@ -98,7 +103,16 @@ class RelayAggregator(Aggregator):
                 continue
             for _topic, payload in messages:
                 entries = iter_entries(payload)
-                self._handle_batch([event for _seq, event in entries])
+                events = [event for _seq, event in entries]
+                published_ts = getattr(payload, "published_ts", None)
+                if published_ts is not None and self.tracer.enabled:
+                    self.tracer.record(
+                        "relay", self.tracer.now() - published_ts
+                    )
+                    collected_ts = getattr(payload, "collected_ts", None)
+                    if collected_ts is not None:
+                        events = ReportBatch(tuple(events), collected_ts)
+                self._handle_batch(events)
                 self.relayed_counts[label] += len(entries)
                 self._events_relayed.inc(len(entries))
                 handled += len(entries)

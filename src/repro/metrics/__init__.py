@@ -1,13 +1,27 @@
-"""Measurement utilities: registries, meters, histograms, resources."""
+"""Measurement utilities: registries, meters, histograms, tracing."""
 
-from repro.metrics.registry import Counter, Gauge, MetricsRegistry, ScopedRegistry
+from repro.metrics.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ScopedRegistry,
+)
 from repro.metrics.throughput import RateMeter, StageTimer
 from repro.metrics.histogram import LatencyHistogram
 from repro.metrics.resources import ResourceSample, ResourceUsageModel
+from repro.metrics.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    PIPELINE_STAGES,
+    PipelineTracer,
+    make_tracer,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "MetricsRegistry",
     "ScopedRegistry",
     "RateMeter",
@@ -15,4 +29,9 @@ __all__ = [
     "LatencyHistogram",
     "ResourceSample",
     "ResourceUsageModel",
+    "NULL_TRACER",
+    "NullTracer",
+    "PIPELINE_STAGES",
+    "PipelineTracer",
+    "make_tracer",
 ]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import threading
 from typing import Optional
 
 
@@ -13,6 +14,12 @@ class LatencyHistogram:
     gives constant relative precision over many orders of magnitude —
     suitable for event pipeline latencies ranging from microseconds to
     seconds.
+
+    :meth:`record` is thread-safe: observations from concurrent
+    recorders (e.g. a live consumer's poll worker and a catch-up call)
+    are never lost.  The ``lock_acquisitions`` operation counter makes
+    the locking cost observable, so benchmarks can assert that a
+    disabled tracing path performs no histogram work at all.
     """
 
     def __init__(self, min_latency: float = 1e-6, buckets: int = 40) -> None:
@@ -22,11 +29,14 @@ class LatencyHistogram:
             raise ValueError(f"buckets must be >= 1: {buckets}")
         self.min_latency = min_latency
         self.bucket_count = buckets
+        self._lock = threading.Lock()
         self._counts = [0] * buckets
         self.total = 0
         self.sum = 0.0
         self.max_seen = 0.0
         self.min_seen: Optional[float] = None
+        #: How many times :meth:`record` took the lock (op counter).
+        self.lock_acquisitions = 0
 
     def _bucket_for(self, latency: float) -> int:
         if latency <= self.min_latency:
@@ -34,15 +44,26 @@ class LatencyHistogram:
         index = int(math.log2(latency / self.min_latency)) + 1
         return min(index, self.bucket_count - 1)
 
-    def record(self, latency: float) -> None:
-        """Add one observation."""
+    def record(self, latency: float, count: int = 1) -> None:
+        """Add *count* observations of *latency* under one lock.
+
+        The weighted form is what batch tracing uses: one lock
+        acquisition per pipeline batch instead of one per event.
+        """
         if latency < 0:
             raise ValueError(f"negative latency: {latency}")
-        self._counts[self._bucket_for(latency)] += 1
-        self.total += 1
-        self.sum += latency
-        self.max_seen = max(self.max_seen, latency)
-        self.min_seen = latency if self.min_seen is None else min(self.min_seen, latency)
+        if count < 1:
+            raise ValueError(f"count must be >= 1: {count}")
+        bucket = self._bucket_for(latency)
+        with self._lock:
+            self.lock_acquisitions += 1
+            self._counts[bucket] += count
+            self.total += count
+            self.sum += latency * count
+            if latency > self.max_seen:
+                self.max_seen = latency
+            if self.min_seen is None or latency < self.min_seen:
+                self.min_seen = latency
 
     @property
     def mean(self) -> float:
@@ -72,4 +93,40 @@ class LatencyHistogram:
 
     def counts(self) -> list[int]:
         """A copy of the raw bucket counts."""
-        return list(self._counts)
+        with self._lock:
+            return list(self._counts)
+
+    def summary(self) -> dict[str, float]:
+        """A consistent p50/p95/p99/mean/max/count summary.
+
+        The whole summary is derived from one atomic copy of the state,
+        so its numbers are mutually consistent even while recorders run.
+        """
+        with self._lock:
+            counts = list(self._counts)
+            total = self.total
+            total_sum = self.sum
+            max_seen = self.max_seen
+        if total == 0:
+            return {
+                "count": 0, "mean": 0.0, "max": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
+
+        def pct(fraction: float) -> float:
+            threshold = fraction * total
+            cumulative = 0
+            for index, count in enumerate(counts):
+                cumulative += count
+                if cumulative >= threshold:
+                    return self.bucket_bounds(index)[1]
+            return max_seen
+
+        return {
+            "count": total,
+            "mean": total_sum / total,
+            "max": max_seen,
+            "p50": pct(0.50),
+            "p95": pct(0.95),
+            "p99": pct(0.99),
+        }

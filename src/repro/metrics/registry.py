@@ -1,4 +1,4 @@
-"""A shared metrics registry: named counters and gauges per service.
+"""A shared metrics registry: named counters, gauges and histograms.
 
 Every long-running service in the pipeline (collectors, aggregator,
 consumers, serverless workers, Ripple agents) registers its counters
@@ -8,7 +8,7 @@ pipeline-wide statistics — ``LustreMonitor.stats()``, the aggregator's
 ``{'op': 'stats'}`` API answer, operator dashboards — are *derived*
 from the registry rather than hand-scraped from component attributes.
 
-Three metric kinds:
+Four metric kinds:
 
 * :class:`Counter` — a monotone, thread-safe count (events stored,
   batches received, crashes observed).
@@ -16,16 +16,24 @@ Three metric kinds:
 * callback gauges (:meth:`MetricsRegistry.gauge_fn`) — values computed
   on read from existing state (store length, cache hit counts), which
   lets components expose derived numbers without double bookkeeping.
+* :class:`Histogram` — a thread-safe latency distribution (wrapping
+  :class:`~repro.metrics.histogram.LatencyHistogram`); ``snapshot()``
+  flattens each histogram into ``<name>.count/mean/max/p50/p95/p99``
+  so stage-latency percentiles travel with every stats answer.
 
 Metric names are dotted: ``<scope>.<metric>``, where the scope is the
 owning service's unique name within the registry (see
-:meth:`MetricsRegistry.unique_scope`).
+:meth:`MetricsRegistry.unique_scope`).  :meth:`render_prometheus`
+renders everything in the Prometheus text exposition format for
+operator tooling.
 """
 
 from __future__ import annotations
 
 import threading
 from typing import Callable, Dict, Iterator, Optional, Union
+
+from repro.metrics.histogram import LatencyHistogram
 
 
 class Counter:
@@ -83,8 +91,74 @@ class Gauge:
         return f"Gauge({self.name}={self._value})"
 
 
+class Histogram:
+    """A thread-safe latency-distribution metric.
+
+    Wraps a :class:`~repro.metrics.histogram.LatencyHistogram` (which
+    owns the lock), exposing the same read API — ``total``, ``mean``,
+    ``max_seen``, ``percentile()`` — plus :meth:`summary` for
+    snapshots, so code written against the bare histogram (the
+    consumer's ``track_latency``) migrates without call-site changes.
+    """
+
+    __slots__ = ("name", "_hist")
+
+    def __init__(
+        self, name: str, min_latency: float = 1e-6, buckets: int = 40
+    ) -> None:
+        self.name = name
+        self._hist = LatencyHistogram(min_latency=min_latency, buckets=buckets)
+
+    def record(self, value: float, count: int = 1) -> None:
+        """Add *count* observations of *value* (one lock acquisition)."""
+        self._hist.record(value, count)
+
+    # -- read API (delegated) -----------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return self._hist.total
+
+    @property
+    def sum(self) -> float:
+        return self._hist.sum
+
+    @property
+    def mean(self) -> float:
+        return self._hist.mean
+
+    @property
+    def max_seen(self) -> float:
+        return self._hist.max_seen
+
+    @property
+    def min_seen(self) -> Optional[float]:
+        return self._hist.min_seen
+
+    @property
+    def lock_acquisitions(self) -> int:
+        """Op counter: how often :meth:`record` took the histogram lock."""
+        return self._hist.lock_acquisitions
+
+    def percentile(self, fraction: float) -> float:
+        return self._hist.percentile(fraction)
+
+    def counts(self) -> list[int]:
+        return self._hist.counts()
+
+    def bucket_bounds(self, index: int) -> tuple[float, float]:
+        return self._hist.bucket_bounds(index)
+
+    def summary(self) -> dict[str, float]:
+        """Consistent ``count/mean/max/p50/p95/p99`` summary."""
+        return self._hist.summary()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self._hist.total})"
+
+
 class MetricsRegistry:
-    """Get-or-create registry of named counters and gauges.
+    """Get-or-create registry of named counters, gauges and histograms.
 
     Thread-safe; shared by every service of one supervision tree so a
     single :meth:`snapshot` captures the whole pipeline.
@@ -95,6 +169,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._gauge_fns: Dict[str, Callable[[], Union[int, float]]] = {}
+        self._histograms: Dict[str, Histogram] = {}
         self._scopes: Dict[str, int] = {}
 
     # -- registration -------------------------------------------------------
@@ -119,6 +194,23 @@ class MetricsRegistry:
         """Register a gauge whose value is computed by *fn* on read."""
         with self._lock:
             self._gauge_fns[name] = fn
+
+    def histogram(
+        self, name: str, min_latency: float = 1e-6, buckets: int = 40
+    ) -> Histogram:
+        """Return the histogram *name*, creating it on first use."""
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(
+                    name, min_latency=min_latency, buckets=buckets
+                )
+            return metric
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """A point-in-time copy of the registered histograms by name."""
+        with self._lock:
+            return dict(self._histograms)
 
     def unique_scope(self, base: str) -> str:
         """Reserve a unique scope name derived from *base*.
@@ -149,7 +241,10 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         with self._lock:
             return sorted(
-                set(self._counters) | set(self._gauges) | set(self._gauge_fns)
+                set(self._counters)
+                | set(self._gauges)
+                | set(self._gauge_fns)
+                | set(self._histograms)
             )
 
     def snapshot(self, prefix: Optional[str] = None) -> Dict[str, Union[int, float]]:
@@ -165,6 +260,7 @@ class MetricsRegistry:
                 *((name, g.value) for name, g in self._gauges.items()),
                 *(self._gauge_fns.items()),
             ]
+            histograms = list(self._histograms.items())
         result: Dict[str, Union[int, float]] = {}
         for name, value in pairs:
             if prefix is not None:
@@ -174,6 +270,17 @@ class MetricsRegistry:
             else:
                 key = name
             result[key] = value() if callable(value) else value
+        # Histograms flatten into <name>.count/mean/max/p50/p95/p99, so
+        # percentile visibility rides along with every stats answer.
+        for name, histogram in histograms:
+            if prefix is not None:
+                if not name.startswith(prefix + "."):
+                    continue
+                key = name[len(prefix) + 1:]
+            else:
+                key = name
+            for stat, value in histogram.summary().items():
+                result[f"{key}.{stat}"] = value
         return result
 
     def scoped(self, scope: str) -> "ScopedRegistry":
@@ -182,6 +289,60 @@ class MetricsRegistry:
 
     def __iter__(self) -> Iterator[str]:
         return iter(self.names())
+
+    # -- exposition ----------------------------------------------------------
+
+    def render_prometheus(self, namespace: str = "repro") -> str:
+        """The registry in the Prometheus text exposition format.
+
+        Dotted metric names are sanitised to the ``[a-zA-Z0-9_:]``
+        alphabet (dots and ``#`` become underscores).  Histograms render
+        the conventional cumulative ``_bucket{le="..."}`` series plus
+        ``_sum`` and ``_count``; counters get ``_total`` appended per
+        Prometheus naming convention.
+        """
+        with self._lock:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            gauge_fns = list(self._gauge_fns.items())
+            histograms = list(self._histograms.items())
+        lines: list[str] = []
+
+        def sanitize(name: str) -> str:
+            cleaned = "".join(
+                ch if (ch.isascii() and ch.isalnum()) or ch in "_:" else "_"
+                for ch in name
+            )
+            if cleaned and cleaned[0].isdigit():
+                cleaned = "_" + cleaned
+            return f"{namespace}_{cleaned}" if namespace else cleaned
+
+        for name, counter in counters:
+            metric = sanitize(name) + "_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {counter.value}")
+        for name, gauge in gauges:
+            metric = sanitize(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {gauge.value}")
+        for name, fn in gauge_fns:
+            metric = sanitize(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {fn()}")
+        for name, histogram in histograms:
+            metric = sanitize(name)
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for index, count in enumerate(histogram.counts()):
+                cumulative += count
+                bound = histogram.bucket_bounds(index)[1]
+                lines.append(
+                    f'{metric}_bucket{{le="{bound:.9g}"}} {cumulative}'
+                )
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{metric}_sum {histogram.sum:.9g}")
+            lines.append(f"{metric}_count {histogram.total}")
+        return "\n".join(lines) + "\n"
 
 
 class ScopedRegistry:
@@ -202,6 +363,13 @@ class ScopedRegistry:
 
     def gauge_fn(self, name: str, fn: Callable[[], Union[int, float]]) -> None:
         self.registry.gauge_fn(self._qualify(name), fn)
+
+    def histogram(
+        self, name: str, min_latency: float = 1e-6, buckets: int = 40
+    ) -> Histogram:
+        return self.registry.histogram(
+            self._qualify(name), min_latency=min_latency, buckets=buckets
+        )
 
     def value(self, name: str, default: Union[int, float] = 0) -> Union[int, float]:
         return self.registry.value(self._qualify(name), default)

@@ -1,0 +1,168 @@
+"""Pipeline-wide stage tracing: batch stamps → registry histograms.
+
+The paper's headline results are latencies (capture → aggregation →
+delivery; the Table 3 overhead and saturation figures), so the
+reproduction needs per-stage latency visibility, the way Icicle exposes
+per-stage monitoring latencies and MELT aggregates per-component
+observations fleet-wide.  This module provides it without disturbing
+the batched hot path:
+
+* Every pipeline batch may carry **stage timestamps** — ``collected_ts``
+  on the collector→aggregator wire (:class:`~repro.core.events.ReportBatch`)
+  and ``collected_ts``/``aggregated_ts``/``published_ts`` on the PUB
+  wire (:class:`~repro.core.events.EventBatch`).  Stamps are per batch,
+  not per event, so tracing adds O(1) work per batch.
+* A :class:`PipelineTracer` decides (by sample rate) which batches are
+  stamped, and records stage-to-stage deltas into shared registry
+  histograms named ``pipeline.<stage>``.  One histogram lock
+  acquisition per stage per sampled batch.
+* ``sample_rate=0.0`` returns the :data:`NULL_TRACER`, whose every
+  method is a constant-return no-op: no histograms are registered, no
+  clock is read, no locks are taken — the ingest micro-benchmarks
+  assert this with operation counters.
+
+Stages recorded by the live pipeline:
+
+========== =====================================================
+``collect``   ChangeLog record timestamp → collector report stamp
+``aggregate`` collector report stamp → aggregator store stamp
+``publish``   aggregator store stamp → PUB send stamp
+``deliver``   PUB send stamp → consumer delivery stamp
+``relay``     upstream PUB send stamp → relay re-ingest stamp
+``action``    action request enqueue → agent execution complete
+========== =====================================================
+
+Clock domains: deltas between pipeline stamps use the tracer's clock
+(the monitor passes its filesystem's clock so live wall-clock and
+virtual ManualClock deployments both produce meaningful numbers).  The
+``collect`` stage additionally spans the event's own ChangeLog
+timestamp, so it is only meaningful when the filesystem and tracer
+share a clock domain — the same caveat as ``Consumer.track_latency``.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Optional, Union
+
+from repro.metrics.registry import Histogram, MetricsRegistry, ScopedRegistry
+from repro.util.clock import Clock, WallClock
+
+#: The stage names the live pipeline records, in flow order.
+PIPELINE_STAGES = (
+    "collect", "aggregate", "publish", "deliver", "relay", "action",
+)
+
+#: Registry namespace for pipeline stage histograms.
+TRACE_SCOPE = "pipeline"
+
+
+class PipelineTracer:
+    """Samples pipeline batches and records stage latencies.
+
+    One tracer is shared by every service of a monitor's supervision
+    tree (they all see the same registry, so histograms converge on the
+    same objects either way).  ``sample()`` is a cheap deterministic
+    every-Nth decision derived from the sample rate — no RNG, no lock.
+    """
+
+    def __init__(
+        self,
+        registry: Union[MetricsRegistry, ScopedRegistry],
+        sample_rate: float = 1.0,
+        clock: Optional[Clock] = None,
+        scope: str = TRACE_SCOPE,
+    ) -> None:
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in (0, 1] (use NULL_TRACER/make_tracer"
+                f" for 0): {sample_rate}"
+            )
+        if isinstance(registry, ScopedRegistry):
+            registry = registry.registry
+        self.registry = registry
+        self.sample_rate = sample_rate
+        self.clock = clock or WallClock()
+        self.scope = scope
+        self._every = max(1, round(1.0 / sample_rate))
+        self._ticket = count()  # itertools.count: atomic under CPython
+        self._stage_histograms: dict[str, Histogram] = {}
+
+    #: Real tracers trace; the NullTracer overrides this to False.
+    enabled: bool = True
+
+    def sample(self) -> bool:
+        """Decide whether the current batch is traced (every Nth)."""
+        return next(self._ticket) % self._every == 0
+
+    def now(self) -> float:
+        """A stage timestamp from the tracer's clock."""
+        return self.clock.now()
+
+    def record(self, stage: str, delta: float, count: int = 1) -> None:
+        """Record a stage latency delta (clamped at zero).
+
+        Negative deltas appear when stamps cross clock domains (e.g. a
+        ManualClock filesystem feeding a wall-clock consumer); clamping
+        keeps the histogram valid rather than crashing the pipeline.
+        """
+        histogram = self._stage_histograms.get(stage)
+        if histogram is None:
+            # Get-or-create races are benign: the registry returns one
+            # canonical Histogram per name.
+            histogram = self.registry.histogram(f"{self.scope}.{stage}")
+            self._stage_histograms[stage] = histogram
+        histogram.record(max(0.0, delta), count)
+
+    def stage_summaries(self) -> dict[str, dict[str, float]]:
+        """``{stage: {count, mean, max, p50, p95, p99}}`` for recorded stages."""
+        prefix = self.scope + "."
+        return {
+            name[len(prefix):]: histogram.summary()
+            for name, histogram in self.registry.histograms().items()
+            if name.startswith(prefix)
+        }
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a constant-return no-op.
+
+    ``sample()`` is always False, so stamping code never reads the
+    clock, never allocates a stamped batch, and never touches a
+    histogram — the sample-rate-0 hot path performs zero tracing work,
+    which the micro-benchmarks assert via lock-acquisition counters.
+    """
+
+    enabled: bool = False
+
+    def sample(self) -> bool:
+        return False
+
+    def now(self) -> float:  # pragma: no cover - never reached when gated
+        return 0.0
+
+    def record(self, stage: str, delta: float, count: int = 1) -> None:
+        pass
+
+    def stage_summaries(self) -> dict[str, dict[str, float]]:
+        return {}
+
+
+#: The process-wide disabled tracer (stateless, shareable).
+NULL_TRACER = NullTracer()
+
+Tracer = Union[PipelineTracer, NullTracer]
+
+
+def make_tracer(
+    registry: Union[MetricsRegistry, ScopedRegistry, None],
+    sample_rate: float = 1.0,
+    clock: Optional[Clock] = None,
+    scope: str = TRACE_SCOPE,
+) -> Tracer:
+    """Build a tracer for *sample_rate* (0 → the shared no-op tracer)."""
+    if sample_rate < 0.0 or sample_rate > 1.0:
+        raise ValueError(f"sample_rate must be in [0, 1]: {sample_rate}")
+    if sample_rate == 0.0 or registry is None:
+        return NULL_TRACER
+    return PipelineTracer(registry, sample_rate, clock=clock, scope=scope)

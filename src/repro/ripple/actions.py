@@ -46,6 +46,10 @@ class ActionRequest:
     rule_id: int
     request_id: int = field(default_factory=lambda: next(_request_ids))
     attempts: int = 0
+    #: Tracing stamp: when the request entered the executing agent's
+    #: inbox (set by the agent's tracer on sampled requests; None when
+    #: tracing is disabled or the request was not sampled).
+    created_ts: Optional[float] = None
 
 
 @dataclass(frozen=True)

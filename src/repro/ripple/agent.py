@@ -30,6 +30,7 @@ from typing import Callable, Deque, Dict, Optional, TYPE_CHECKING
 from repro.core.events import FileEvent
 from repro.errors import RippleError
 from repro.fs.memfs import MemoryFilesystem
+from repro.metrics.tracing import Tracer, make_tracer
 from repro.fs.watchdog import FileSystemEvent, FileSystemEventHandler, Observer
 from repro.lustre.filesystem import LustreFilesystem
 from repro.ripple.actions import (
@@ -68,12 +69,17 @@ class RippleAgent(Service):
         executors: ExecutorRegistry | None = None,
         max_report_retries: int = 5,
         registry=None,
+        trace_sample_rate: float = 1.0,
     ) -> None:
         if not agent_id:
             raise RippleError("agent needs a non-empty id")
         super().__init__(
             f"agent-{agent_id}", registry, scope=f"agent.{agent_id}"
         )
+        #: Stage tracer for the action path: sampled requests are
+        #: stamped on enqueue and the ``action`` stage (inbox wait +
+        #: execution) is recorded when they complete.
+        self.tracer: Tracer = make_tracer(self.metrics, trace_sample_rate)
         self.agent_id = agent_id
         self.fs = filesystem if filesystem is not None else MemoryFilesystem()
         self.executors = executors or default_registry()
@@ -268,6 +274,8 @@ class RippleAgent(Service):
 
     def enqueue_action(self, request: ActionRequest) -> None:
         """Accept a routed action request (called by the service)."""
+        if request.created_ts is None and self.tracer.sample():
+            request.created_ts = self.tracer.now()
         self.inbox.append(request)
 
     def execute_pending(self) -> list[ActionResult]:
@@ -293,6 +301,10 @@ class RippleAgent(Service):
                 )
             else:
                 self._actions_executed.inc()
+            if request.created_ts is not None and self.tracer.enabled:
+                self.tracer.record(
+                    "action", self.tracer.now() - request.created_ts
+                )
             results.append(result)
             if self.service is not None:
                 self.service.record_result(request, result)

@@ -96,3 +96,24 @@ class TestCommands:
     def test_rules_missing_file(self, capsys, tmp_path):
         assert main(["rules", str(tmp_path / "nope.txt")]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+    def test_metrics_demo(self, capsys):
+        assert main(["metrics-demo", "--events", "120", "--batch", "32"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("collect", "aggregate", "publish", "deliver"):
+            assert stage in out
+        for column in ("p50", "p95", "p99"):
+            assert column in out
+
+    def test_metrics_demo_prometheus(self, capsys):
+        code = main(["metrics-demo", "--events", "60", "--prometheus"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro_pipeline_collect_bucket" in out
+        assert "# TYPE" in out
+
+    def test_metrics_demo_sampling_off(self, capsys):
+        code = main(["metrics-demo", "--events", "60", "--sample-rate", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tracing disabled" in out
