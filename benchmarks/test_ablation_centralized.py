@@ -61,6 +61,74 @@ def test_ablation_centralized_vs_distributed(report, benchmark):
     assert four_way[2].keeps_up and not four_way[1].keeps_up
 
 
+def run_sharded_model(num_aggregators, arrival_rate=150_000):
+    """The cluster arm: collectors optimised so aggregation binds."""
+    return run_pipeline(
+        PipelineConfig(
+            profile=IOTA, duration=4.0, num_mds=4, batch_size=64,
+            cache_size=2048, arrival_rate=arrival_rate,
+            num_aggregators=num_aggregators,
+        )
+    )
+
+
+def test_ablation_sharded_aggregation(report, benchmark):
+    """Centralized vs 1-aggregator distributed vs N-shard cluster.
+
+    With collection fully optimised (4 MDS, batching, caching) and the
+    arrival rate pushed past one Iota aggregator's ~100k ev/s service
+    capacity, the single aggregator becomes the bottleneck the paper's
+    §6 concedes; the sharded tier lifts it.
+    """
+    def sweep():
+        central = run_pipeline(
+            PipelineConfig(
+                profile=IOTA, duration=4.0, num_mds=4, centralized=True,
+                batch_size=64, cache_size=2048, arrival_rate=150_000,
+            )
+        )
+        arms = [("centralized, 1 aggregator", central)]
+        for shards in (1, 2, 4):
+            arms.append(
+                (f"distributed, {shards} shard(s)", run_sharded_model(shards))
+            )
+        return arms
+
+    arms = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["topology", "delivered ev/s", "keeps up", "bottleneck",
+         "aggregate util"],
+        [
+            (
+                label,
+                f"{result.delivered_rate:,.0f}",
+                "yes" if result.keeps_up else "no",
+                result.bottleneck,
+                f"{result.stage_utilisation()['aggregate']:.2f}",
+            )
+            for label, result in arms
+        ],
+        title="Sharded aggregation tier vs the paper's topologies "
+        "(Iota model, 150k ev/s offered)",
+    )
+    report.add("Ablation - sharded aggregation tier", table)
+
+    results = dict(arms)
+    single = results["distributed, 1 shard(s)"]
+    two = results["distributed, 2 shard(s)"]
+    four = results["distributed, 4 shard(s)"]
+    # The §6 wall: one aggregator saturates below the offered rate...
+    assert not single.keeps_up
+    assert single.bottleneck == "aggregate"
+    # ...sharding the tier removes it...
+    assert two.keeps_up and four.keeps_up
+    assert two.delivered_rate > single.delivered_rate
+    # ...and the centralized topology is worst of all.
+    assert results["centralized, 1 aggregator"].delivered_rate <= (
+        single.delivered_rate * 1.02
+    )
+
+
 def _build_loaded_fs(n_ops=1500):
     fs = LustreFilesystem(
         num_mds=2, dne_policy=DnePolicy.HASH, clock=ManualClock()

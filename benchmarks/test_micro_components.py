@@ -136,6 +136,85 @@ class TestIngestBatchingBench:
         assert store.events_scanned == 25  # limit bounds the scan itself
 
 
+class TestClusterIngestBench:
+    """Throughput of the sharded aggregation tier's real hot path.
+
+    Report batches flow through the rendezvous-routing sink onto real
+    per-shard PUSH/PULL sockets and are pumped by stock aggregators —
+    the exact cluster ingest path, minus collectors.  Verified by
+    counters: every event lands on exactly one shard, and the spread
+    covers all shards.
+    """
+
+    SHARDS = 4
+
+    @staticmethod
+    def make_mdt_event(index, mdt_index):
+        return FileEvent(
+            event_type=EventType.CREATED, path=f"/d{mdt_index}/f{index}",
+            is_dir=False, timestamp=float(index), name=f"f{index}",
+            source="lustre", mdt_index=mdt_index, record_index=index,
+        )
+
+    def build(self, tag):
+        from repro.cluster import ShardMap, ShardRouter, ShardRoutingSink
+        from repro.core.monitor import PushSink
+
+        context = Context()
+        shard_ids = tuple(f"shard{i}" for i in range(self.SHARDS))
+        router = ShardRouter(ShardMap(shard_ids))
+        shards, sinks = {}, {}
+        for shard_id in shard_ids:
+            config = AggregatorConfig(
+                inbound_endpoint=f"inproc://{tag}.{shard_id}.in",
+                publish_endpoint=f"inproc://{tag}.{shard_id}.pub",
+                api_endpoint=f"inproc://{tag}.{shard_id}.api",
+                store_max_events=max(INGEST_EVENTS, 1),
+                shard_label=shard_id,
+            )
+            shards[shard_id] = Aggregator(
+                context, config, name=f"{tag}.{shard_id}"
+            )
+            sinks[shard_id] = PushSink(
+                context.push().connect(config.inbound_endpoint)
+            )
+        return ShardRoutingSink(router, sinks), shards
+
+    def test_bench_cluster_ingest(self, benchmark):
+        batches = [
+            [
+                self.make_mdt_event(index, mdt_index=(start // INGEST_BATCH) % 16)
+                for index in range(start, start + INGEST_BATCH)
+            ]
+            for start in range(0, INGEST_EVENTS, INGEST_BATCH)
+        ]
+        counter = {"round": 0}
+
+        def sharded_ingest():
+            sink, shards = self.build(f"clb{counter['round']}")
+            counter["round"] += 1
+            sink.send_many(batches)
+            for shard in shards.values():
+                shard.pump_once()
+            return shards
+
+        shards = benchmark.pedantic(sharded_ingest, rounds=3, iterations=1)
+        stored = {
+            shard_id: shard.events_stored
+            for shard_id, shard in shards.items()
+        }
+        assert sum(stored.values()) == sum(len(b) for b in batches)
+        # Rendezvous routing is deterministic over the shard-id set, so
+        # each shard must have stored exactly its routed share.
+        from repro.cluster import ShardMap
+
+        shard_map = ShardMap(tuple(shards))
+        expected = {shard_id: 0 for shard_id in shards}
+        for batch in batches:
+            expected[shard_map.route(f"mdt:{batch[0].mdt_index}")] += len(batch)
+        assert stored == expected
+
+
 class TestTracingOverheadBench:
     """Op-counter proof that stage tracing costs what it claims.
 

@@ -1,0 +1,28 @@
+"""Sharded aggregation tier: N aggregator shards as one logical monitor.
+
+Takes the reproduction past the paper's single-aggregator design (its
+§6 scaling wall): a deterministic :class:`ShardRouter` spreads each
+MDT's report stream across :class:`ClusterMonitor`'s supervised
+aggregator shards, and :class:`ClusterClient` scatter-gathers the
+per-shard APIs back into one answer.
+"""
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.monitor import (
+    ClusterConfig,
+    ClusterMonitor,
+    ClusterStats,
+    ShardRoutingSink,
+)
+from repro.cluster.router import ShardMap, ShardRouter, rendezvous_score
+
+__all__ = [
+    "ClusterClient",
+    "ClusterConfig",
+    "ClusterMonitor",
+    "ClusterStats",
+    "ShardRoutingSink",
+    "ShardMap",
+    "ShardRouter",
+    "rendezvous_score",
+]

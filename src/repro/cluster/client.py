@@ -1,0 +1,230 @@
+"""ClusterClient: scatter-gather queries over the per-shard REP APIs.
+
+Each shard answers its own historic-event API exactly as a
+single-aggregator monitor would; this client fans a query out to every
+shard and reassembles one logical answer:
+
+* ``events_since``/``query`` return ``(shard, seq, event)`` triples
+  merged into the cluster's **total order** — shards in membership
+  order, then per-shard sequence order.  (Per-shard seqs are each
+  monotone but mutually incomparable; the ``(shard, seq)`` pair is the
+  cluster-wide cursor, exactly what consumers' per-shard watermarks
+  track.)
+* ``recent`` gathers each shard's tail, keeps the *count* newest
+  events by timestamp, and returns them in the same total order.
+* ``stats`` sums every numeric counter across the per-shard registry
+  snapshots (the per-shard answers ride along unsummed).
+* ``catch_up`` pages every shard's ``since`` API from the consumer's
+  per-shard watermark — the cluster-wide recovery primitive.
+
+Built purely from :class:`~repro.core.client.MonitorClient` instances,
+one per shard, so deterministic (pumped) and live (API-thread) modes
+both work unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from repro.core.client import MonitorClient
+from repro.core.events import EventType, FileEvent
+
+__all__ = ["ClusterClient"]
+
+#: A cluster cursor: either one seq applied to every shard, or an
+#: explicit per-shard mapping (missing shards default to 0).
+Cursors = Union[int, dict[str, int]]
+
+
+class ClusterClient:
+    """Query-only, scatter-gather access to a sharded cluster."""
+
+    def __init__(self, clients: dict[str, MonitorClient]) -> None:
+        if not clients:
+            raise ValueError("a ClusterClient needs at least one shard")
+        #: Per-shard clients in membership order — the order that
+        #: defines the merged total order.
+        self.clients = dict(clients)
+        self._order = {sid: i for i, sid in enumerate(self.clients)}
+
+    @classmethod
+    def for_cluster(cls, cluster, timeout: float = 5.0) -> "ClusterClient":
+        """Build a client over every shard of a ClusterMonitor
+        (deterministic mode: requests pumped inline per shard)."""
+        return cls(
+            {
+                shard_id: MonitorClient.for_aggregator(
+                    cluster.context, shard, timeout=timeout
+                )
+                for shard_id, shard in cluster.shards.items()
+            }
+        )
+
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        return tuple(self.clients)
+
+    def _merge(
+        self, per_shard: dict[str, list[tuple[int, FileEvent]]]
+    ) -> list[tuple[str, int, FileEvent]]:
+        """Flatten per-shard pages into the (shard, seq) total order."""
+        merged = [
+            (shard_id, seq, event)
+            for shard_id, page in per_shard.items()
+            for seq, event in page
+        ]
+        merged.sort(key=lambda entry: (self._order[entry[0]], entry[1]))
+        return merged
+
+    # -- cursors -----------------------------------------------------------
+
+    def _cursor(self, cursors: Cursors, shard_id: str) -> int:
+        if isinstance(cursors, dict):
+            return cursors.get(shard_id, 0)
+        return cursors
+
+    def last_seq(self) -> dict[str, int]:
+        """Each shard's highest stored sequence number — the cluster
+        cursor to resume :meth:`events_since` from."""
+        return {
+            shard_id: client.last_seq()
+            for shard_id, client in self.clients.items()
+        }
+
+    # -- queries -----------------------------------------------------------
+
+    def events_since(
+        self, cursors: Cursors = 0, page_size: int = 1024
+    ) -> list[tuple[str, int, FileEvent]]:
+        """Every event past the cursor on every shard, merged.
+
+        *cursors* is one seq for all shards or a per-shard dict (the
+        shape :meth:`last_seq` returns).  Each shard is paged with
+        bounded requests, so no reply materialises a whole window.
+        """
+        return self._merge(
+            {
+                shard_id: client.events_since_all(
+                    self._cursor(cursors, shard_id), page_size=page_size
+                )
+                for shard_id, client in self.clients.items()
+            }
+        )
+
+    def recent(self, count: int) -> list[tuple[str, int, FileEvent]]:
+        """The *count* newest events cluster-wide.
+
+        Gathers each shard's own ``recent(count)`` tail (any shard
+        could hold all of the newest events), keeps the newest *count*
+        by event timestamp, and returns them in ``(shard, seq)``
+        order.
+        """
+        gathered = []
+        for shard_id, client in self.clients.items():
+            for seq, event in client.recent(count):
+                gathered.append((shard_id, seq, event))
+        gathered.sort(
+            key=lambda e: (e[2].timestamp, self._order[e[0]], e[1])
+        )
+        newest = gathered[-count:] if count > 0 else []
+        newest.sort(key=lambda e: (self._order[e[0]], e[1]))
+        return newest
+
+    def query(
+        self,
+        path_prefix: Optional[str] = None,
+        event_type: Optional[EventType] = None,
+        since_time: Optional[float] = None,
+        until_time: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> list[tuple[str, int, FileEvent]]:
+        """Filtered retrieval scattered to every shard and merged.
+
+        *limit* applies per shard at the store scan (bounding each
+        reply) and again to the merged result.
+        """
+        merged = self._merge(
+            {
+                shard_id: client.query(
+                    path_prefix=path_prefix,
+                    event_type=event_type,
+                    since_time=since_time,
+                    until_time=until_time,
+                    limit=limit,
+                )
+                for shard_id, client in self.clients.items()
+            }
+        )
+        return merged[:limit] if limit is not None else merged
+
+    def activity_summary(self, path_prefix: str = "/") -> dict[str, int]:
+        """Counts by event type under *path_prefix*, cluster-wide."""
+        counts: dict[str, int] = {}
+        for _shard, _seq, event in self.query(path_prefix=path_prefix):
+            key = event.event_type.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # -- aggregation -------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Summed counters plus the raw per-shard stats answers.
+
+        ``totals`` sums every numeric metric present in any shard's
+        registry snapshot (``events_stored``, ``api_requests`` …);
+        non-numeric entries (the ``health`` record) stay per-shard
+        only.
+        """
+        per_shard = {
+            shard_id: client.stats()
+            for shard_id, client in self.clients.items()
+        }
+        totals: dict[str, Any] = {}
+        for snapshot in per_shard.values():
+            for name, value in snapshot.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                totals[name] = totals.get(name, 0) + value
+        return {"totals": totals, "per_shard": per_shard}
+
+    def metrics(self) -> dict[str, Any]:
+        """The cluster's metrics exposition.
+
+        Every shard shares one registry, so any shard's ``metrics``
+        answer already covers the whole tree — this asks the first
+        shard and returns its exposition verbatim.
+        """
+        first = next(iter(self.clients.values()))
+        return first.metrics()
+
+    # -- recovery ----------------------------------------------------------
+
+    def catch_up(self, consumer, page_size: int = 1024) -> int:
+        """Backfill *consumer* from every shard's historic API.
+
+        Pages each shard's ``since`` API from the consumer's watermark
+        for that shard, delivering through the consumer's dedup with
+        the shard as the source — the cluster analogue of
+        :meth:`Consumer.catch_up`.  Returns the number of events
+        fetched (the consumer's watermarks decide what is new).
+        """
+        recovered = 0
+        for shard_id, client in self.clients.items():
+            while True:
+                page = client.events_since(
+                    consumer.watermark(shard_id), limit=page_size
+                )
+                for seq, event in page:
+                    consumer.deliver(seq, event, source=shard_id)
+                    # Advance over redeliveries too, so paging ends.
+                    consumer.advance_watermark(shard_id, seq)
+                recovered += len(page)
+                if len(page) < page_size:
+                    break
+        return recovered
+
+    def close(self) -> None:
+        for client in self.clients.values():
+            client.close()

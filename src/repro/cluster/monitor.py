@@ -1,0 +1,383 @@
+"""ClusterMonitor: N aggregator shards behind one logical monitor.
+
+The paper's monitor funnels every collector into a single aggregator —
+its §6 scaling wall.  This module runs **N aggregator shards under one
+supervisor** and presents them as one monitor:
+
+* Each shard is a stock :class:`~repro.core.aggregator.Aggregator`
+  with its own inbound/PUB/API endpoints and a ``shard_label`` stamped
+  on every published batch (consumers keep per-shard watermarks).
+* Collectors are stock :class:`~repro.core.collector.Collector`\\ s
+  whose sink is a :class:`ShardRoutingSink`: each report batch (always
+  a single MDT's events) is routed to its owning shard by rendezvous
+  hashing over the :class:`~repro.cluster.router.ShardRouter`'s
+  versioned map.  The wire formats (``ReportBatch``/``EventBatch``)
+  are reused unchanged.
+* Failover is the existing supervision story, cluster-wide: a crashed
+  shard is restarted by the supervisor; its inbound mailbox and the
+  crash-safe pump requeue preserve drained-but-unstored batches, and
+  collectors re-report anything unpurged — at-least-once delivery
+  holds across shard crashes.
+
+One metrics registry and one tracer span the whole tree, so per-shard
+counters appear side by side under their shard scopes
+(``shard0.events_stored`` …) in one snapshot / Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.router import ShardMap, ShardRouter
+from repro.core.aggregator import Aggregator, AggregatorConfig
+from repro.core.collector import Collector, CollectorConfig
+from repro.core.consumer import Consumer, EventCallback
+from repro.core.events import FileEvent
+from repro.core.monitor import PushSink
+from repro.lustre.fid2path import FidResolver
+from repro.lustre.filesystem import LustreFilesystem
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.tracing import TRACE_SCOPE, Tracer, make_tracer
+from repro.msgq import Context
+from repro.runtime import RestartPolicy, ServiceCrash, Supervisor
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterMonitor",
+    "ClusterStats",
+    "ShardRoutingSink",
+]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster-wide configuration.
+
+    ``aggregator`` is the *base* shard config: every shard derives its
+    own endpoints (``inproc://<namespace>.<shard>.{reports,events,api}``)
+    and ``shard_label`` from it, inheriting all other knobs (store
+    size, flush policy, tracing rate …) unchanged.
+    """
+
+    num_shards: int = 2
+    #: Endpoint namespace, so several clusters can share one Context.
+    namespace: str = "cluster"
+    collector: CollectorConfig = field(default_factory=CollectorConfig)
+    aggregator: AggregatorConfig = field(default_factory=AggregatorConfig)
+    shared_resolver: bool = False
+    report_timeout: float = 5.0
+    restart_policy: RestartPolicy = field(default_factory=RestartPolicy)
+    supervise_interval: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1: {self.num_shards}")
+
+
+class ShardRoutingSink:
+    """An EventSink that routes each report batch to its owning shard.
+
+    Every collector report carries events from exactly one MDT (the
+    collector reports per MDT), so the batch routes *whole* by its
+    first event's key — no splitting, and an MDT's events always land
+    on one shard, keeping per-shard sequence numbers meaningful per
+    MDT stream.
+    """
+
+    def __init__(
+        self, router: ShardRouter, sinks: dict[str, PushSink]
+    ) -> None:
+        self.router = router
+        self.sinks = sinks
+
+    @staticmethod
+    def route_key(payload) -> str:
+        """The routing key of one report batch (its first event)."""
+        event: FileEvent = payload[0]
+        if event.mdt_index is not None:
+            return f"mdt:{event.mdt_index}"
+        # Local-filesystem events carry no MDT identity; their path
+        # keeps related events together well enough.
+        return f"path:{event.path or event.name or ''}"
+
+    def shard_for(self, payload) -> str:
+        return self.router.route(self.route_key(payload))
+
+    def send(self, payload) -> None:
+        self.sinks[self.shard_for(payload)].send(payload)
+
+    def send_many(self, payloads) -> None:
+        """Group chunks by owning shard, one fabric round-trip each."""
+        groups: dict[str, list] = {}
+        for payload in payloads:
+            groups.setdefault(self.shard_for(payload), []).append(payload)
+        for shard, group in groups.items():
+            sink = self.sinks[shard]
+            if len(group) == 1:
+                sink.send(group[0])
+            else:
+                sink.send_many(group)
+
+
+@dataclass
+class ClusterStats:
+    """Cluster-wide pipeline counters (derived from the registry)."""
+
+    records_read: int = 0
+    events_reported: int = 0
+    events_stored: int = 0
+    events_published: int = 0
+    store_len: int = 0
+    #: Current routing-map version (bumps on retire/restore).
+    shard_map_version: int = 1
+    per_shard: dict = field(default_factory=dict)
+    per_collector: dict = field(default_factory=dict)
+    services: dict = field(default_factory=dict)
+    stage_latency: dict = field(default_factory=dict)
+
+
+class ClusterMonitor:
+    """N supervised aggregator shards presented as one logical monitor.
+
+    Mirrors :class:`~repro.core.monitor.LustreMonitor`'s surface —
+    ``subscribe``/``pump``/``drain``/``start``/``stop``/``shutdown``/
+    ``health``/``stats`` — so callers scale from one aggregator to N
+    by swapping the class.
+    """
+
+    def __init__(
+        self,
+        filesystem: LustreFilesystem,
+        config: ClusterConfig | None = None,
+        context: Context | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.fs = filesystem
+        self.config = config or ClusterConfig()
+        self.context = context or Context()
+        self.registry = registry or MetricsRegistry()
+        self.tracer: Tracer = make_tracer(
+            self.registry,
+            self.config.aggregator.trace_sample_rate,
+            clock=getattr(filesystem, "clock", None),
+        )
+        self.shard_ids = tuple(
+            f"shard{i}" for i in range(self.config.num_shards)
+        )
+        self.router = ShardRouter(ShardMap(self.shard_ids))
+        self.supervisor = Supervisor(
+            "cluster",
+            policy=self.config.restart_policy,
+            registry=self.registry,
+            poll_interval=self.config.supervise_interval,
+        )
+        #: Per-shard aggregator configs (derived endpoints + label).
+        self.shard_configs: dict[str, AggregatorConfig] = {}
+        #: The shard aggregators, keyed by shard id.
+        self.shards: dict[str, Aggregator] = {}
+        self._shard_keys: list[str] = []
+        namespace = self.config.namespace
+        for shard_id in self.shard_ids:
+            shard_config = replace(
+                self.config.aggregator,
+                inbound_endpoint=f"inproc://{namespace}.{shard_id}.reports",
+                publish_endpoint=f"inproc://{namespace}.{shard_id}.events",
+                api_endpoint=f"inproc://{namespace}.{shard_id}.api",
+                shard_label=shard_id,
+            )
+            shard = Aggregator(
+                self.context,
+                shard_config,
+                registry=self.registry,
+                name=shard_id,
+                tracer=self.tracer,
+            )
+            self.shard_configs[shard_id] = shard_config
+            self.shards[shard_id] = shard
+            self._shard_keys.append(self.supervisor.add_child(shard))
+        shared = (
+            FidResolver(filesystem) if self.config.shared_resolver else None
+        )
+        self.collectors: list[Collector] = []
+        for server in filesystem.cluster.servers:
+            sinks: dict[str, PushSink] = {}
+            for shard_id, shard_config in self.shard_configs.items():
+                push = self.context.push(
+                    hwm=self.config.aggregator.hwm
+                ).connect(shard_config.inbound_endpoint)
+                sinks[shard_id] = PushSink(
+                    push, timeout=self.config.report_timeout
+                )
+            collector = Collector(
+                name=server.name,
+                filesystem=filesystem,
+                mds=server,
+                sink=ShardRoutingSink(self.router, sinks),
+                config=self.config.collector,
+                resolver=shared or FidResolver(filesystem),
+                registry=self.registry,
+                tracer=self.tracer,
+            )
+            self.supervisor.add_child(
+                collector, after=list(self._shard_keys),
+                key=collector.metrics.scope,
+            )
+            self.collectors.append(collector)
+        self.consumers: list[Consumer] = []
+
+    # -- consumers -----------------------------------------------------------
+
+    def subscribe(
+        self, callback: EventCallback, name: str = "consumer"
+    ) -> Consumer:
+        """Attach a consumer subscribed to *every* shard's live stream.
+
+        One SUB socket connected to all shard PUB endpoints; published
+        batches carry their ``shard`` label, so the consumer's
+        per-shard watermarks dedup each stream independently.  The
+        consumer's ``api`` socket points at shard0 — cluster-wide
+        catch-up goes through ``ClusterClient.catch_up``, which pages
+        every shard.
+        """
+        first = self.shard_configs[self.shard_ids[0]]
+        consumer = Consumer(
+            self.context,
+            callback,
+            config=first,
+            name=name,
+            registry=self.registry,
+            tracer=self.tracer,
+        )
+        for shard_id in self.shard_ids[1:]:
+            consumer.subscription.connect(
+                self.shard_configs[shard_id].publish_endpoint
+            )
+        self.consumers.append(consumer)
+        self.supervisor.add_child(
+            consumer, before=list(self._shard_keys),
+            key=consumer.metrics.scope,
+        )
+        return consumer
+
+    # -- deterministic stepping ----------------------------------------------
+
+    def pump(self, consumer_poll: bool = True) -> int:
+        """One synchronous sweep: collect, pump every shard, deliver."""
+        for collector in self.collectors:
+            collector.poll_once()
+        handled = 0
+        for shard in self.shards.values():
+            handled += shard.pump_once()
+        if consumer_poll:
+            for consumer in self.consumers:
+                consumer.poll_once()
+        return handled
+
+    def drain(self, max_rounds: int = 10_000) -> int:
+        """Pump until no events remain anywhere in the pipeline."""
+        total = 0
+        for _ in range(max_rounds):
+            moved = self.pump()
+            total += moved
+            if moved == 0:
+                break
+        return total
+
+    # -- failover ------------------------------------------------------------
+
+    def crash_shard(self, shard_id: str) -> None:
+        """Arm a one-shot injected crash on *shard_id*'s store path.
+
+        The next batch that shard tries to store raises
+        :class:`~repro.runtime.ServiceCrash` *before* anything is
+        stored — the worst spot for the old pump (batch drained from
+        the mailbox, nothing durable yet).  The crash-safe pump
+        requeues the batch, the supervisor restarts the shard, and the
+        replay stores it — which is what the failover tests assert.
+        """
+        shard = self.shards[shard_id]
+        store = shard.store
+        original = store.extend
+
+        def crash_once(events):
+            store.extend = original
+            raise ServiceCrash(f"injected crash on {shard_id}")
+
+        store.extend = crash_once
+
+    def retire_shard(self, shard_id: str) -> ShardMap:
+        """Route *shard_id*'s keys away (planned drain / dead shard).
+
+        Only that shard's keys move (rendezvous property); its stored
+        history stays queryable through the scatter-gather client.
+        Returns the map that was replaced.
+        """
+        return self.router.retire(shard_id)
+
+    def restore_shard(self, shard_id: str) -> ShardMap:
+        """Route *shard_id*'s keys back after recovery."""
+        return self.router.restore(shard_id)
+
+    # -- live supervised mode --------------------------------------------------
+
+    def start(self) -> None:
+        """Start the supervision tree (consumers → shards → collectors)."""
+        self.supervisor.start()
+
+    def stop(self) -> None:
+        """Stop in reverse dependency order, flushing in-flight events."""
+        self.supervisor.stop()
+
+    def shutdown(self) -> None:
+        """Stop and release changelog users and sockets."""
+        self.supervisor.close()
+
+    def health(self) -> dict:
+        """Uniform per-service health for the whole tree."""
+        return self.supervisor.health()
+
+    # -- statistics ------------------------------------------------------------
+
+    def stats(self) -> ClusterStats:
+        """Cluster counters: totals plus a per-shard breakdown."""
+        stats = ClusterStats(shard_map_version=self.router.version)
+        for collector in self.collectors:
+            snap = collector.metrics.snapshot()
+            stats.records_read += snap.get("records_read", 0)
+            stats.events_reported += snap.get("events_reported", 0)
+            stats.per_collector[collector.name] = {
+                "records_read": snap.get("records_read", 0),
+                "events_reported": snap.get("events_reported", 0),
+            }
+        for shard_id, shard in self.shards.items():
+            snap = shard.metrics.snapshot()
+            stats.events_stored += snap.get("events_stored", 0)
+            stats.events_published += snap.get("events_published", 0)
+            stats.store_len += snap.get("store_len", 0)
+            stats.per_shard[shard_id] = {
+                "events_stored": snap.get("events_stored", 0),
+                "events_published": snap.get("events_published", 0),
+                "store_len": snap.get("store_len", 0),
+                "batches_received": snap.get("batches_received", 0),
+                "restart_count": shard.restart_count,
+            }
+        stats.services = self.supervisor.health()["services"]
+        prefix = TRACE_SCOPE + "."
+        stats.stage_latency = {
+            name[len(prefix):]: histogram.summary()
+            for name, histogram in self.registry.histograms().items()
+            if name.startswith(prefix)
+        }
+        return stats
+
+    # -- convenience -----------------------------------------------------------
+
+    def shard_of(self, mdt_index: int) -> str:
+        """Which shard owns *mdt_index* under the current map."""
+        return self.router.map.route(f"mdt:{mdt_index}")
+
+    def client(self, timeout: float = 5.0):
+        """A scatter-gather :class:`~repro.cluster.client.ClusterClient`."""
+        from repro.cluster.client import ClusterClient
+
+        return ClusterClient.for_cluster(self, timeout=timeout)

@@ -1,0 +1,155 @@
+"""Deterministic shard routing: versioned shard maps + rendezvous hashing.
+
+The sharded aggregation tier needs every report for one MDT to land on
+the *same* aggregator shard — sequence numbers are per-shard, and the
+scatter-gather client reassembles a total order from ``(shard, seq)``
+pairs, so a key that wandered between shards would interleave its
+events unpredictably.  Routing is therefore a pure function of
+``(key, shard_map)``:
+
+* **Rendezvous (highest-random-weight) hashing** scores every
+  ``(key, shard)`` pair with a keyed ``blake2b`` digest and routes the
+  key to the highest-scoring shard.  Unlike ``hash() % n``, removing a
+  shard only reassigns the keys that lived on it — every other key's
+  top-scoring shard is unchanged — and the digest is stable across
+  processes and runs (Python's ``hash`` is salted per process).
+
+* A **versioned** :class:`ShardMap` makes membership changes explicit:
+  ``without()``/``with_shards()`` return a *new* map with a bumped
+  version, and :class:`ShardRouter` refuses to swap in a stale one.
+  Every routing decision can be attributed to exactly one map version,
+  which is what makes rebalances deterministic and debuggable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["ShardMap", "ShardRouter", "rendezvous_score"]
+
+
+def rendezvous_score(key: str, shard: str) -> int:
+    """The highest-random-weight score of *key* on *shard*.
+
+    A 64-bit keyed digest — stable across processes (unlike ``hash``)
+    and uniform enough that K keys spread ~K/N per shard.
+    """
+    digest = hashlib.blake2b(
+        f"{key}|{shard}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """An immutable, versioned view of cluster membership.
+
+    Membership edits never mutate a map — they derive a new one with a
+    higher ``version``, so concurrent readers always see a coherent
+    membership and the router can reject stale swaps.
+    """
+
+    shards: tuple[str, ...] = field(default=())
+    version: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.shards, tuple):
+            object.__setattr__(self, "shards", tuple(self.shards))
+        if not self.shards:
+            raise ValueError("a ShardMap needs at least one shard")
+        if len(set(self.shards)) != len(self.shards):
+            raise ValueError(f"duplicate shard ids: {self.shards}")
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self.shards
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def route(self, key: str) -> str:
+        """The shard owning *key* under this membership."""
+        return max(
+            self.shards, key=lambda shard: rendezvous_score(key, shard)
+        )
+
+    def without(self, shard: str) -> "ShardMap":
+        """A successor map with *shard* removed (e.g. retired/crashed).
+
+        Rendezvous property: only keys that routed to *shard* move.
+        """
+        if shard not in self.shards:
+            raise KeyError(f"unknown shard: {shard!r}")
+        return ShardMap(
+            tuple(s for s in self.shards if s != shard), self.version + 1
+        )
+
+    def with_shards(self, *shards: str) -> "ShardMap":
+        """A successor map with *shards* added (scale-out / recovery).
+
+        Rendezvous property: only keys won by a new shard move.
+        """
+        additions = tuple(s for s in shards if s not in self.shards)
+        return ShardMap(self.shards + additions, self.version + 1)
+
+
+class ShardRouter:
+    """Thread-safe routing against the current :class:`ShardMap`.
+
+    Producers call :meth:`route` on the hot path (lock-free read of an
+    immutable map); membership changes go through :meth:`swap`, which
+    enforces monotone versions so a delayed retire can never clobber a
+    newer recovery.
+    """
+
+    def __init__(self, shard_map: ShardMap) -> None:
+        self._map = shard_map
+        self._lock = threading.Lock()
+        #: Total routing decisions taken (observability, not control).
+        self.routed = 0
+
+    @property
+    def map(self) -> ShardMap:
+        return self._map
+
+    @property
+    def version(self) -> int:
+        return self._map.version
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        return self._map.shards
+
+    def route(self, key: str) -> str:
+        """The shard that owns *key* under the current map."""
+        shard = self._map.route(key)
+        self.routed += 1
+        return shard
+
+    def swap(self, new_map: ShardMap) -> ShardMap:
+        """Install *new_map*; returns the map it replaced.
+
+        Rejects non-monotone versions: a rebalance computed against a
+        membership that has since changed must be recomputed.
+        """
+        with self._lock:
+            if new_map.version <= self._map.version:
+                raise ValueError(
+                    f"stale shard map: version {new_map.version} <= "
+                    f"current {self._map.version}"
+                )
+            previous, self._map = self._map, new_map
+            return previous
+
+    def retire(self, shard: str) -> ShardMap:
+        """Remove *shard* from the routing map (its keys rebalance)."""
+        with self._lock:
+            previous, self._map = self._map, self._map.without(shard)
+            return previous
+
+    def restore(self, shard: str) -> ShardMap:
+        """Return *shard* to the routing map (its keys route back)."""
+        with self._lock:
+            previous, self._map = self._map, self._map.with_shards(shard)
+            return previous

@@ -80,6 +80,12 @@ class AggregatorConfig:
     #: per stage per sampled batch).  ``0.0`` compiles the tracing path
     #: to no-ops: no histograms registered, no clock reads, no locks.
     trace_sample_rate: float = 1.0
+    #: Shard identity stamped on every published
+    #: :class:`~repro.core.events.EventBatch` when this aggregator is
+    #: one shard of a cluster.  ``None`` (the default, and what a
+    #: single-aggregator monitor uses) publishes unlabelled batches, so
+    #: consumers fall back to their pre-cluster single watermark.
+    shard_label: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.batch_events < 0:
@@ -165,6 +171,17 @@ class Aggregator(Service):
         Drain-style: all queued batches are taken from the inbound
         socket in one fabric operation.  Returns the number of events
         handled.
+
+        Crash-safe: the inbound mailbox outlives a worker crash (the
+        supervisor restarts the service without recreating sockets), so
+        on failure every batch that was drained but never *stored* is
+        requeued at the front of the mailbox before the exception
+        escapes.  Collectors purge records once the PUSH send is
+        admitted, so without the requeue a mid-pump crash would lose
+        those batches for good.  A batch that crashed *after* its store
+        committed is not requeued (replaying it would assign duplicate
+        sequence numbers); subscribers recover those events through the
+        historic API, as for any missed PUB message.
         """
         handled = 0
         while True:
@@ -174,8 +191,17 @@ class Aggregator(Service):
                 )
             except WouldBlock:
                 break
-            for batch in batches:
-                handled += self._handle_batch(batch)
+            for index, batch in enumerate(batches):
+                last_stored = self.store.last_seq
+                try:
+                    handled += self._handle_batch(batch)
+                except BaseException:
+                    unhandled = batches[index + 1:]
+                    if self.store.last_seq == last_stored:
+                        unhandled = [batch, *unhandled]
+                    if unhandled:
+                        self.inbound.requeue(unhandled)
+                    raise
             timeout = 0.0  # only wait for the first drain
         return handled
 
@@ -292,9 +318,12 @@ class Aggregator(Service):
                         collected_ts=collected_ts,
                         aggregated_ts=aggregated_ts,
                         published_ts=published_ts,
+                        shard=self.config.shard_label,
                     )
                 else:
-                    message = EventBatch(tuple(chunk))
+                    message = EventBatch(
+                        tuple(chunk), shard=self.config.shard_label
+                    )
                 self.publisher.send(topic, message)
                 self._batches_published.inc()
                 self._events_published.inc(len(chunk))

@@ -39,6 +39,16 @@ class MonitorClient:
         client.api_server = monitor.aggregator
         return client
 
+    @classmethod
+    def for_aggregator(
+        cls, context: Context, aggregator: Aggregator, timeout: float = 5.0
+    ) -> "MonitorClient":
+        """Build a client wired straight to one aggregator (one cluster
+        shard, typically) in deterministic mode."""
+        client = cls(context, aggregator.config, timeout)
+        client.api_server = aggregator
+        return client
+
     # -- plumbing ------------------------------------------------------------
 
     def _request(self, payload: dict[str, Any]) -> Any:

@@ -259,6 +259,11 @@ class Collector(Service):
         unpurged, so the whole poll is re-read and re-reported —
         at-least-once, never loss.
 
+        Every report carries events from exactly one MDT (poll_once
+        reports per MDT before moving to the next) — the invariant the
+        cluster's shard router relies on to route a whole report to one
+        shard by its first event's ``mdt_index``.
+
         A sampled poll is stamped once (``collected_ts``) and wrapped
         in :class:`~repro.core.events.ReportBatch`; the ``collect``
         stage delta (oldest record timestamp → report stamp) is

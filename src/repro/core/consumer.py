@@ -63,7 +63,14 @@ class Consumer(Service):
             .subscribe(self.topic)
         )
         self.api = context.req().connect(self.config.api_endpoint)
-        self.last_seq = 0
+        #: High-water marks keyed by event *source* — the ``shard``
+        #: label on published batches, or ``None`` for an unlabelled
+        #: (single-aggregator) publisher.  Sequence numbers are only
+        #: monotone per publisher, so a consumer subscribed to several
+        #: shard PUB endpoints must not share one watermark: a lagging
+        #: shard's fresh events would compare below the fast shard's
+        #: mark and be dropped as "duplicates".
+        self.watermarks: dict[Optional[str], int] = {}
         self.poll_interval = 0.005
         #: Historic-API page size used by :meth:`catch_up`: missed
         #: events are fetched in bounded chunks so one request never
@@ -74,7 +81,9 @@ class Consumer(Service):
         self._duplicates_skipped = self.metrics.counter("duplicates_skipped")
         self._batches_consumed = self.metrics.counter("batches_consumed")
         self._catch_ups = self.metrics.counter("catch_ups")
-        self.metrics.gauge_fn("last_seq", lambda: self.last_seq)
+        self.metrics.gauge_fn(
+            "last_seq", lambda: max(self.watermarks.values(), default=0)
+        )
         self.metrics.gauge_fn("dropped", lambda: self.subscription.dropped)
         #: Optional end-to-end latency tracking (operation timestamp ->
         #: delivery); call :meth:`track_latency` to enable.  Backed by
@@ -119,14 +128,49 @@ class Consumer(Service):
         self._latency_clock = clock or WallClock()
         return self
 
+    # -- watermarks -----------------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """The single-publisher watermark (source ``None``).
+
+        Pre-cluster name kept for compatibility: against one
+        unlabelled aggregator this is *the* watermark, exactly as
+        before.  Cluster consumers read :meth:`watermark` per shard.
+        """
+        return self.watermarks.get(None, 0)
+
+    @last_seq.setter
+    def last_seq(self, value: int) -> None:
+        self.watermarks[None] = value
+
+    def watermark(self, source: Optional[str] = None) -> int:
+        """Highest sequence number delivered from *source*."""
+        return self.watermarks.get(source, 0)
+
+    def advance_watermark(self, source: Optional[str], seq: int) -> None:
+        """Raise *source*'s watermark to at least *seq* (never lowers)."""
+        if seq > self.watermarks.get(source, 0):
+            self.watermarks[source] = seq
+
     # -- delivery -------------------------------------------------------------
 
-    def _deliver(self, seq: int, event: FileEvent) -> None:
-        if seq <= self.last_seq:
+    def deliver(self, seq: int, event: FileEvent,
+                source: Optional[str] = None) -> None:
+        """Deliver one event through the watermark dedup.
+
+        Public entry point for external replay drivers (e.g. a cluster
+        scatter-gather catch-up feeding per-shard pages back in).
+        """
+        self._deliver(seq, event, source)
+
+    def _deliver(self, seq: int, event: FileEvent,
+                 source: Optional[str] = None) -> None:
+        if seq <= self.watermarks.get(source, 0):
             # Duplicate (e.g. replayed during catch-up); idempotent skip.
             self._duplicates_skipped.inc()
             return
-        self.last_seq = seq
+        self.watermarks[source] = seq
         self._events_consumed.inc()
         if self.latency is not None and event.timestamp:
             self.latency.record(
@@ -154,6 +198,7 @@ class Consumer(Service):
             for _topic, payload in messages:
                 self._batches_consumed.inc()
                 entries = iter_entries(payload)
+                source = getattr(payload, "shard", None)
                 published_ts = getattr(payload, "published_ts", None)
                 if published_ts is not None and self.tracer.enabled:
                     self.tracer.record(
@@ -170,7 +215,7 @@ class Consumer(Service):
                         },
                     )
                 for seq, event in entries:
-                    self._deliver(seq, event)
+                    self._deliver(seq, event, source)
                     delivered += 1
             timeout = 0.0
         return delivered
@@ -183,8 +228,9 @@ class Consumer(Service):
             lambda: api_server.serve_api_once(timeout=0.05),
         )
 
-    def catch_up(self, api_server=None) -> int:
-        """Fetch events missed since ``last_seq`` via the historic API.
+    def catch_up(self, api_server=None,
+                 source: Optional[str] = None) -> int:
+        """Fetch events missed since the watermark via the historic API.
 
         Pages through the ``since`` API in ``catch_up_page``-sized
         requests — the indexed store makes every page O(page), so a
@@ -193,19 +239,24 @@ class Consumer(Service):
         pass the aggregator as *api_server* so requests are answered
         synchronously (issued from a helper thread to keep REQ/REP
         lock-step semantics intact).
+
+        *source* selects which watermark to page from and advance —
+        pass the shard label when this consumer's ``api`` socket points
+        at one shard of a cluster (cluster-wide catch-up is
+        ``ClusterClient.catch_up``, which loops the shards).
         """
         self._catch_ups.inc()
         recovered = 0
         while True:
             request = {
-                "op": "since", "seq": self.last_seq,
+                "op": "since", "seq": self.watermark(source),
                 "limit": self.catch_up_page,
             }
             missed = self._request(request, api_server)
             for seq, event in missed:
-                self._deliver(seq, event)
+                self._deliver(seq, event, source)
                 # Advance even over redeliveries so paging terminates.
-                self.last_seq = max(self.last_seq, seq)
+                self.advance_watermark(source, seq)
             recovered += len(missed)
             if len(missed) < self.catch_up_page:
                 return recovered
@@ -268,13 +319,14 @@ class DedupingConsumer(Consumer):
     def redeliveries_suppressed(self) -> int:
         return self._redeliveries_suppressed.value
 
-    def _deliver(self, seq: int, event: FileEvent) -> None:
+    def _deliver(self, seq: int, event: FileEvent,
+                 source: Optional[str] = None) -> None:
         if event.mdt_index is not None and event.record_index is not None:
             high_water = self._record_high_water.get(event.mdt_index, 0)
             if event.record_index <= high_water:
                 self._redeliveries_suppressed.inc()
                 # Still advance the sequence cursor so catch-up works.
-                self.last_seq = max(self.last_seq, seq)
+                self.advance_watermark(source, seq)
                 return
             self._record_high_water[event.mdt_index] = event.record_index
-        super()._deliver(seq, event)
+        super()._deliver(seq, event, source)

@@ -190,12 +190,18 @@ class EventBatch:
     per-event work.  ``None`` means the batch was not sampled (or came
     from a pre-tracing publisher); consumers must treat the stamps as
     optional.
+
+    ``shard`` names the aggregator shard that published the batch when
+    it came from a sharded cluster; single-aggregator monitors leave it
+    ``None``.  Sequence numbers are only monotone *per shard*, so
+    consumers subscribed to several shards key their watermark on it.
     """
 
     entries: tuple[tuple[int, "FileEvent"], ...]
     collected_ts: Optional[float] = None
     aggregated_ts: Optional[float] = None
     published_ts: Optional[float] = None
+    shard: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Normalise lists to tuples so batches stay hashable/frozen.

@@ -54,8 +54,12 @@ class MonitorConfig:
     supervise_interval: float = 0.01
 
 
-class _PushSink:
-    """EventSink adapter over a PUSH socket."""
+class PushSink:
+    """EventSink adapter over a PUSH socket.
+
+    Also the building block for the cluster's routing sink, which holds
+    one of these per aggregator shard.
+    """
 
     def __init__(self, socket, timeout: float = 5.0) -> None:
         self.socket = socket
@@ -67,6 +71,10 @@ class _PushSink:
     def send_many(self, payloads: list[list[FileEvent]]) -> None:
         """Move several report chunks in one fabric round-trip."""
         self.socket.send_many(payloads, timeout=self.timeout)
+
+
+#: Pre-cluster private name, kept for existing imports.
+_PushSink = PushSink
 
 
 @dataclass
@@ -142,7 +150,7 @@ class LustreMonitor:
                 name=server.name,
                 filesystem=filesystem,
                 mds=server,
-                sink=_PushSink(push, timeout=self.config.report_timeout),
+                sink=PushSink(push, timeout=self.config.report_timeout),
                 config=self.config.collector,
                 resolver=shared or FidResolver(filesystem),
                 registry=self.registry,

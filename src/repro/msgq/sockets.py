@@ -134,6 +134,23 @@ class _Mailbox:
                 admitted += wave
             return admitted
 
+    def requeue(self, items: list) -> None:
+        """Put already-admitted *items* back at the FRONT of the queue.
+
+        The crash-recovery primitive: a receiver that drained a group
+        with :meth:`get_many` but failed before processing all of it
+        returns the unprocessed tail here, so the next receive sees the
+        items again in their original order, ahead of anything that
+        arrived in the meantime.  The items were admitted (and counted
+        delivered) once already, so the high-water mark is deliberately
+        not re-checked and ``delivered`` is not re-counted.
+        """
+        if not items:
+            return
+        with self._lock:
+            self._queue.extendleft(reversed(items))
+            self._ready.notify_all()
+
     def get_many(
         self,
         max_items: Optional[int] = None,
@@ -344,6 +361,18 @@ class PullSocket(Socket):
         return self._mailbox.get_many(
             max_items=max_messages, timeout=timeout, block=block
         )
+
+    def requeue(self, messages: list) -> None:
+        """Return already-received *messages* to the front of the queue.
+
+        Used by crash-safe receivers: messages drained with
+        :meth:`recv_many` but not yet processed when the worker died are
+        put back so the restarted worker re-receives them first, in
+        order.  Bypasses the high-water mark (the messages were admitted
+        once) and does not bump :attr:`received`.
+        """
+        self._check_open()
+        self._mailbox.requeue(messages)
 
     @property
     def pending(self) -> int:

@@ -64,6 +64,11 @@ class PipelineConfig:
     #: Robinhood-style centralized collection: a single reader drains
     #: every MDT sequentially instead of one collector per MDS (A3).
     centralized: bool = False
+    #: Aggregator shards: collectors route each event to one of
+    #: ``num_aggregators`` parallel aggregation servers by a stable
+    #: hash of its directory (the cluster tier's MDT-affine routing).
+    #: 1 models the paper's single aggregator.
+    num_aggregators: int = 1
     #: Deterministic interarrival/service by default; seed drives only
     #: the directory-choice stream.
     seed: int = 0
@@ -91,6 +96,10 @@ class PipelineConfig:
             raise ValueError(f"num_mds must be >= 1: {self.num_mds}")
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1: {self.batch_size}")
+        if self.num_aggregators < 1:
+            raise ValueError(
+                f"num_aggregators must be >= 1: {self.num_aggregators}"
+            )
         if self.transport not in TRANSPORT_MODELS:
             raise ValueError(
                 f"unknown transport {self.transport!r}; "
@@ -210,7 +219,10 @@ def run_pipeline(config: PipelineConfig) -> PipelineResult:
     # gives each MDS its own buffer and collector.
     n_buffers = 1 if config.centralized else config.num_mds
     per_mdt_changelogs = [Store(env) for _ in range(n_buffers)]
-    aggregator_inbox: Store = Store(env)
+    # One inbox per aggregator shard; collectors route each event by a
+    # stable hash of its directory id, mirroring the cluster tier's
+    # deterministic MDT-affine shard routing.
+    aggregator_inboxes = [Store(env) for _ in range(config.num_aggregators)]
     consumer_inbox: Store = Store(env)
 
     # Zipf-like directory popularity (precomputed CDF).
@@ -351,17 +363,24 @@ def run_pipeline(config: PipelineConfig) -> PipelineResult:
             yield env.timeout(this_report)
             resources.account("collector", len(batch))
             result.collected += len(batch)
+            touched = set()
             for item in batch:
-                aggregator_inbox.items.append(item)
-            aggregator_inbox._dispatch()
+                shard = item[0] % config.num_aggregators
+                aggregator_inboxes[shard].items.append(item)
+                touched.add(shard)
+            for shard in touched:
+                aggregator_inboxes[shard]._dispatch()
 
     # ------------------------------------------------------------------
     # Aggregator and consumer
     # ------------------------------------------------------------------
 
-    def aggregator():
+    def aggregator(inbox: Store):
+        # Shards run in parallel; ``busy['aggregate']`` sums their work
+        # (utilisation > 1.0 is possible and means the tier, not one
+        # server, is the binding resource).
         while True:
-            item = yield aggregator_inbox.get()
+            item = yield inbox.get()
             cost = _service(profile.aggregate_seconds_per_event)
             busy["aggregate"] += cost
             yield env.timeout(cost)
@@ -388,7 +407,8 @@ def run_pipeline(config: PipelineConfig) -> PipelineResult:
     env.process(generator(), name="generator")
     for changelog in per_mdt_changelogs:
         env.process(collector(changelog), name="collector")
-    env.process(aggregator(), name="aggregator")
+    for inbox in aggregator_inboxes:
+        env.process(aggregator(inbox), name="aggregator")
     env.process(consumer(), name="consumer")
     env.process(sampler(), name="sampler")
     env.run(until=config.duration)

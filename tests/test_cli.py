@@ -117,3 +117,17 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "tracing disabled" in out
+
+    def test_cluster_demo(self, capsys):
+        code = main([
+            "cluster-demo", "--shards", "3", "--num-mds", "2",
+            "--events", "60",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 shard(s)" in out
+        assert "shard crashed" in out
+        assert "none lost" in out
+        assert "merged cluster stats" in out
+        for shard in ("shard0", "shard1", "shard2"):
+            assert shard in out

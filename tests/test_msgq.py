@@ -138,6 +138,32 @@ class TestPushPull:
         with pytest.raises(WouldBlock):
             push.send("overflow", timeout=0.02)
 
+    def test_requeue_puts_messages_back_in_front(self, ctx):
+        pull = ctx.pull().bind("inproc://rq")
+        push = ctx.push().connect("inproc://rq")
+        for index in range(4):
+            push.send(index)
+        drained = pull.recv_many(block=False)
+        assert drained == [0, 1, 2, 3]
+        pull.requeue(drained[2:])
+        push.send(4)
+        # Requeued messages come back first, ahead of new arrivals.
+        assert pull.recv_many(block=False) == [2, 3, 4]
+
+    def test_requeue_bypasses_hwm_and_does_not_recount(self, ctx):
+        pull = ctx.pull(hwm=2).bind("inproc://rq2")
+        push = ctx.push().connect("inproc://rq2")
+        push.send("a")
+        push.send("b")
+        drained = pull.recv_many(block=False)
+        received_before = pull.received
+        # A put at hwm would block; requeue of already-admitted
+        # messages must not, and must not count them delivered twice.
+        pull.requeue(drained)
+        assert pull.pending == 2
+        assert pull.received == received_before
+        assert pull.recv_many(block=False) == ["a", "b"]
+
     def test_push_unblocks_when_space_frees(self, ctx):
         pull = ctx.pull(hwm=1).bind("inproc://sink")
         push = ctx.push().connect("inproc://sink")

@@ -113,6 +113,36 @@ class TestMultiMds:
         )
 
 
+class TestShardedAggregation:
+    #: With collectors fully optimised, 150k ev/s exceeds one Iota
+    #: aggregator's ~100k ev/s service capacity — the §6 scaling wall.
+    WALL = dict(
+        duration=3.0, num_mds=4, batch_size=64,
+        cache_size=2048, arrival_rate=150_000,
+    )
+
+    def test_num_aggregators_validated(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(profile=IOTA, num_aggregators=0)
+
+    def test_one_aggregator_is_the_scaling_wall(self):
+        result = run(IOTA, **self.WALL)
+        assert not result.keeps_up
+        assert result.bottleneck == "aggregate"
+
+    def test_sharding_lifts_the_aggregation_ceiling(self):
+        single = run(IOTA, **self.WALL)
+        sharded = run(IOTA, num_aggregators=2, **self.WALL)
+        assert sharded.keeps_up
+        assert sharded.delivered_rate > single.delivered_rate
+
+    def test_single_shard_identical_to_pre_sharding_model(self):
+        base = run(IOTA, duration=3.0)
+        one = run(IOTA, duration=3.0, num_aggregators=1)
+        assert one.delivered == base.delivered
+        assert one.stage_busy == base.stage_busy
+
+
 class TestTransports:
     def test_pushpull_and_pubsub_comparable(self):
         pushpull = run(IOTA, transport="pushpull")
