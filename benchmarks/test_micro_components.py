@@ -52,6 +52,42 @@ class TestEventStoreBench:
         result = benchmark(store.query, path_prefix="/d/f42", limit=10)
         assert result
 
+    def test_bench_typed_query_scans_only_its_bucket(self, benchmark):
+        # 10k events, four types round-robin: a typed query must touch
+        # only that type's bucket (2500 entries), not the whole window.
+        store = EventStore(max_events=10_000)
+        types = [EventType.CREATED, EventType.DELETED,
+                 EventType.MODIFIED, EventType.ATTRIB]
+        store.extend([
+            FileEvent(
+                event_type=types[index % 4], path=f"/d/f{index}",
+                is_dir=False, timestamp=float(index), name=f"f{index}",
+                source="lustre",
+            )
+            for index in range(10_000)
+        ])
+        def typed_query():
+            store.reset_op_counters()
+            return store.query(event_type=EventType.DELETED)
+
+        result = benchmark.pedantic(typed_query, rounds=3, iterations=1)
+        assert len(result) == 2_500
+        assert store.events_scanned == 2_500  # bucket-sized, not 10k
+
+    def test_bench_time_window_query_bisects(self, benchmark):
+        # Monotone timestamps: a narrow window must scan only in-window
+        # entries, located by binary search.
+        store = EventStore(max_events=10_000)
+        for index in range(10_000):
+            store.append(make_event(index))
+        def window_query():
+            store.reset_op_counters()
+            return store.query(since_time=5_000.0, until_time=5_099.0)
+
+        result = benchmark.pedantic(window_query, rounds=3, iterations=1)
+        assert len(result) == 100
+        assert store.events_scanned == 100  # window-sized, not 10k
+
 
 class TestIngestBatchingBench:
     """Per-event vs batched ingest through the real store+publish path.

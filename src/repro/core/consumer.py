@@ -18,7 +18,7 @@ import logging
 from typing import Callable, Optional
 
 from repro.core.aggregator import AggregatorConfig
-from repro.core.events import FileEvent, iter_entries
+from repro.core.events import FileEvent, iter_entries, prefix_probe
 from repro.errors import WouldBlock
 from repro.metrics.registry import MetricsRegistry
 from repro.metrics.tracing import Tracer, make_tracer
@@ -41,11 +41,28 @@ class Consumer(Service):
         topic: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        batch_callback: Optional[
+            Callable[[list[tuple[int, FileEvent]]], None]
+        ] = None,
+        path_prefix: Optional[str] = None,
     ) -> None:
         super().__init__(name, registry, scope=f"consumer.{name}")
         self.context = context
         self.config = config or AggregatorConfig()
         self.callback = callback
+        #: When set, fresh (post-dedup, post-filter) events are handed
+        #: over one whole batch at a time instead of through the
+        #: per-event ``callback`` — the agent filter path uses this to
+        #: run its compiled rule index once per batch.
+        self.batch_callback = batch_callback
+        #: Optional event-level path filter: events not under this
+        #: prefix are dropped after dedup (the watermark still
+        #: advances).  The ``startswith`` probe is pre-normalized once
+        #: here, not per event.
+        self.path_prefix = path_prefix
+        self._path_probe = (
+            prefix_probe(path_prefix) if path_prefix is not None else None
+        )
         self._log = get_logger(f"core.consumer.{name}")
         #: Stage tracer: records the ``deliver`` stage (PUB send stamp
         #: → delivery) for batches stamped by the aggregator.
@@ -79,6 +96,7 @@ class Consumer(Service):
         # Counters (shared registry; property shims below).
         self._events_consumed = self.metrics.counter("events_consumed")
         self._duplicates_skipped = self.metrics.counter("duplicates_skipped")
+        self._events_filtered = self.metrics.counter("events_filtered")
         self._batches_consumed = self.metrics.counter("batches_consumed")
         self._catch_ups = self.metrics.counter("catch_ups")
         self.metrics.gauge_fn(
@@ -104,6 +122,11 @@ class Consumer(Service):
     @property
     def duplicates_skipped(self) -> int:
         return self._duplicates_skipped.value
+
+    @property
+    def events_filtered(self) -> int:
+        """Events dropped by the ``path_prefix`` subscription filter."""
+        return self._events_filtered.value
 
     @property
     def catch_ups(self) -> int:
@@ -164,19 +187,58 @@ class Consumer(Service):
         """
         self._deliver(seq, event, source)
 
-    def _deliver(self, seq: int, event: FileEvent,
-                 source: Optional[str] = None) -> None:
+    def _accept(self, seq: int, event: FileEvent,
+                source: Optional[str] = None) -> bool:
+        """Watermark dedup + subscription filter; True when deliverable.
+
+        Shared by the per-event and batch delivery paths so both see
+        identical dedup/filter/counter semantics.
+        """
         if seq <= self.watermarks.get(source, 0):
             # Duplicate (e.g. replayed during catch-up); idempotent skip.
             self._duplicates_skipped.inc()
-            return
+            return False
         self.watermarks[source] = seq
+        if self._path_probe is not None and not event.matches_prefix(
+            self.path_prefix, self._path_probe
+        ):
+            self._events_filtered.inc()
+            return False
         self._events_consumed.inc()
         if self.latency is not None and event.timestamp:
             self.latency.record(
                 max(0.0, self._latency_clock.now() - event.timestamp)
             )
-        self.callback(seq, event)
+        return True
+
+    def _deliver(self, seq: int, event: FileEvent,
+                 source: Optional[str] = None) -> None:
+        if self._accept(seq, event, source):
+            self.callback(seq, event)
+
+    def deliver_entries(
+        self,
+        entries: list[tuple[int, FileEvent]],
+        source: Optional[str] = None,
+    ) -> int:
+        """Deliver a batch of entries through dedup in one call.
+
+        With a ``batch_callback`` the fresh entries are handed over as
+        one batch; otherwise each goes through the per-event callback.
+        Returns the number of fresh (non-duplicate, unfiltered) events.
+        """
+        fresh = [
+            (seq, event)
+            for seq, event in entries
+            if self._accept(seq, event, source)
+        ]
+        if self.batch_callback is not None:
+            if fresh:
+                self.batch_callback(fresh)
+        else:
+            for seq, event in fresh:
+                self.callback(seq, event)
+        return len(fresh)
 
     def poll_once(self, timeout: float = 0.0) -> int:
         """Drain pending live messages; returns the number of events
@@ -214,9 +276,8 @@ class Consumer(Service):
                             "batch_events": len(entries),
                         },
                     )
-                for seq, event in entries:
-                    self._deliver(seq, event, source)
-                    delivered += 1
+                self.deliver_entries(list(entries), source)
+                delivered += len(entries)
             timeout = 0.0
         return delivered
 
@@ -253,8 +314,8 @@ class Consumer(Service):
                 "limit": self.catch_up_page,
             }
             missed = self._request(request, api_server)
-            for seq, event in missed:
-                self._deliver(seq, event, source)
+            self.deliver_entries(list(missed), source)
+            for seq, _event in missed:
                 # Advance even over redeliveries so paging terminates.
                 self.advance_watermark(source, seq)
             recovered += len(missed)
@@ -319,14 +380,14 @@ class DedupingConsumer(Consumer):
     def redeliveries_suppressed(self) -> int:
         return self._redeliveries_suppressed.value
 
-    def _deliver(self, seq: int, event: FileEvent,
-                 source: Optional[str] = None) -> None:
+    def _accept(self, seq: int, event: FileEvent,
+                source: Optional[str] = None) -> bool:
         if event.mdt_index is not None and event.record_index is not None:
             high_water = self._record_high_water.get(event.mdt_index, 0)
             if event.record_index <= high_water:
                 self._redeliveries_suppressed.inc()
                 # Still advance the sequence cursor so catch-up works.
                 self.advance_watermark(source, seq)
-                return
+                return False
             self._record_high_water[event.mdt_index] = event.record_index
-        super()._deliver(seq, event, source)
+        return super()._accept(seq, event, source)

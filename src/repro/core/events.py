@@ -12,9 +12,22 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 from enum import Enum
+from functools import lru_cache
 from typing import Any, Optional
 
 from repro.lustre.changelog import ChangelogRecord, RecordType
+
+
+@lru_cache(maxsize=4096)
+def prefix_probe(prefix: str) -> str:
+    """The ``startswith`` probe for prefix matching, computed once.
+
+    :meth:`FileEvent.matches_prefix` needs ``prefix.rstrip("/") + "/"``
+    per call; hot paths (rule matching, store queries, subscription
+    filters) compute it once and pass it back in, and ad-hoc callers
+    get memoization for free via the cache.
+    """
+    return prefix.rstrip("/") + "/"
 
 
 class EventType(Enum):
@@ -154,13 +167,19 @@ class FileEvent:
         """True when the event carries a usable absolute path."""
         return self.path is not None
 
-    def matches_prefix(self, prefix: str) -> bool:
-        """True if the event's path (or old path) is under *prefix*."""
+    def matches_prefix(self, prefix: str, probe: Optional[str] = None) -> bool:
+        """True if the event's path (or old path) is under *prefix*.
+
+        *probe* is the pre-normalized ``prefix_probe(prefix)`` value;
+        hot loops compute it once per prefix instead of per event.
+        """
+        if probe is None:
+            probe = prefix_probe(prefix)
         for candidate in (self.path, self.old_path):
             if candidate is None:
                 continue
             if prefix == "/" or candidate == prefix or candidate.startswith(
-                prefix.rstrip("/") + "/"
+                probe
             ):
                 return True
         return False

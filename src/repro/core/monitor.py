@@ -167,12 +167,21 @@ class LustreMonitor:
 
     # -- consumers ---------------------------------------------------------------
 
-    def subscribe(self, callback: EventCallback, name: str = "consumer") -> Consumer:
+    def subscribe(
+        self,
+        callback: EventCallback,
+        name: str = "consumer",
+        batch_callback=None,
+        path_prefix: str | None = None,
+    ) -> Consumer:
         """Attach a new consumer to the live stream.
 
         Note the slow-joiner property: the consumer sees only events
         published after this call; use :meth:`Consumer.catch_up` to
-        backfill from the historic API.
+        backfill from the historic API.  *batch_callback* delivers
+        whole fresh batches instead of per-event callbacks (the Ripple
+        agent's compiled filter path); *path_prefix* installs an
+        event-level prefix filter with a pre-normalized probe.
         """
         consumer = Consumer(
             self.context,
@@ -181,6 +190,8 @@ class LustreMonitor:
             name=name,
             registry=self.registry,
             tracer=self.tracer,
+            batch_callback=batch_callback,
+            path_prefix=path_prefix,
         )
         self.consumers.append(consumer)
         # ``before`` the aggregator: consumers stop after it has taken

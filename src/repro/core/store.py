@@ -25,10 +25,11 @@ from __future__ import annotations
 import threading
 from bisect import bisect_right
 from collections import deque
+from heapq import merge
 from itertools import islice
-from typing import Deque, Optional
+from typing import Deque, Dict, Iterable, Optional
 
-from repro.core.events import EventType, FileEvent
+from repro.core.events import EventType, FileEvent, prefix_probe
 
 
 class _SeqView:
@@ -49,12 +50,69 @@ class _SeqView:
         return self._events[index][0]
 
 
+class _TypeBucket:
+    """The per-:class:`EventType` index: ``(seq, event)`` entries.
+
+    Entries are appended in sequence order, so the list is sorted by
+    both sequence number and (when the store's timestamps are monotone)
+    timestamp — both narrowable by binary search.  Rotation advances a
+    ``head`` offset instead of popping the front (O(1)); the dead
+    prefix is compacted away once it dominates the list.
+    """
+
+    __slots__ = ("entries", "head")
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[int, FileEvent]] = []
+        self.head = 0
+
+    def __len__(self) -> int:
+        return len(self.entries) - self.head
+
+    def compact_if_needed(self) -> None:
+        if self.head > 64 and self.head * 2 >= len(self.entries):
+            del self.entries[: self.head]
+            self.head = 0
+
+    def time_bounds(
+        self, since_time: Optional[float], until_time: Optional[float]
+    ) -> tuple[int, int]:
+        """Index window covering ``since_time <= ts <= until_time``.
+
+        Binary search over the (monotone) timestamps; callers must only
+        use this when the store observed monotone append timestamps.
+        """
+        lo, hi = self.head, len(self.entries)
+        if since_time is not None:
+            lo = self._bisect_ts(lo, hi, since_time, right=False)
+        if until_time is not None:
+            hi = self._bisect_ts(lo, hi, until_time, right=True)
+        return lo, hi
+
+    def _bisect_ts(self, lo: int, hi: int, t: float, right: bool) -> int:
+        entries = self.entries
+        while lo < hi:
+            mid = (lo + hi) // 2
+            ts = entries[mid][1].timestamp
+            if ts < t or (right and ts == t):
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+
 class EventStore:
     """A bounded, indexed, thread-safe catalog of events.
 
     Every stored event gets a monotonically increasing *sequence number*;
     consumers that disconnect remember the last sequence they saw and
     catch up with :meth:`since`.
+
+    Besides the contiguous-window arithmetic behind :meth:`since`, the
+    store maintains **per-event-type buckets** (sequence-ordered
+    ``(seq, event)`` lists) and tracks whether append timestamps have
+    stayed monotone — :meth:`query` uses both to scan only the entries
+    a filter can actually match instead of the whole retained window.
     """
 
     def __init__(self, max_events: int = 100_000) -> None:
@@ -66,10 +124,20 @@ class EventStore:
         self._next_seq = 1
         self.total_stored = 0
         self.total_rotated = 0
+        # Query index state: per-type buckets, a count of entries they
+        # collectively represent (mismatch with len(_events) => a
+        # hand-mutated window; rebuilt lazily), and timestamp
+        # monotonicity tracking for the time-window binary search.
+        self._by_type: Dict[EventType, _TypeBucket] = {}
+        self._indexed_events = 0
+        self._index_dirty = False
+        self._ts_monotone = True
+        self._last_ts = float("-inf")
         #: Operation counters: how often the store lock was taken and how
         #: many (seq, event) pairs retrieval scans have touched.  The
         #: ingest micro-benchmark asserts batching keeps both O(batches),
-        #: not O(events).
+        #: not O(events); the query benchmark asserts indexed queries
+        #: touch only candidate entries, not the window.
         self.lock_acquisitions = 0
         self.events_scanned = 0
 
@@ -90,16 +158,64 @@ class EventStore:
             self.lock_acquisitions += 1
             first = self._next_seq
             self._next_seq += len(events)
-            self._events.extend(
-                (first + offset, event) for offset, event in enumerate(events)
-            )
+            for offset, event in enumerate(events):
+                entry = (first + offset, event)
+                self._events.append(entry)
+                bucket = self._by_type.get(event.event_type)
+                if bucket is None:
+                    bucket = self._by_type[event.event_type] = _TypeBucket()
+                bucket.entries.append(entry)
+                self._indexed_events += 1
+                if event.timestamp < self._last_ts:
+                    self._ts_monotone = False
+                else:
+                    self._last_ts = event.timestamp
             self.total_stored += len(events)
             overflow = len(self._events) - self.max_events
             if overflow > 0:
                 for _ in range(overflow):
-                    self._events.popleft()
+                    seq, event = self._events.popleft()
+                    self._evict_from_bucket(seq, event)
                 self.total_rotated += overflow
             return list(range(first, first + len(events)))
+
+    # -- query index maintenance --------------------------------------------
+
+    def _evict_from_bucket(self, seq: int, event: FileEvent) -> None:
+        """Advance the evicted event's bucket head (rotation upkeep)."""
+        if self._index_dirty:
+            return
+        bucket = self._by_type.get(event.event_type)
+        if (
+            bucket is None
+            or bucket.head >= len(bucket.entries)
+            or bucket.entries[bucket.head][0] != seq
+        ):
+            # The window was mutated behind the store's back (hand-built
+            # restore); rebuild lazily on the next query.
+            self._index_dirty = True
+            return
+        bucket.head += 1
+        bucket.compact_if_needed()
+        self._indexed_events -= 1
+
+    def _rebuild_index(self) -> None:
+        """Recompute the buckets from the window (callers hold the lock)."""
+        self._by_type = {}
+        self._ts_monotone = True
+        self._last_ts = float("-inf")
+        for entry in self._events:
+            event = entry[1]
+            bucket = self._by_type.get(event.event_type)
+            if bucket is None:
+                bucket = self._by_type[event.event_type] = _TypeBucket()
+            bucket.entries.append(entry)
+            if event.timestamp < self._last_ts:
+                self._ts_monotone = False
+            else:
+                self._last_ts = event.timestamp
+        self._indexed_events = len(self._events)
+        self._index_dirty = False
 
     # -- retrieval API ------------------------------------------------------
 
@@ -149,6 +265,51 @@ class EventStore:
             self.events_scanned += len(matched)
         return matched
 
+    def _query_candidates(
+        self,
+        event_type: Optional[EventType],
+        since_time: Optional[float],
+        until_time: Optional[float],
+    ) -> Iterable[tuple[int, FileEvent]]:
+        """Narrowest indexed candidate stream for a query (lock held).
+
+        * A type filter selects that type's bucket; a time window over a
+          monotone store additionally binary-searches the bucket's
+          timestamp bounds.
+        * A time window alone (monotone store) bisects every bucket and
+          merges the slices back into sequence order.
+        * Otherwise the whole retained window is the candidate set.
+        """
+        if event_type is not None:
+            bucket = self._by_type.get(event_type)
+            if bucket is None:
+                return ()
+            if self._ts_monotone and (
+                since_time is not None or until_time is not None
+            ):
+                lo, hi = bucket.time_bounds(since_time, until_time)
+            else:
+                lo, hi = bucket.head, len(bucket.entries)
+            # map binds the bucket immediately (a generator expression
+            # here would late-bind the loop variable below).
+            return map(bucket.entries.__getitem__, range(lo, hi))
+        if self._ts_monotone and (
+            since_time is not None or until_time is not None
+        ):
+            streams = []
+            for bucket in self._by_type.values():
+                lo, hi = bucket.time_bounds(since_time, until_time)
+                if lo < hi:
+                    streams.append(
+                        map(bucket.entries.__getitem__, range(lo, hi))
+                    )
+            if not streams:
+                return ()
+            if len(streams) == 1:
+                return streams[0]
+            return merge(*streams, key=lambda entry: entry[0])
+        return self._events
+
     def query(
         self,
         path_prefix: Optional[str] = None,
@@ -159,14 +320,29 @@ class EventStore:
     ) -> list[tuple[int, FileEvent]]:
         """Filtered retrieval over the retained window.
 
+        Indexed: a type filter scans only that type's bucket, and a
+        time window over a timestamp-monotone store binary-searches its
+        bounds instead of visiting out-of-window entries — so
+        ``events_scanned`` grows with the candidate set, not the
+        retained window.  The filters are still applied to every
+        candidate (the index only prunes), so results are identical to
+        a full linear scan.
+
         The scan runs under the lock — like :meth:`since` and
         :meth:`recent` — so ``events_scanned`` updates atomically with
         respect to concurrent queries and :meth:`reset_op_counters`.
         """
         with self._lock:
             self.lock_acquisitions += 1
+            if self._index_dirty or self._indexed_events != len(self._events):
+                self._rebuild_index()
+            probe = (
+                prefix_probe(path_prefix) if path_prefix is not None else None
+            )
             results: list[tuple[int, FileEvent]] = []
-            for seq, event in self._events:
+            for seq, event in self._query_candidates(
+                event_type, since_time, until_time
+            ):
                 self.events_scanned += 1
                 if event_type is not None and event.event_type is not event_type:
                     continue
@@ -175,7 +351,7 @@ class EventStore:
                 if until_time is not None and event.timestamp > until_time:
                     continue
                 if path_prefix is not None and not event.matches_prefix(
-                    path_prefix
+                    path_prefix, probe
                 ):
                     continue
                 results.append((seq, event))

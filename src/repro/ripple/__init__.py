@@ -12,6 +12,7 @@ events that trigger the next rule.
 """
 
 from repro.ripple.rules import Action, Rule, RuleSet, Trigger
+from repro.ripple.index import CompiledTrigger, RuleIndex
 from repro.ripple.actions import (
     ActionRequest,
     ActionResult,
@@ -28,6 +29,8 @@ __all__ = [
     "Action",
     "Rule",
     "RuleSet",
+    "RuleIndex",
+    "CompiledTrigger",
     "ActionRequest",
     "ActionResult",
     "ExecutorRegistry",

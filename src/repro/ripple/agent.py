@@ -39,6 +39,7 @@ from repro.ripple.actions import (
     ExecutorRegistry,
     default_registry,
 )
+from repro.ripple.index import RuleIndex
 from repro.ripple.rules import Rule
 from repro.runtime import Service, WorkerSpec
 
@@ -90,6 +91,10 @@ class RippleAgent(Service):
         #: letting a rule storm starve the host.
         self.rate_limiter = None
         self.rules: list[Rule] = []
+        #: Compiled matching engine over the active rules (rebuilt by
+        #: :meth:`set_rules`); every detected event is filtered through
+        #: its path trie instead of a linear sweep of ``self.rules``.
+        self.rule_index = RuleIndex()
         self.observer: Optional[Observer] = None
         self._handler = _AgentHandler(self)
         self._scheduled_prefixes: set[str] = set()
@@ -111,6 +116,15 @@ class RippleAgent(Service):
         self._actions_deferred = self.metrics.counter("actions_deferred")
         self._overflows = self.metrics.counter("overflows")
         self.metrics.gauge_fn("inbox_depth", lambda: len(self.inbox))
+        # Matching-engine op counters, surfaced from the index so the
+        # hot path pays nothing extra (mirrors EventStore.events_scanned).
+        self.metrics.gauge_fn(
+            "candidates_considered",
+            lambda: self.rule_index.candidates_considered,
+        )
+        self.metrics.gauge_fn(
+            "rules_evaluated", lambda: self.rule_index.rules_evaluated
+        )
 
     # -- counters (old attribute names kept readable) -------------------
 
@@ -169,10 +183,19 @@ class RippleAgent(Service):
         return self.observer
 
     def attach_lustre_monitor(self, monitor) -> None:
-        """Subscribe this agent to a :class:`~repro.core.LustreMonitor`."""
+        """Subscribe this agent to a :class:`~repro.core.LustreMonitor`.
+
+        The subscription delivers whole published batches, so the agent
+        filters each batch through the compiled index in one call
+        (sharing trie walks across same-directory runs) instead of
+        paying a full filter pass per event.
+        """
         self._monitor_consumer = monitor.subscribe(
             lambda _seq, event: self.ingest_event(event),
             name=f"agent-{self.agent_id}",
+            batch_callback=lambda entries: self.ingest_batch(
+                [event for _seq, event in entries]
+            ),
         )
 
     def attach_storage_monitor(self, monitor) -> None:
@@ -231,8 +254,13 @@ class RippleAgent(Service):
         directory relevant to a rule".
         """
         self.rules = list(rules)
+        self.rule_index = RuleIndex(self.rules)
         if self.observer is not None:
-            prefixes = sorted({rule.trigger.path_prefix for rule in self.rules})
+            prefixes = sorted({
+                rule.trigger.path_prefix
+                for rule in self.rules
+                if rule.enabled
+            })
             for prefix in prefixes:
                 already = any(
                     prefix == p or prefix.startswith(p.rstrip("/") + "/")
@@ -249,11 +277,39 @@ class RippleAgent(Service):
     def ingest_event(self, event: FileEvent) -> None:
         """Filter one detected event and report it if any rule matches."""
         self._events_seen.inc()
-        matched = [rule.rule_id for rule in self.rules if rule.matches(event)]
+        matched = self.rule_index.matching(event)
         if not matched:
             return
         self._events_matched.inc()
-        self._report_with_retry(event, matched)
+        self._report_with_retry(event, [rule.rule_id for rule in matched])
+
+    def ingest_batch(self, events: list[FileEvent]) -> int:
+        """Filter a whole detected batch in one compiled-index pass.
+
+        The index's per-batch walk cache shares the trie descent across
+        same-directory runs (the dominant shape of a detected burst),
+        and a sampled ``rules.match`` latency observation is recorded
+        per batch, not per event.  Returns the number of events that
+        matched at least one rule.
+        """
+        if not events:
+            return 0
+        self._events_seen.inc(len(events))
+        sampled = self.tracer.sample()
+        start = self.tracer.now() if sampled else 0.0
+        matches = self.rule_index.matching_batch(events)
+        if sampled:
+            self.tracer.record("rules.match", self.tracer.now() - start)
+        reported = 0
+        for event, matched in matches:
+            if not matched:
+                continue
+            self._events_matched.inc()
+            self._report_with_retry(
+                event, [rule.rule_id for rule in matched]
+            )
+            reported += 1
+        return reported
 
     def _report_with_retry(self, event: FileEvent, rule_ids: list[int]) -> None:
         if self.service is None:

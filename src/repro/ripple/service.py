@@ -194,6 +194,20 @@ class RippleService:
         if watching_agent is not None:
             watching_agent.set_rules(self.rules.for_agent(rule.trigger.agent_id))
 
+    def set_rule_enabled(self, rule_id: int, enabled: bool) -> Rule:
+        """Enable/disable a rule and refresh the affected agent.
+
+        Goes through :meth:`RuleSet.set_enabled` (not direct attribute
+        assignment) so the service's compiled index stays consistent,
+        then re-pushes the agent's rule slice so its local index and
+        filesystem watchers pick up the change.
+        """
+        rule = self.rules.set_enabled(rule_id, enabled)
+        watching_agent = self.agents.get(rule.trigger.agent_id)
+        if watching_agent is not None:
+            watching_agent.set_rules(self.rules.for_agent(rule.trigger.agent_id))
+        return rule
+
     # ------------------------------------------------------------------
     # Event intake (called by agents)
     # ------------------------------------------------------------------

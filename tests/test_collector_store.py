@@ -249,3 +249,136 @@ class TestEventStore:
     def test_negative_recent_rejected(self):
         with pytest.raises(ValueError):
             EventStore().recent(-1)
+
+
+class TestIndexedQuery:
+    """query() must scan only the candidate set the indexes surface."""
+
+    def _mixed_store(self, n=1000, max_events=None):
+        store = EventStore(**({"max_events": max_events} if max_events else {}))
+        types = [EventType.CREATED, EventType.DELETED, EventType.MODIFIED]
+        store.extend(
+            [
+                make_event(f"/d{i % 3}/f{i}", types[i % 3], timestamp=float(i))
+                for i in range(n)
+            ]
+        )
+        return store
+
+    def test_typed_query_scans_only_that_bucket(self):
+        store = self._mixed_store(900)
+        store.query(event_type=EventType.DELETED)  # settle lazy rebuilds
+        store.reset_op_counters()
+        matches = store.query(event_type=EventType.DELETED)
+        assert len(matches) == 300
+        assert store.events_scanned == 300  # not 900
+
+    def test_time_window_query_binary_searches_bounds(self):
+        store = self._mixed_store(1000)
+        store.query()  # settle
+        store.reset_op_counters()
+        matches = store.query(since_time=100.0, until_time=109.0)
+        assert [event.timestamp for _seq, event in matches] == [
+            float(t) for t in range(100, 110)
+        ]
+        assert store.events_scanned == 10  # not 1000
+
+    def test_typed_time_window_combines_both_indexes(self):
+        store = self._mixed_store(900)
+        store.reset_op_counters()
+        matches = store.query(
+            event_type=EventType.CREATED, since_time=0.0, until_time=89.0
+        )
+        assert all(
+            event.event_type is EventType.CREATED for _seq, event in matches
+        )
+        assert len(matches) == 30
+        assert store.events_scanned == 30
+
+    def test_time_window_merge_preserves_sequence_order(self):
+        store = self._mixed_store(300)
+        matches = store.query(since_time=50.0, until_time=250.0)
+        seqs = [seq for seq, _event in matches]
+        assert seqs == sorted(seqs)
+
+    def test_indexed_query_equals_full_scan(self):
+        store = self._mixed_store(300, max_events=200)  # with rotation
+        cases = [
+            {},
+            {"event_type": EventType.DELETED},
+            {"since_time": 120.0},
+            {"until_time": 250.0},
+            {"since_time": 150.0, "until_time": 220.0},
+            {"event_type": EventType.CREATED, "since_time": 180.0},
+            {"path_prefix": "/d1"},
+            {"path_prefix": "/d2", "event_type": EventType.MODIFIED,
+             "since_time": 110.0, "until_time": 290.0},
+            {"event_type": EventType.DELETED, "limit": 5},
+        ]
+        for kwargs in cases:
+            indexed = store.query(**kwargs)
+            linear = [
+                (seq, event)
+                for seq, event in store.since(0)
+                if (kwargs.get("event_type") is None
+                    or event.event_type is kwargs["event_type"])
+                and (kwargs.get("since_time") is None
+                     or event.timestamp >= kwargs["since_time"])
+                and (kwargs.get("until_time") is None
+                     or event.timestamp <= kwargs["until_time"])
+                and (kwargs.get("path_prefix") is None
+                     or event.matches_prefix(kwargs["path_prefix"]))
+            ]
+            if kwargs.get("limit") is not None:
+                linear = linear[: kwargs["limit"]]
+            assert indexed == linear, kwargs
+
+    def test_rotation_keeps_buckets_consistent(self):
+        store = self._mixed_store(500, max_events=120)
+        assert store.total_rotated == 380
+        matches = store.query(event_type=EventType.CREATED)
+        retained = store.since(0)
+        expected = [
+            (seq, event) for seq, event in retained
+            if event.event_type is EventType.CREATED
+        ]
+        assert matches == expected
+
+    def test_non_monotone_timestamps_fall_back_to_full_scan(self):
+        store = EventStore()
+        store.extend(
+            [
+                make_event("/a", timestamp=5.0),
+                make_event("/b", timestamp=1.0),  # goes backwards
+                make_event("/c", timestamp=9.0),
+            ]
+        )
+        matches = store.query(since_time=0.0, until_time=2.0)
+        assert [event.path for _seq, event in matches] == ["/b"]
+
+    def test_hand_mutated_window_is_reindexed(self):
+        # Restores and tests build stores by touching _events directly;
+        # the first query must notice and rebuild the buckets.
+        store = EventStore()
+        store._events.extend(
+            [(1, make_event("/a", EventType.CREATED)),
+             (2, make_event("/b", EventType.DELETED))]
+        )
+        store._next_seq = 3
+        matches = store.query(event_type=EventType.DELETED)
+        assert [event.path for _seq, event in matches] == ["/b"]
+
+    def test_load_restores_query_index(self, tmp_path):
+        store = self._mixed_store(90)
+        path = str(tmp_path / "events.jsonl")
+        store.save(path)
+        restored = EventStore.load(path)
+        assert restored.query(event_type=EventType.MODIFIED) == store.query(
+            event_type=EventType.MODIFIED
+        )
+
+    def test_query_for_absent_type_scans_nothing(self):
+        store = self._mixed_store(300)
+        store.reset_op_counters()
+        assert store.query(event_type=EventType.ATTRIB) == []
+        assert store.events_scanned == 0

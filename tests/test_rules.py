@@ -165,6 +165,63 @@ class TestRuleSet:
         rules.add(self._rule(prefix="/e"))
         assert rules.watched_prefixes("a") == ["/d", "/e"]
 
+    def test_watched_prefixes_exclude_disabled_rules(self):
+        rules = RuleSet()
+        rules.add(self._rule(prefix="/live"))
+        dormant = rules.add(self._rule(prefix="/dormant"))
+        rules.set_enabled(dormant.rule_id, False)
+        assert rules.watched_prefixes("a") == ["/live"]
+        rules.set_enabled(dormant.rule_id, True)
+        assert rules.watched_prefixes("a") == ["/dormant", "/live"]
+
+    def test_remove_cleans_up_emptied_agent_bucket(self):
+        rules = RuleSet()
+        rule = rules.add(self._rule(agent="solo"))
+        rules.matching("solo", event("/d/f"))  # force index build
+        rules.remove(rule.rule_id)
+        assert rules._by_agent == {}
+        assert rules._indexes == {}
+
+    def test_set_enabled_round_trip_restores_matching(self):
+        rules = RuleSet()
+        rule = rules.add(self._rule(pattern="*.csv"))
+        probe = event("/d/x.csv")
+        assert rules.matching("a", probe) == [rule]
+        rules.set_enabled(rule.rule_id, False)
+        assert rules.matching("a", probe) == []
+        rules.set_enabled(rule.rule_id, True)
+        assert rules.matching("a", probe) == [rule]
+
+    def test_set_enabled_preserves_matching_order(self):
+        rules = RuleSet()
+        first = rules.add(self._rule(pattern="*"))
+        second = rules.add(self._rule(pattern="*"))
+        rules.set_enabled(first.rule_id, False)
+        rules.set_enabled(first.rule_id, True)
+        matched = rules.matching("a", event("/d/f"))
+        assert matched == [first, second]
+
+    def test_set_enabled_unknown_rejected(self):
+        with pytest.raises(RuleValidationError):
+            RuleSet().set_enabled(12345, False)
+
+    def test_matching_agrees_with_linear_sweep(self):
+        rules = RuleSet()
+        rules.add(self._rule(prefix="/d", pattern="*.csv"))
+        rules.add(self._rule(prefix="/d/sub", pattern="*"))
+        rules.add(self._rule(prefix="/other", pattern="*"))
+        disabled = rules.add(self._rule(prefix="/d", pattern="*"))
+        rules.set_enabled(disabled.rule_id, False)
+        for probe in (
+            event("/d/x.csv"),
+            event("/d/sub/y.txt"),
+            event("/elsewhere/z"),
+            event("/moved/f", EventType.MOVED, old_path="/d/sub/f"),
+        ):
+            assert rules.matching("a", probe) == rules.matching_linear(
+                "a", probe
+            )
+
     def test_iteration(self):
         rules = RuleSet()
         rules.add(self._rule())
