@@ -1,0 +1,199 @@
+"""Transport ablation: inproc thread-queue fabric vs process-per-shard.
+
+Three scenarios run the same synthetic ingest through a cluster —
+``inproc-1shard`` (the pre-refactor shape: one aggregator doing all the
+work on the caller's thread), ``inproc-2shard`` (sharded but still one
+process), and ``multiproc-2shard`` (each shard a spawned child process
+behind a :class:`~repro.msgq.multiproc.ProcessShardBridge`).
+
+The numbers are *counter-asserted*, not taken on faith: every scenario
+must account for exactly the generated event count in its shards'
+stores (and, for multiproc, finish with an empty in-flight window) or
+the benchmark fails.  The acceptance bar — process shards sustain
+higher ev/s than the single-process single-shard baseline — is a
+*parallelism* claim, so it is asserted only where it is physically
+expressible: full workload size AND at least 3 usable cores (parent +
+two shard children each need one; on a 1-core host every backend is
+time-sliced onto the same CPU and the multiproc arm can only ever
+measure its serialization tax).  The gate's inputs (``cpus``,
+``supremacy_asserted``) are recorded in the emitted JSON so a reader
+of the artefact knows whether the bar was evaluated or just measured.
+The CI smoke run shrinks the workload via ``TRANSPORT_BENCH_EVENTS``,
+where wall-clock comparisons of a seconds-long run would be noise.
+
+Results land in ``benchmarks/results/BENCH_transport.json`` plus the
+rendered ablation table.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.core.aggregator import AggregatorConfig
+from repro.core.events import EventType, FileEvent
+from repro.cluster import ClusterConfig, ClusterMonitor
+from repro.errors import WouldBlock
+from repro.lustre import LustreFilesystem
+from repro.lustre.mds import DnePolicy
+from repro.util.clock import ManualClock
+
+N_EVENTS = int(os.environ.get("TRANSPORT_BENCH_EVENTS", "20000"))
+BATCH = 200
+FULL_SIZE = N_EVENTS >= 20000
+try:
+    CPUS = len(os.sched_getaffinity(0))
+except AttributeError:  # non-Linux
+    CPUS = os.cpu_count() or 1
+#: Parent + 2 shard children each need a core for the supremacy bar
+#: to be a statement about the transport rather than the scheduler.
+CAN_PARALLELIZE = CPUS >= 3
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def make_event(i):
+    """A changelog-shaped event: deep, mostly-unique path plus the FID
+    and record fields a real collector fills in.  Flat 3-component
+    paths would starve the store's path index and understate the
+    per-event aggregation work the transport ablation is about."""
+    path = (
+        f"/campaign/run{i // 1000:03d}/user{i % 40}"
+        f"/job{i % 333}/step{i % 7}/output/part-{i:06d}.h5"
+    )
+    return FileEvent(
+        event_type=EventType.CREATED, path=path, is_dir=False,
+        timestamp=float(i), name=f"part-{i:06d}.h5", source="lustre",
+        fid=f"0x200000400:0x{i:x}:0x0", parent_fid="0x200000007:0x1:0x0",
+        mdt_index=i % 4, record_index=i,
+    )
+
+
+def build_cluster(num_shards, transport, namespace):
+    fs = LustreFilesystem(
+        num_mds=1, mdts_per_mds=1,
+        dne_policy=DnePolicy.ROUND_ROBIN, clock=ManualClock(),
+    )
+    return ClusterMonitor(
+        fs,
+        ClusterConfig(
+            num_shards=num_shards,
+            namespace=namespace,
+            transport=transport,
+            aggregator=AggregatorConfig(store_max_events=N_EVENTS * 2),
+        ),
+    )
+
+
+def events_stored(handle):
+    """Stored-event count for either shard flavour (bridge or inproc)."""
+    stored = getattr(handle, "events_stored", None)
+    if stored is not None:
+        return stored
+    return handle.store.last_seq
+
+
+def run_scenario(name, num_shards, transport):
+    """Feed N_EVENTS through the cluster's shard inbound endpoints,
+    round-robin in BATCH-sized reports, and drain to completion."""
+    cluster = build_cluster(num_shards, transport, f"bench-{name}")
+    try:
+        shard_ids = list(cluster.shard_configs)
+        pushers = [
+            cluster.context.push(
+                hwm=cluster.config.aggregator.hwm
+            ).connect(cluster.shard_configs[shard_id].inbound_endpoint)
+            for shard_id in shard_ids
+        ]
+        batches = [
+            [make_event(i) for i in range(start, min(start + BATCH, N_EVENTS))]
+            for start in range(0, N_EVENTS, BATCH)
+        ]
+
+        started = time.perf_counter()
+        for index, batch in enumerate(batches):
+            push = pushers[index % len(pushers)]
+            while True:
+                try:
+                    push.send(batch, timeout=0.05)
+                    break
+                except WouldBlock:
+                    cluster.pump()  # backpressure: let shards catch up
+            cluster.pump()
+        cluster.drain()
+        elapsed = time.perf_counter() - started
+
+        # Counter assertions: the run only counts if every event is
+        # accounted for in the shard stores.
+        handles = list(cluster.shard_handles.values())
+        stored = sum(events_stored(handle) for handle in handles)
+        assert stored == N_EVENTS, (name, stored, N_EVENTS)
+        for handle in handles:
+            snapshot = handle.metrics.snapshot()
+            inflight = snapshot.get("inflight_batches")
+            if inflight is not None:  # multiproc bridge: nothing in flight
+                assert inflight == 0, (name, snapshot)
+                assert snapshot["child_restarts"] == 0, (name, snapshot)
+        return {
+            "scenario": name,
+            "transport": transport,
+            "shards": num_shards,
+            "events": N_EVENTS,
+            "batch": BATCH,
+            "elapsed_s": round(elapsed, 4),
+            "events_per_s": round(N_EVENTS / elapsed, 1),
+            "stored": stored,
+        }
+    finally:
+        cluster.shutdown()
+
+
+class TestTransportAblation:
+    def test_ablation_table(self, report):
+        scenarios = [
+            run_scenario("inproc-1shard", 1, "inproc"),
+            run_scenario("inproc-2shard", 2, "inproc"),
+            run_scenario("multiproc-2shard", 2, "multiproc"),
+        ]
+        lines = [
+            f"{'scenario':<20} {'transport':>10} {'shards':>7} "
+            f"{'events':>8} {'elapsed s':>10} {'ev/s':>12}"
+        ]
+        for row in scenarios:
+            lines.append(
+                f"{row['scenario']:<20} {row['transport']:>10} "
+                f"{row['shards']:>7} {row['events']:>8} "
+                f"{row['elapsed_s']:>10.4f} {row['events_per_s']:>12.1f}"
+            )
+        supremacy_asserted = FULL_SIZE and CAN_PARALLELIZE
+        lines.append(
+            "every scenario counter-asserted: stored == generated, "
+            "in-flight window empty"
+        )
+        lines.append(
+            f"host cpus: {CPUS}; multiproc>inproc bar "
+            + ("asserted" if supremacy_asserted else
+               "measured only (needs full size and >=3 cores)")
+        )
+        report.add("Ablation - transport backends", "\n".join(lines))
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / "BENCH_transport.json").write_text(
+            json.dumps(
+                {
+                    "cpus": CPUS,
+                    "events": N_EVENTS,
+                    "supremacy_asserted": supremacy_asserted,
+                    "scenarios": scenarios,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        by_name = {row["scenario"]: row for row in scenarios}
+        if supremacy_asserted:
+            # The acceptance bar: 2 process shards beat the
+            # single-process single-shard baseline on sustained ev/s.
+            assert (
+                by_name["multiproc-2shard"]["events_per_s"]
+                > by_name["inproc-1shard"]["events_per_s"]
+            ), scenarios

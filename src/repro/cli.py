@@ -273,7 +273,10 @@ def cmd_cluster_demo(args: argparse.Namespace) -> int:
         dne_policy=DnePolicy.ROUND_ROBIN,
         clock=ManualClock(),
     )
-    cluster = ClusterMonitor(fs, ClusterConfig(num_shards=args.shards))
+    cluster = ClusterMonitor(
+        fs,
+        ClusterConfig(num_shards=args.shards, transport=args.transport),
+    )
     delivered = []
     cluster.subscribe(lambda _seq, event: delivered.append(event))
     try:
@@ -434,6 +437,11 @@ def build_parser() -> argparse.ArgumentParser:
         "and print merged stats",
     )
     cluster.add_argument("--shards", type=int, default=3)
+    cluster.add_argument(
+        "--transport", choices=("inproc", "multiproc"), default="inproc",
+        help="shard backend: in-process aggregators or one child "
+        "process per shard",
+    )
     cluster.add_argument("--num-mds", type=int, default=2)
     cluster.add_argument("--events", type=int, default=120)
     cluster.set_defaults(func=cmd_cluster_demo)

@@ -56,7 +56,9 @@ class ClusterClient:
                 shard_id: MonitorClient.for_aggregator(
                     cluster.context, shard, timeout=timeout
                 )
-                for shard_id, shard in cluster.shards.items()
+                for shard_id, shard in getattr(
+                    cluster, "shard_handles", cluster.shards
+                ).items()
             }
         )
 

@@ -26,6 +26,7 @@ counters appear side by side under their shard scopes
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 
 from repro.cluster.router import ShardMap, ShardRouter
@@ -36,9 +37,10 @@ from repro.core.events import FileEvent
 from repro.core.monitor import PushSink
 from repro.lustre.fid2path import FidResolver
 from repro.lustre.filesystem import LustreFilesystem
+from repro.metrics.adaptive import AdaptiveFlushController, FlushTuning
 from repro.metrics.registry import MetricsRegistry
 from repro.metrics.tracing import TRACE_SCOPE, Tracer, make_tracer
-from repro.msgq import Context
+from repro.msgq import Transport, make_transport
 from repro.runtime import RestartPolicy, ServiceCrash, Supervisor
 
 __all__ = [
@@ -68,10 +70,27 @@ class ClusterConfig:
     report_timeout: float = 5.0
     restart_policy: RestartPolicy = field(default_factory=RestartPolicy)
     supervise_interval: float = 0.01
+    #: Transport backend: ``"inproc"`` runs every shard as an
+    #: in-process Aggregator (the default, byte-identical to the
+    #: pre-transport cluster); ``"multiproc"`` runs each shard's
+    #: store+publish work in its own child process behind a
+    #: :class:`~repro.msgq.multiproc.ProcessShardBridge`.
+    transport: str = "inproc"
+    #: When True, an :class:`~repro.metrics.AdaptiveFlushController`
+    #: retunes each shard's flush batching from inbound occupancy and
+    #: the ``pipeline.publish`` stage histogram.
+    autotune: bool = False
+    autotune_interval: float = 0.25
+    tuning: FlushTuning = field(default_factory=FlushTuning)
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
             raise ValueError(f"num_shards must be >= 1: {self.num_shards}")
+        if self.transport not in ("inproc", "multiproc"):
+            raise ValueError(
+                f"transport must be 'inproc' or 'multiproc': "
+                f"{self.transport!r}"
+            )
 
 
 class ShardRoutingSink:
@@ -149,12 +168,12 @@ class ClusterMonitor:
         self,
         filesystem: LustreFilesystem,
         config: ClusterConfig | None = None,
-        context: Context | None = None,
+        context: Transport | None = None,
         registry: MetricsRegistry | None = None,
     ) -> None:
         self.fs = filesystem
         self.config = config or ClusterConfig()
-        self.context = context or Context()
+        self.context = context or make_transport(self.config.transport)
         self.registry = registry or MetricsRegistry()
         self.tracer: Tracer = make_tracer(
             self.registry,
@@ -173,10 +192,17 @@ class ClusterMonitor:
         )
         #: Per-shard aggregator configs (derived endpoints + label).
         self.shard_configs: dict[str, AggregatorConfig] = {}
-        #: The shard aggregators, keyed by shard id.
+        #: In-process shard aggregators, keyed by shard id (empty on
+        #: the multiproc backend — look there for the bridges).
         self.shards: dict[str, Aggregator] = {}
+        #: Process-shard bridges, keyed by shard id (multiproc only).
+        self.bridges: dict = {}
+        #: Every shard handle regardless of backend — the pump/stats/
+        #: client surface iterates this.
+        self.shard_handles: dict = {}
         self._shard_keys: list[str] = []
         namespace = self.config.namespace
+        multiproc = self.config.transport == "multiproc"
         for shard_id in self.shard_ids:
             shard_config = replace(
                 self.config.aggregator,
@@ -185,15 +211,20 @@ class ClusterMonitor:
                 api_endpoint=f"inproc://{namespace}.{shard_id}.api",
                 shard_label=shard_id,
             )
-            shard = Aggregator(
-                self.context,
-                shard_config,
-                registry=self.registry,
-                name=shard_id,
-                tracer=self.tracer,
-            )
+            if multiproc:
+                shard = self._make_bridge(shard_id, shard_config)
+                self.bridges[shard_id] = shard
+            else:
+                shard = Aggregator(
+                    self.context,
+                    shard_config,
+                    registry=self.registry,
+                    name=shard_id,
+                    tracer=self.tracer,
+                )
+                self.shards[shard_id] = shard
             self.shard_configs[shard_id] = shard_config
-            self.shards[shard_id] = shard
+            self.shard_handles[shard_id] = shard
             self._shard_keys.append(self.supervisor.add_child(shard))
         shared = (
             FidResolver(filesystem) if self.config.shared_resolver else None
@@ -224,6 +255,36 @@ class ClusterMonitor:
             )
             self.collectors.append(collector)
         self.consumers: list[Consumer] = []
+        #: The closed-loop flush tuner (``config.autotune``); drive it
+        #: deterministically with :meth:`autotune_once` or let the
+        #: supervisor run it as a periodic service.
+        self.autotuner: AdaptiveFlushController | None = None
+        if self.config.autotune:
+            self.autotuner = AdaptiveFlushController(
+                self.registry,
+                targets=dict(self.shard_handles),
+                tuning=self.config.tuning,
+                interval=self.config.autotune_interval,
+            )
+            self.supervisor.add_child(self.autotuner)
+
+    def _make_bridge(self, shard_id: str, shard_config: AggregatorConfig):
+        """One process-shard bridge, via the transport's factory when it
+        has one (so the transport can track and close its bridges)."""
+        factory = getattr(self.context, "process_shard", None)
+        if factory is not None:
+            return factory(shard_id, shard_config, registry=self.registry)
+        from repro.msgq.multiproc import ProcessShardBridge
+
+        return ProcessShardBridge(
+            shard_id, shard_config, self.context, registry=self.registry
+        )
+
+    def autotune_once(self) -> int:
+        """One adaptive-flush control step (0 when autotune is off)."""
+        if self.autotuner is None:
+            return 0
+        return self.autotuner.tick()
 
     # -- consumers -----------------------------------------------------------
 
@@ -266,20 +327,31 @@ class ClusterMonitor:
         for collector in self.collectors:
             collector.poll_once()
         handled = 0
-        for shard in self.shards.values():
+        for shard in self.shard_handles.values():
             handled += shard.pump_once()
         if consumer_poll:
             for consumer in self.consumers:
                 consumer.poll_once()
         return handled
 
-    def drain(self, max_rounds: int = 10_000) -> int:
-        """Pump until no events remain anywhere in the pipeline."""
+    def drain(self, max_rounds: int = 10_000, settle: float = 0.002) -> int:
+        """Pump until no events remain anywhere in the pipeline.
+
+        On the multiproc backend a quiet pump does not mean done — a
+        batch may still be crossing a process boundary — so the drain
+        keeps settling while any bridge reports in-flight work.
+        """
         total = 0
         for _ in range(max_rounds):
             moved = self.pump()
             total += moved
             if moved == 0:
+                if any(
+                    getattr(shard, "busy", False)
+                    for shard in self.shard_handles.values()
+                ):
+                    time.sleep(settle)
+                    continue
                 break
         return total
 
@@ -294,9 +366,18 @@ class ClusterMonitor:
         the mailbox, nothing durable yet).  The crash-safe pump
         requeues the batch, the supervisor restarts the shard, and the
         replay stores it — which is what the failover tests assert.
+
+        On the multiproc backend the equivalent fault is the real
+        thing: the shard's child process is SIGKILLed; the bridge
+        respawns it and replays unacked batches at their original
+        sequence numbers.
         """
-        shard = self.shards[shard_id]
-        store = shard.store
+        handle = self.shard_handles[shard_id]
+        kill = getattr(handle, "kill_child", None)
+        if kill is not None:
+            kill()
+            return
+        store = handle.store
         original = store.extend
 
         def crash_once(events):
@@ -349,7 +430,7 @@ class ClusterMonitor:
                 "records_read": snap.get("records_read", 0),
                 "events_reported": snap.get("events_reported", 0),
             }
-        for shard_id, shard in self.shards.items():
+        for shard_id, shard in self.shard_handles.items():
             snap = shard.metrics.snapshot()
             stats.events_stored += snap.get("events_stored", 0)
             stats.events_published += snap.get("events_published", 0)

@@ -48,7 +48,7 @@ from repro.core.store import EventStore
 from repro.errors import WouldBlock
 from repro.metrics.registry import MetricsRegistry
 from repro.metrics.tracing import Tracer, make_tracer
-from repro.msgq import Context
+from repro.msgq import Transport
 from repro.runtime import Service, WorkerSpec
 from repro.util.logging import get_logger
 
@@ -103,7 +103,7 @@ class Aggregator(Service):
 
     def __init__(
         self,
-        context: Context,
+        context: Transport,
         config: AggregatorConfig | None = None,
         store: EventStore | None = None,
         registry: Optional[MetricsRegistry] = None,
@@ -130,7 +130,17 @@ class Aggregator(Service):
         self.publisher = context.pub(hwm=self.config.hwm).bind(
             self.config.publish_endpoint
         )
-        self.api = context.rep().bind(self.config.api_endpoint)
+        self.api = context.rep(hwm=self.config.hwm).bind(self.config.api_endpoint)
+        #: Live flush knob: starts at the configured ``batch_events``
+        #: and may be retuned at runtime (the adaptive flush controller
+        #: grows it under inbound pressure, shrinks it when publish
+        #: latency dominates).  The config stays frozen.
+        self.flush_batch_events = self.config.batch_events
+        # Worker specs are built once and reused so live tuning of the
+        # pump cadence (``flush_interval``) reaches the running loop —
+        # _run_worker re-reads idle_wait every iteration.
+        self._pump_spec = WorkerSpec("pump", self.pump_once, idle_wait=0.001)
+        self._api_spec = WorkerSpec("api", self.serve_api_once, idle_wait=0.001)
         # Pipeline counters (shared registry; property shims below).
         self._batches_received = self.metrics.counter("batches_received")
         self._events_stored = self.metrics.counter("events_stored")
@@ -143,6 +153,12 @@ class Aggregator(Service):
         self.metrics.gauge_fn(
             "store_memory_bytes", lambda: self.store.approximate_memory_bytes()
         )
+        # Per-socket occupancy: queue depth against capacity, so
+        # dashboards see backpressure building before the mark is hit.
+        self.metrics.gauge_fn("inbound_depth", lambda: self.inbound.pending)
+        self.metrics.gauge_fn("inbound_hwm", lambda: self.inbound.hwm)
+        self.metrics.gauge_fn("inbound_credits", lambda: self.inbound.credits)
+        self.metrics.gauge_fn("api_depth", lambda: self.api.pending)
 
     # -- legacy counter names (read-only views over the registry) -----------
 
@@ -233,9 +249,26 @@ class Aggregator(Service):
         top = "/" + parts[1] if len(parts) > 1 and parts[1] else "/"
         return f"{self.config.publish_topic}.{top}"
 
+    def occupancy(self) -> tuple[int, int]:
+        """(depth, capacity) of the inbound queue — the signal the
+        adaptive flush controller tunes against."""
+        return (self.inbound.pending, self.inbound.hwm)
+
+    @property
+    def flush_interval(self) -> float:
+        """Idle wait of the pump worker loop (live-tunable)."""
+        return self._pump_spec.idle_wait
+
+    @flush_interval.setter
+    def flush_interval(self, value: float) -> None:
+        self._pump_spec.idle_wait = value
+        self._pump_spec.max_idle_wait = max(
+            self._pump_spec.max_idle_wait, value
+        )
+
     def _flush_chunks(self, entries: list[tuple[int, FileEvent]]):
         """Split one same-topic run per the batch_events/batch_bytes policy."""
-        max_events = self.config.batch_events or None
+        max_events = self.flush_batch_events or None
         max_bytes = self.config.batch_bytes or None
         if max_events is None and max_bytes is None:
             yield entries
@@ -376,10 +409,7 @@ class Aggregator(Service):
     # -- service runtime -------------------------------------------------------
 
     def worker_specs(self) -> list[WorkerSpec]:
-        return [
-            WorkerSpec("pump", self.pump_once, idle_wait=0.001),
-            WorkerSpec("api", self.serve_api_once, idle_wait=0.001),
-        ]
+        return [self._pump_spec, self._api_spec]
 
     def on_stop(self) -> None:
         self.pump_once()  # final flush

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.core.aggregator import Aggregator, AggregatorConfig
+from repro.core.aggregator import AggregatorConfig
 from repro.core.events import EventType, FileEvent
-from repro.msgq import Context
+from repro.msgq import Transport
 from repro.runtime import call_with_pump
 
 
@@ -21,7 +21,7 @@ class MonitorClient:
 
     def __init__(
         self,
-        context: Context,
+        context: Transport,
         config: AggregatorConfig | None = None,
         timeout: float = 5.0,
     ) -> None:
@@ -29,8 +29,10 @@ class MonitorClient:
         self.timeout = timeout
         self._socket = context.req().connect(self.config.api_endpoint)
         #: When set (deterministic mode), requests are answered by this
-        #: aggregator inline instead of by its API thread.
-        self.api_server: Optional[Aggregator] = None
+        #: server inline instead of by its API thread.  Duck-typed:
+        #: anything with ``config`` and ``serve_api_once`` — an
+        #: Aggregator or a multiproc ProcessShardBridge — qualifies.
+        self.api_server: Optional[Any] = None
 
     @classmethod
     def for_monitor(cls, monitor, timeout: float = 5.0) -> "MonitorClient":
@@ -41,10 +43,11 @@ class MonitorClient:
 
     @classmethod
     def for_aggregator(
-        cls, context: Context, aggregator: Aggregator, timeout: float = 5.0
+        cls, context: Transport, aggregator: Any, timeout: float = 5.0
     ) -> "MonitorClient":
-        """Build a client wired straight to one aggregator (one cluster
-        shard, typically) in deterministic mode."""
+        """Build a client wired straight to one aggregator or process-
+        shard bridge (one cluster shard, typically) in deterministic
+        mode."""
         client = cls(context, aggregator.config, timeout)
         client.api_server = aggregator
         return client

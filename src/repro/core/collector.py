@@ -117,6 +117,10 @@ class Collector(Service):
         #: stamp sampled reports and record the ``collect`` stage.
         self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
         self.config = config or CollectorConfig()
+        #: Live flush knob mirroring the aggregator's: starts at the
+        #: configured ``batch_events`` and may be retuned at runtime
+        #: while the config stays frozen.
+        self.flush_batch_events = self.config.batch_events
         self.resolver = resolver or FidResolver(filesystem)
         self.processor = EventProcessor(self.resolver, self.config.processor)
         # Register one changelog user per MDT on this MDS.
@@ -228,7 +232,7 @@ class Collector(Service):
 
     def _flush_chunks(self, events: list[FileEvent]) -> list[list[FileEvent]]:
         """Split one poll's events per the batch_events/batch_bytes policy."""
-        max_events = self.config.batch_events or None
+        max_events = self.flush_batch_events or None
         max_bytes = self.config.batch_bytes or None
         if max_events is None and max_bytes is None:
             return [events]

@@ -103,6 +103,10 @@ class Consumer(Service):
             "last_seq", lambda: max(self.watermarks.values(), default=0)
         )
         self.metrics.gauge_fn("dropped", lambda: self.subscription.dropped)
+        # Subscription occupancy: how close the mailbox is to dropping.
+        self.metrics.gauge_fn("sub_depth", lambda: self.subscription.pending)
+        self.metrics.gauge_fn("sub_hwm", lambda: self.subscription.hwm)
+        self.metrics.gauge_fn("sub_credits", lambda: self.subscription.credits)
         #: Optional end-to-end latency tracking (operation timestamp ->
         #: delivery); call :meth:`track_latency` to enable.  Backed by
         #: a registry :class:`~repro.metrics.Histogram`, so the monitor

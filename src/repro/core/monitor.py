@@ -22,6 +22,7 @@ attribute sums — and includes every service's uniform health record.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.aggregator import Aggregator, AggregatorConfig
@@ -32,7 +33,7 @@ from repro.lustre.fid2path import FidResolver
 from repro.lustre.filesystem import LustreFilesystem
 from repro.metrics.registry import MetricsRegistry
 from repro.metrics.tracing import TRACE_SCOPE, Tracer, make_tracer
-from repro.msgq import Context
+from repro.msgq import Transport, make_transport
 from repro.runtime import RestartPolicy, Supervisor
 
 
@@ -52,6 +53,18 @@ class MonitorConfig:
     restart_policy: RestartPolicy = field(default_factory=RestartPolicy)
     #: How often the supervisor sweeps for crashed children (seconds).
     supervise_interval: float = 0.01
+    #: Transport backend: ``"inproc"`` (default) keeps the aggregator
+    #: in-process; ``"multiproc"`` moves its store+publish work into a
+    #: child process behind a
+    #: :class:`~repro.msgq.multiproc.ProcessShardBridge`.
+    transport: str = "inproc"
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("inproc", "multiproc"):
+            raise ValueError(
+                f"transport must be 'inproc' or 'multiproc': "
+                f"{self.transport!r}"
+            )
 
 
 class PushSink:
@@ -107,12 +120,12 @@ class LustreMonitor:
         self,
         filesystem: LustreFilesystem,
         config: MonitorConfig | None = None,
-        context: Context | None = None,
+        context: Transport | None = None,
         registry: MetricsRegistry | None = None,
     ) -> None:
         self.fs = filesystem
         self.config = config or MonitorConfig()
-        self.context = context or Context()
+        self.context = context or make_transport(self.config.transport)
         #: One registry shared by every service in this monitor's tree.
         self.registry = registry or MetricsRegistry()
         #: One stage tracer shared by the whole tree, clocked by the
@@ -131,12 +144,19 @@ class LustreMonitor:
             registry=self.registry,
             poll_interval=self.config.supervise_interval,
         )
-        self.aggregator = Aggregator(
-            self.context,
-            self.config.aggregator,
-            registry=self.registry,
-            tracer=self.tracer,
-        )
+        if self.config.transport == "multiproc":
+            # The aggregator's store+publish work runs in a child
+            # process; the bridge binds the same endpoints, so the
+            # collectors/consumers built below are none the wiser.
+            # (Stage tracing then lives in the child's registry.)
+            self.aggregator = self._make_bridge()
+        else:
+            self.aggregator = Aggregator(
+                self.context,
+                self.config.aggregator,
+                registry=self.registry,
+                tracer=self.tracer,
+            )
         self._aggregator_key = self.supervisor.add_child(self.aggregator)
         shared = (
             FidResolver(filesystem) if self.config.shared_resolver else None
@@ -164,6 +184,22 @@ class LustreMonitor:
             )
             self.collectors.append(collector)
         self.consumers: list[Consumer] = []
+
+    def _make_bridge(self):
+        """The process-shard bridge for this monitor's one aggregator."""
+        factory = getattr(self.context, "process_shard", None)
+        if factory is not None:
+            return factory(
+                "aggregator", self.config.aggregator, registry=self.registry
+            )
+        from repro.msgq.multiproc import ProcessShardBridge
+
+        return ProcessShardBridge(
+            "aggregator",
+            self.config.aggregator,
+            self.context,
+            registry=self.registry,
+        )
 
     # -- consumers ---------------------------------------------------------------
 
@@ -220,13 +256,21 @@ class LustreMonitor:
                 consumer.poll_once()
         return handled
 
-    def drain(self, max_rounds: int = 10_000) -> int:
-        """Pump until no events remain anywhere in the pipeline."""
+    def drain(self, max_rounds: int = 10_000, settle: float = 0.002) -> int:
+        """Pump until no events remain anywhere in the pipeline.
+
+        On the multiproc backend a quiet pump can just mean a batch is
+        mid-flight across the process boundary, so the drain settles
+        while the bridge still reports in-flight work.
+        """
         total = 0
         for _ in range(max_rounds):
             moved = self.pump()
             total += moved
             if moved == 0:
+                if getattr(self.aggregator, "busy", False):
+                    time.sleep(settle)
+                    continue
                 break
         return total
 

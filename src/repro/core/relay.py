@@ -21,7 +21,7 @@ from typing import Optional
 from repro.core.aggregator import Aggregator, AggregatorConfig
 from repro.core.events import FileEvent, ReportBatch, iter_entries
 from repro.errors import WouldBlock
-from repro.msgq import Context
+from repro.msgq import Transport, make_transport
 
 
 @dataclass(frozen=True)
@@ -45,7 +45,7 @@ class RelayAggregator(Aggregator):
 
     def __init__(
         self,
-        context: Context,
+        context: Transport,
         config: AggregatorConfig | None = None,
         registry=None,
         name: str = "relay",
@@ -61,7 +61,7 @@ class RelayAggregator(Aggregator):
         publish_endpoint: str,
         name: Optional[str] = None,
         topic: str = "events",
-        upstream_context: Context | None = None,
+        upstream_context: Transport | None = None,
     ) -> str:
         """Subscribe to an upstream aggregator's publish endpoint.
 
@@ -142,7 +142,7 @@ def facility_relay(
         publish_endpoint="inproc://facility-events",
         api_endpoint="inproc://facility-history",
     )
-    relay = RelayAggregator(Context(), relay_config)
+    relay = RelayAggregator(make_transport("inproc"), relay_config)
     for index, monitor in enumerate(monitors):
         label = names[index] if names else f"fs{index}"
         relay.add_upstream(

@@ -7,6 +7,7 @@ from repro.metrics.registry import (
     MetricsRegistry,
     ScopedRegistry,
 )
+from repro.metrics.adaptive import AdaptiveFlushController, FlushTuning
 from repro.metrics.throughput import RateMeter, StageTimer
 from repro.metrics.histogram import LatencyHistogram
 from repro.metrics.resources import ResourceSample, ResourceUsageModel
@@ -19,6 +20,8 @@ from repro.metrics.tracing import (
 )
 
 __all__ = [
+    "AdaptiveFlushController",
+    "FlushTuning",
     "Counter",
     "Gauge",
     "Histogram",

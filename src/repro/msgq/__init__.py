@@ -19,7 +19,7 @@ The ablation A4 (DESIGN.md) compares these transports for the
 collection path, per the paper's future work.
 """
 
-from repro.msgq.context import Context
+from repro.msgq.context import Context, InprocTransport
 from repro.msgq.sockets import (
     PubSocket,
     PullSocket,
@@ -28,9 +28,13 @@ from repro.msgq.sockets import (
     ReqSocket,
     SubSocket,
 )
+from repro.msgq.transport import Transport, make_transport
 
 __all__ = [
     "Context",
+    "InprocTransport",
+    "Transport",
+    "make_transport",
     "PubSocket",
     "SubSocket",
     "PushSocket",

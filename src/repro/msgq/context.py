@@ -1,68 +1,104 @@
-"""The messaging context: endpoint registry and socket factory."""
+"""The messaging context: endpoint registry and socket factory.
+
+This is the ``inproc`` :class:`~repro.msgq.transport.Transport` backend
+(also exported as ``InprocTransport``) — the thread-queue
+implementation the rest of the pipeline defaults to.
+"""
 
 from __future__ import annotations
 
 import threading
+import weakref
 from typing import TYPE_CHECKING, Dict
 
 from repro.errors import AddressInUse, AddressNotFound, MessagingError
+from repro.msgq.transport import DEFAULT_HWM, Transport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.msgq.sockets import Socket
 
 
-class Context:
+class Context(Transport):
     """Owns the endpoint namespace for one messaging domain.
 
     Endpoints are plain strings (conventionally ``inproc://collector0``).
     A bind claims the endpoint; connects resolve it.  The context is
     thread-safe: sockets are created and wired from any thread.
+
+    Every socket created through the factory registers itself here, so
+    :meth:`close` tears down the *whole* socket population — bound and
+    unbound alike — idempotently.
     """
+
+    scheme = "inproc"
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
         self._bindings: Dict[str, "Socket"] = {}
+        # Every socket ever created on this context (bound or not), so
+        # close() can tear all of them down.  Weak references: a socket
+        # the caller dropped is garbage-collected, not kept alive by
+        # its context.
+        self._sockets: "weakref.WeakSet[Socket]" = weakref.WeakSet()
         self._closed = False
 
     # -- socket factory -----------------------------------------------------
 
-    def pub(self, hwm: int = 10_000) -> "PubSocket":
+    def pub(self, hwm: int = DEFAULT_HWM) -> "PubSocket":
         """Create a PUB socket (see :class:`~repro.msgq.sockets.PubSocket`)."""
         from repro.msgq.sockets import PubSocket
 
+        self._check_open()
         return PubSocket(self, hwm=hwm)
 
-    def sub(self, hwm: int = 10_000) -> "SubSocket":
+    def sub(self, hwm: int = DEFAULT_HWM) -> "SubSocket":
         """Create a SUB socket."""
         from repro.msgq.sockets import SubSocket
 
+        self._check_open()
         return SubSocket(self, hwm=hwm)
 
-    def push(self, hwm: int = 10_000) -> "PushSocket":
+    def push(self, hwm: int = DEFAULT_HWM) -> "PushSocket":
         """Create a PUSH socket."""
         from repro.msgq.sockets import PushSocket
 
+        self._check_open()
         return PushSocket(self, hwm=hwm)
 
-    def pull(self, hwm: int = 10_000) -> "PullSocket":
+    def pull(self, hwm: int = DEFAULT_HWM) -> "PullSocket":
         """Create a PULL socket."""
         from repro.msgq.sockets import PullSocket
 
+        self._check_open()
         return PullSocket(self, hwm=hwm)
 
     def req(self, timeout: float | None = None) -> "ReqSocket":
         """Create a REQ socket."""
         from repro.msgq.sockets import ReqSocket
 
+        self._check_open()
         return ReqSocket(self, timeout=timeout)
 
-    def rep(self) -> "RepSocket":
-        """Create a REP socket."""
+    def rep(self, hwm: int = DEFAULT_HWM) -> "RepSocket":
+        """Create a REP socket; *hwm* bounds its pending-request queue."""
         from repro.msgq.sockets import RepSocket
 
-        return RepSocket(self)
+        self._check_open()
+        return RepSocket(self, hwm=hwm)
 
     # -- endpoint registry -----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise MessagingError("context is closed")
+
+    def _register(self, socket: "Socket") -> None:
+        with self._lock:
+            self._sockets.add(socket)
 
     def _bind(self, endpoint: str, socket: "Socket") -> None:
         with self._lock:
@@ -89,9 +125,19 @@ class Context:
             return sorted(self._bindings)
 
     def close(self) -> None:
-        """Close every bound socket and refuse further binds."""
+        """Close every registered socket and refuse further binds.
+
+        Idempotent: every socket's own ``close`` is a no-op the second
+        time, and a second context close finds nothing left to do.
+        Covers *all* sockets created on this context — connected-only
+        SUB/PUSH/REQ sockets included, not just the bound ones.
+        """
         with self._lock:
-            sockets = list(self._bindings.values())
+            sockets = list(self._sockets)
             self._closed = True
         for socket in sockets:
             socket.close()
+
+
+#: The default Transport backend under its contract name.
+InprocTransport = Context

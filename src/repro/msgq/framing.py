@@ -1,0 +1,152 @@
+"""Wire framing for the multiproc transport's data plane.
+
+The process-per-shard bridge moves report batches and published event
+batches across ``multiprocessing`` queues.  Putting the domain objects
+on a queue directly would deep-pickle every :class:`FileEvent`
+(per-object reduce calls, class lookups on load) — the slow path the
+transport refactor exists to avoid.  Instead the data plane is framed
+here: each event is flattened to a tuple of primitives and the whole
+batch serialised with :mod:`marshal`, CPython's C-speed codec for
+primitive containers.  The queue then carries one opaque ``bytes``
+blob, and the receiving process rebuilds the dataclasses with plain
+positional construction.
+
+``marshal`` is interpreter-version-specific, which is exactly the
+bridge's situation (parent and child are the same interpreter on the
+same host) — this is *framing for a process boundary*, not a storage
+format.  Payloads that are not event batches (injected test doubles,
+future wire types) fall back to pickle, flagged by a one-byte prefix;
+the control plane (API requests/replies, exceptions) always uses
+pickle since it carries arbitrary objects and is off the hot path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import marshal
+import pickle
+from typing import Any
+
+from repro.core.events import EventBatch, EventType, FileEvent, ReportBatch
+
+_MARSHAL = b"M"
+_PICKLE = b"P"
+
+#: EventType values round-trip as their strings; resolve via one dict
+#: lookup instead of the Enum constructor on the decode hot path.
+_EVENT_TYPES = {member.value: member for member in EventType}
+
+#: Field names in dataclass order — the wire order of _event_tuple.
+_EVENT_FIELDS = tuple(field.name for field in dataclasses.fields(FileEvent))
+
+
+def _compile_event_builder():
+    """Code-generate the decode-side event constructor.
+
+    A frozen dataclass assigns every field through a guarded
+    ``object.__setattr__`` — 13 per event, the dominant cost of the
+    decode hot path.  FileEvent defines no ``__slots__`` and no
+    ``__post_init__``, so an identical instance can be produced by
+    swapping a fully-built ``__dict__`` into a bare instance.  The
+    generated lambda builds that dict as a single literal (one
+    ``BUILD_MAP`` with constant keys) instead of ``dict(zip(...))``,
+    which measures ~35% faster end to end than positional
+    construction.
+    """
+    entries = ", ".join(
+        f"{name!r}: " + ("_types[d[0]]" if index == 0 else f"d[{index}]")
+        for index, name in enumerate(_EVENT_FIELDS)
+    )
+    source = (
+        "lambda d, _new=object.__new__, _set=object.__setattr__, "
+        "_cls=_cls, _types=_types: "
+        f"(e := _new(_cls), _set(e, '__dict__', {{{entries}}}))[0]"
+    )
+    return eval(source, {"_cls": FileEvent, "_types": _EVENT_TYPES})
+
+
+_build_event = _compile_event_builder()
+
+
+def _event_tuple(event: FileEvent) -> tuple:
+    """Flatten one event to primitives, in dataclass field order."""
+    return (
+        event.event_type.value,
+        event.path,
+        event.is_dir,
+        event.timestamp,
+        event.name,
+        event.source,
+        event.fid,
+        event.parent_fid,
+        event.mdt_index,
+        event.record_index,
+        event.record_type,
+        event.old_path,
+        event.jobid,
+    )
+
+
+def _event_from(data: tuple) -> FileEvent:
+    """Rebuild an event from :func:`_event_tuple` output."""
+    return _build_event(data)
+
+
+def encode_report(payload: Any) -> bytes:
+    """Frame one collector→aggregator report (list or ReportBatch)."""
+    if isinstance(payload, ReportBatch):
+        events, collected_ts = payload.events, payload.collected_ts
+    elif isinstance(payload, list):
+        events, collected_ts = payload, None
+    else:
+        return _PICKLE + pickle.dumps(payload)
+    try:
+        return _MARSHAL + marshal.dumps(
+            (collected_ts, [_event_tuple(event) for event in events])
+        )
+    except (AttributeError, TypeError, ValueError):
+        # Not a pure FileEvent batch (test doubles etc.) — fall back.
+        return _PICKLE + pickle.dumps(payload)
+
+
+def decode_report(data: bytes) -> Any:
+    """Inverse of :func:`encode_report` (ReportBatch iff it was traced)."""
+    if data[:1] == _PICKLE:
+        return pickle.loads(data[1:])
+    collected_ts, tuples = marshal.loads(data[1:])
+    events = [_event_from(item) for item in tuples]
+    if collected_ts is not None:
+        return ReportBatch(tuple(events), collected_ts)
+    return events
+
+
+def encode_entries(batch: EventBatch) -> bytes:
+    """Frame one published EventBatch (stage stamps + shard preserved)."""
+    try:
+        return _MARSHAL + marshal.dumps(
+            (
+                batch.collected_ts,
+                batch.aggregated_ts,
+                batch.published_ts,
+                batch.shard,
+                [(seq, _event_tuple(event)) for seq, event in batch.entries],
+            )
+        )
+    except (AttributeError, TypeError, ValueError):
+        return _PICKLE + pickle.dumps(batch)
+
+
+def decode_entries(data: bytes) -> EventBatch:
+    """Inverse of :func:`encode_entries`."""
+    if data[:1] == _PICKLE:
+        return pickle.loads(data[1:])
+    collected_ts, aggregated_ts, published_ts, shard, entries = marshal.loads(
+        data[1:]
+    )
+    return EventBatch(
+        tuple((seq, _event_from(item)) for seq, item in entries),
+        collected_ts=collected_ts,
+        aggregated_ts=aggregated_ts,
+        published_ts=published_ts,
+        shard=shard,
+    )

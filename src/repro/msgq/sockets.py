@@ -10,6 +10,14 @@ ZeroMQ's high-water marks:
 * PUB never blocks: messages to a full SUB queue are dropped and counted
   on the subscriber (``dropped`` attribute) — ZeroMQ's documented PUB
   behaviour.
+
+Flow control is credit-based: a mailbox's free capacity (``hwm`` minus
+queue depth) is the *credit* the receiver grants senders.  A blocking
+send waits for enough credits; batched sends progress wave-by-wave as
+credits free up; and a sender may mark messages sheddable
+(``shed_priority``) so that under HWM pressure expendable traffic is
+dropped — counted, highest priority first — instead of blocking the
+pipeline behind it.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ import itertools
 import threading
 import time
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Callable, Deque, Optional
 
 from repro.errors import MessagingError, SocketClosed, WouldBlock
 from repro.msgq.context import Context
@@ -34,6 +42,11 @@ class Socket:
         self.socket_id = next(self._ids)
         self.closed = False
         self._bound_endpoints: list[str] = []
+        # Registration lets Context.close() tear down every socket,
+        # not just the bound ones.
+        register = getattr(context, "_register", None)
+        if register is not None:
+            register(self)
 
     def _check_open(self) -> None:
         if self.closed:
@@ -60,7 +73,14 @@ class Socket:
 
 
 class _Mailbox:
-    """A bounded thread-safe FIFO with blocking receive."""
+    """A bounded thread-safe FIFO with blocking receive.
+
+    The free capacity (``hwm`` minus queue depth) is the *credit* this
+    receiver currently grants senders — :attr:`credits` exposes it so
+    backpressure is observable before the mark is hit (the services
+    export it as a registry gauge).  ``requeue`` deliberately bypasses
+    the mark, so credits floor at zero rather than going negative.
+    """
 
     def __init__(self, hwm: int) -> None:
         if hwm < 1:
@@ -72,6 +92,18 @@ class _Mailbox:
         self._space = threading.Condition(self._lock)
         self.dropped = 0
         self.delivered = 0
+        #: Messages dropped by sender-requested shedding (distinct from
+        #: ``dropped``, the receiver-side overflow counter).
+        self.shed = 0
+
+    @property
+    def credits(self) -> int:
+        """Free slots the receiver currently grants (never negative)."""
+        with self._lock:
+            return max(self.hwm - len(self._queue), 0)
+
+    def _credits_locked(self) -> int:
+        return max(self.hwm - len(self._queue), 0)
 
     def offer(self, item: Any) -> bool:
         """Non-blocking put; returns False (counting a drop) when full."""
@@ -97,42 +129,124 @@ class _Mailbox:
             self._ready.notify()
             return True
 
-    def put_many(self, items: list, timeout: Optional[float] = None) -> int:
+    def _shed_locked(
+        self,
+        pending: list,
+        priorities: list[int],
+        cursor: int,
+        all_remaining: bool = False,
+    ) -> int:
+        """Drop sheddable items (priority > 0, highest first) in place.
+
+        Removes items from ``pending[cursor:]`` (and their priorities)
+        until the remainder fits the credits currently available — or,
+        with *all_remaining*, drops every sheddable item left (the
+        deadline-expiry path).  Returns the number shed.
+        """
+        candidates = sorted(
+            (i for i in range(cursor, len(pending)) if priorities[i] > 0),
+            key=lambda i: -priorities[i],
+        )
+        if not candidates:
+            return 0
+        if all_remaining:
+            target = len(candidates)
+        else:
+            excess = (len(pending) - cursor) - self._credits_locked()
+            target = min(len(candidates), max(excess, 0))
+        if target <= 0:
+            return 0
+        for index in sorted(candidates[:target], reverse=True):
+            del pending[index]
+            del priorities[index]
+        self.shed += target
+        return target
+
+    def put_many(
+        self,
+        items: list,
+        timeout: Optional[float] = None,
+        shed_priorities: Optional[list[int]] = None,
+    ):
         """Enqueue a whole batch under one lock acquisition.
 
-        Waits for room for the *entire* batch before admitting anything
-        (all-or-nothing for batches within the high-water mark); a
-        batch larger than the mark cannot fit at once and is admitted
-        in hwm-sized waves so it cannot deadlock.  *timeout* is a
-        deadline across the whole call, not per wave.  Returns the
-        number of items admitted — less than ``len(items)`` only when a
-        multi-wave batch times out after earlier waves were already
-        consumed downstream, so callers can account for the partial
-        delivery instead of assuming none.
+        Admission is credit-driven: a batch that fits within the
+        high-water mark waits for credits covering the *entire* batch
+        before admitting anything (all-or-nothing, so a timed-out group
+        is never torn); a batch larger than the mark cannot fit at once
+        and moves in credit-sized waves — each wave admits exactly the
+        credits the receiver has granted, progressing as soon as any
+        slot frees instead of waiting for a whole hwm-sized window.
+        *timeout* is a deadline across the whole call, not per wave.
+
+        *shed_priorities* (aligned with *items*; 0 = must deliver,
+        higher = shed first) enables load shedding: when the remaining
+        group exceeds the available credits, sheddable items are
+        dropped — highest priority first, counted in :attr:`shed` —
+        until the remainder fits, and anything sheddable still
+        unadmitted at the deadline is dropped rather than failed.
+
+        Returns the number of items admitted — or an
+        ``(admitted, shed)`` pair when *shed_priorities* was given —
+        so callers can account for partial deliveries instead of
+        assuming all-or-nothing.
         """
         if not items:
-            return 0
+            return 0 if shed_priorities is None else (0, 0)
+        pending = list(items)
+        priorities = (
+            None if shed_priorities is None else list(shed_priorities)
+        )
+        if priorities is not None and len(priorities) != len(pending):
+            raise MessagingError(
+                "shed_priorities must align with items: "
+                f"{len(priorities)} != {len(pending)}"
+            )
         deadline = (
             None if timeout is None else time.monotonic() + timeout
         )
         with self._lock:
             admitted = 0
-            while admitted < len(items):
-                wave = min(len(items) - admitted, self.hwm)
-                remaining = (
+            shed = 0
+            cursor = 0
+            while cursor < len(pending):
+                remaining = len(pending) - cursor
+                if (
+                    priorities is not None
+                    and self._credits_locked() < remaining
+                ):
+                    shed += self._shed_locked(pending, priorities, cursor)
+                    remaining = len(pending) - cursor
+                    if remaining == 0:
+                        break
+                # Within-hwm groups need credits for the whole group
+                # (atomic admission); oversized groups progress one
+                # credit at a time.
+                needed = remaining if remaining <= self.hwm else 1
+                wait = (
                     None if deadline is None
                     else max(deadline - time.monotonic(), 0.0)
                 )
                 if not self._space.wait_for(
-                    lambda: len(self._queue) + wave <= self.hwm,
-                    timeout=remaining,
+                    lambda: len(self._queue) + needed <= self.hwm,
+                    timeout=wait,
                 ):
-                    return admitted
-                self._queue.extend(items[admitted:admitted + wave])
+                    if priorities is not None:
+                        shed += self._shed_locked(
+                            pending, priorities, cursor, all_remaining=True
+                        )
+                    break
+                wave = (
+                    remaining
+                    if remaining <= self.hwm
+                    else min(self._credits_locked(), remaining)
+                )
+                self._queue.extend(pending[cursor:cursor + wave])
                 self.delivered += wave
                 self._ready.notify_all()
                 admitted += wave
-            return admitted
+                cursor += wave
+            return admitted if shed_priorities is None else (admitted, shed)
 
     def requeue(self, items: list) -> None:
         """Put already-admitted *items* back at the FRONT of the queue.
@@ -231,6 +345,13 @@ class PubSocket(Socket):
             except ValueError:
                 pass
 
+    @property
+    def subscriber_count(self) -> int:
+        """Currently attached subscribers (the multiproc bridge uses
+        this to suppress decode work when nobody is listening)."""
+        with self._lock:
+            return len(self._subscribers)
+
     def send(self, topic: str, payload: Any) -> int:
         """Publish *payload* under *topic*; returns matched subscribers.
 
@@ -315,6 +436,16 @@ class SubSocket(Socket):
         return len(self._mailbox)
 
     @property
+    def hwm(self) -> int:
+        """This subscriber's queue capacity."""
+        return self._mailbox.hwm
+
+    @property
+    def credits(self) -> int:
+        """Free queue slots (occupancy gauge: ``hwm - pending``)."""
+        return self._mailbox.credits
+
+    @property
     def dropped(self) -> int:
         """Messages dropped because this subscriber's queue was full."""
         return self._mailbox.dropped
@@ -379,9 +510,24 @@ class PullSocket(Socket):
         return len(self._mailbox)
 
     @property
+    def hwm(self) -> int:
+        """This sink's queue capacity."""
+        return self._mailbox.hwm
+
+    @property
+    def credits(self) -> int:
+        """Free queue slots — the credits currently granted to pushers."""
+        return self._mailbox.credits
+
+    @property
     def received(self) -> int:
         """Total messages accepted into the mailbox."""
         return self._mailbox.delivered
+
+    @property
+    def shed(self) -> int:
+        """Messages senders shed at this sink under HWM pressure."""
+        return self._mailbox.shed
 
 
 class PushSocket(Socket):
@@ -393,6 +539,9 @@ class PushSocket(Socket):
         self._sinks: list[PullSocket] = []
         self._rr = 0
         self.sent = 0
+        #: Messages this socket shed under HWM pressure (``send_many``
+        #: with a ``shed_priority``).
+        self.shed = 0
         #: Fabric round-trips performed (one per send/send_many call) —
         #: the operation counter the ingest micro-benchmark asserts on.
         self.send_ops = 0
@@ -423,7 +572,10 @@ class PushSocket(Socket):
         self.sent += 1
 
     def send_many(
-        self, payloads: list, timeout: Optional[float] = None
+        self,
+        payloads: list,
+        timeout: Optional[float] = None,
+        shed_priority: Optional[Callable[[Any], int]] = None,
     ) -> None:
         """Move several messages to ONE sink in one fabric round-trip.
 
@@ -432,12 +584,21 @@ class PushSocket(Socket):
         collector flushing one poll's chunks uses this instead of N
         round-robined :meth:`send` calls.
 
-        Admission is all-or-nothing for groups within the sink's
-        high-water mark.  A larger group moves in waves under one
-        *timeout* deadline; if a later wave times out, ``sent`` still
-        reflects the messages the sink already admitted and the raised
-        WouldBlock reports the partial count, so retrying callers know
-        the delivery was partial rather than absent.
+        Admission is credit-based and all-or-nothing for groups within
+        the sink's high-water mark.  A larger group moves in
+        credit-sized waves under one *timeout* deadline; if a later
+        wave times out, ``sent`` still reflects the messages the sink
+        already admitted and the raised WouldBlock reports the partial
+        count, so retrying callers know the delivery was partial
+        rather than absent.
+
+        *shed_priority* maps a payload to its shed priority (0 = must
+        deliver; higher sheds first).  Under HWM pressure, sheddable
+        payloads are dropped (counted in :attr:`shed` and on the sink)
+        instead of blocking the group — WouldBlock is then raised only
+        when *must-deliver* payloads went unadmitted.  Best-effort
+        feeds (metric mirrors, sampled traces) use this so they can
+        never stall the event pipeline behind them.
         """
         self._check_open()
         if not payloads:
@@ -445,9 +606,17 @@ class PushSocket(Socket):
         payloads = list(payloads)
         sink = self._next_sink()
         self.send_ops += 1
-        admitted = sink._mailbox.put_many(payloads, timeout=timeout)
+        if shed_priority is None:
+            admitted = sink._mailbox.put_many(payloads, timeout=timeout)
+            shed = 0
+        else:
+            priorities = [int(shed_priority(p)) for p in payloads]
+            admitted, shed = sink._mailbox.put_many(
+                payloads, timeout=timeout, shed_priorities=priorities
+            )
+            self.shed += shed
         self.sent += admitted
-        if admitted < len(payloads):
+        if admitted + shed < len(payloads):
             raise WouldBlock(
                 "downstream queue full (send timed out after admitting "
                 f"{admitted}/{len(payloads)} messages)"
@@ -460,11 +629,31 @@ class PushSocket(Socket):
 
 
 class RepSocket(Socket):
-    """Reply side of a lock-step request/reply channel."""
+    """Reply side of a lock-step request/reply channel.
 
-    def __init__(self, context: Context) -> None:
+    *hwm* bounds the pending-request queue like every other socket —
+    plumbed from config (the aggregator passes its ``hwm``), no longer
+    hardcoded.
+    """
+
+    def __init__(self, context: Context, hwm: int = 10_000) -> None:
         super().__init__(context)
-        self._requests = _Mailbox(hwm=10_000)
+        self._requests = _Mailbox(hwm=hwm)
+
+    @property
+    def hwm(self) -> int:
+        """Capacity of the pending-request queue."""
+        return self._requests.hwm
+
+    @property
+    def pending(self) -> int:
+        """Requests waiting to be served."""
+        return len(self._requests)
+
+    @property
+    def credits(self) -> int:
+        """Free request slots (occupancy gauge: ``hwm - pending``)."""
+        return self._requests.credits
 
     def bind(self, endpoint: str) -> "RepSocket":
         """Claim *endpoint* so REQ sockets can connect."""
@@ -543,14 +732,22 @@ class ReqSocket(Socket):
     def request(self, payload: Any, timeout: Optional[float] = None) -> Any:
         """Send *payload* and block for the reply.
 
-        Raises the reply if the server handler raised an exception.
+        Raises the reply if the server handler raised an exception,
+        :class:`SocketClosed` if the server socket was closed, and
+        :class:`WouldBlock` if the server's request queue stays full
+        past the timeout (instead of blocking forever against a wedged
+        server).
         """
         self._check_open()
         if self._server is None:
             raise MessagingError("REQ socket is not connected")
+        if self._server.closed:
+            raise SocketClosed("REP server socket is closed")
+        effective = timeout if timeout is not None else self.timeout
         channel = _ReplyChannel()
-        self._server._requests.put((payload, channel))
-        reply = channel.wait(timeout if timeout is not None else self.timeout)
+        if not self._server._requests.put((payload, channel), timeout=effective):
+            raise WouldBlock("server request queue full (send timed out)")
+        reply = channel.wait(effective)
         if isinstance(reply, Exception):
             raise reply
         return reply

@@ -40,6 +40,10 @@ TRANSPORT_MODELS: Dict[str, tuple[float, float]] = {
     "pushpull": (1.0, 0.0),
     "pubsub": (1.15, 0.0),
     "reqrep": (1.0, 4.0e-4),
+    # Process-per-shard bridge: marshal framing adds a small per-report
+    # cost and each batch pays one queue hop of latency, but shards
+    # stop sharing a GIL (modelled upstream by the per-shard capacity).
+    "multiproc": (1.05, 1.5e-4),
 }
 
 
