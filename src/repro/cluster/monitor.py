@@ -35,6 +35,7 @@ from repro.core.collector import Collector, CollectorConfig
 from repro.core.consumer import Consumer, EventCallback
 from repro.core.events import FileEvent
 from repro.core.monitor import PushSink
+from repro.core.storage import shard_store_url
 from repro.lustre.fid2path import FidResolver
 from repro.lustre.filesystem import LustreFilesystem
 from repro.metrics.adaptive import AdaptiveFlushController, FlushTuning
@@ -58,7 +59,10 @@ class ClusterConfig:
     ``aggregator`` is the *base* shard config: every shard derives its
     own endpoints (``inproc://<namespace>.<shard>.{reports,events,api}``)
     and ``shard_label`` from it, inheriting all other knobs (store
-    size, flush policy, tracing rate …) unchanged.
+    size, flush policy, tracing rate …) unchanged.  A durable
+    ``store_url`` (``segments:///path``) is likewise derived per shard
+    — each shard logs to ``<path>/<shard_id>`` so restarted shards
+    (and respawned multiproc children) recover their own history.
     """
 
     num_shards: int = 2
@@ -210,6 +214,11 @@ class ClusterMonitor:
                 publish_endpoint=f"inproc://{namespace}.{shard_id}.events",
                 api_endpoint=f"inproc://{namespace}.{shard_id}.api",
                 shard_label=shard_id,
+                # Shards never share a log directory: a durable base
+                # store_url gains the shard id as a path component.
+                store_url=shard_store_url(
+                    self.config.aggregator.store_url, shard_id
+                ),
             )
             if multiproc:
                 shard = self._make_bridge(shard_id, shard_config)

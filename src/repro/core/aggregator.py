@@ -45,6 +45,7 @@ from repro.core.events import (
     iter_report,
 )
 from repro.core.store import EventStore
+from repro.core.storage import open_store
 from repro.errors import WouldBlock
 from repro.metrics.registry import MetricsRegistry
 from repro.metrics.tracing import Tracer, make_tracer
@@ -61,6 +62,13 @@ class AggregatorConfig:
     publish_endpoint: str = "inproc://events"
     api_endpoint: str = "inproc://history-api"
     store_max_events: int = 100_000
+    #: Durability backend for the event store, as a URL:
+    #: ``memory://`` (the default volatile window) or
+    #: ``segments:///var/lib/repro/store`` (append-only segment log;
+    #: ``?segment_bytes=&fsync=&compact_interval=`` tune it).  A store
+    #: over a non-empty segment log *recovers* at construction — the
+    #: aggregator resumes numbering and history from the log.
+    store_url: str = "memory://"
     publish_topic: str = "events"
     hwm: int = 100_000
     #: When True, events are published under per-subtree topics
@@ -96,6 +104,12 @@ class AggregatorConfig:
             raise ValueError(
                 f"trace_sample_rate must be in [0, 1]: {self.trace_sample_rate}"
             )
+        scheme = self.store_url.split(":", 1)[0]
+        if scheme not in ("memory", "segments"):
+            raise ValueError(
+                f"store_url scheme must be memory:// or segments://: "
+                f"{self.store_url!r}"
+            )
 
 
 class Aggregator(Service):
@@ -122,8 +136,12 @@ class Aggregator(Service):
             else make_tracer(self.metrics, self.config.trace_sample_rate)
         )
         #: The rotating catalog; pass a restored store (EventStore.load)
-        #: to resume after a restart with history intact.
-        self.store = store or EventStore(max_events=self.config.store_max_events)
+        #: to resume after a restart with history intact, or configure
+        #: ``store_url`` so the store recovers itself from its durable
+        #: backend (segment log) at construction.
+        self.store = store or open_store(
+            self.config.store_url, max_events=self.config.store_max_events
+        )
         self.inbound = context.pull(hwm=self.config.hwm).bind(
             self.config.inbound_endpoint
         )
@@ -153,6 +171,14 @@ class Aggregator(Service):
         self.metrics.gauge_fn(
             "store_memory_bytes", lambda: self.store.approximate_memory_bytes()
         )
+        if self.store.backend.durable:
+            # Durable-backend observability: fsync/compaction counters
+            # and segment/byte gauges (``store_backend_*`` series).
+            for stat_name in self.store.backend.stats():
+                self.metrics.gauge_fn(
+                    f"store_backend_{stat_name}",
+                    lambda key=stat_name: self.store.backend.stats()[key],
+                )
         # Per-socket occupancy: queue depth against capacity, so
         # dashboards see backpressure building before the mark is hit.
         self.metrics.gauge_fn("inbound_depth", lambda: self.inbound.pending)
@@ -418,3 +444,4 @@ class Aggregator(Service):
         self.inbound.close()
         self.publisher.close()
         self.api.close()
+        self.store.close()

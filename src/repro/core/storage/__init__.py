@@ -1,0 +1,105 @@
+"""Pluggable EventStore durability backends.
+
+Backends are selected by URL (``AggregatorConfig.store_url``):
+
+``memory://``
+    The historical volatile window — no files, no recovery.
+
+``segments:///var/lib/repro/store``
+    Durable append-only segment log rooted at that directory.  Query
+    parameters tune it: ``segment_bytes`` (rotation size),
+    ``fsync`` (``never`` | ``rotate`` | ``always``) and
+    ``compact_interval`` (seconds between background compaction
+    passes; ``0`` compacts inline at rotation/floor advances).
+
+:func:`open_store` turns a URL into a ready :class:`EventStore`;
+:func:`shard_store_url` derives per-shard URLs for the cluster tier by
+appending the shard id as a path component (memory URLs pass through,
+shards never share a log directory).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.core.storage.base import RecoveredState, StoreBackend
+from repro.core.storage.memory import MemoryBackend
+from repro.core.storage.segments import (
+    DEFAULT_SEGMENT_BYTES,
+    FSYNC_POLICIES,
+    SegmentLogBackend,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime (store -> here)
+    from repro.core.store import EventStore
+
+__all__ = [
+    "StoreBackend",
+    "RecoveredState",
+    "MemoryBackend",
+    "SegmentLogBackend",
+    "DEFAULT_SEGMENT_BYTES",
+    "FSYNC_POLICIES",
+    "backend_from_url",
+    "open_store",
+    "shard_store_url",
+]
+
+
+def backend_from_url(url: str) -> StoreBackend:
+    """Construct the backend a store URL names (see module docstring)."""
+    parts = urlsplit(url)
+    if parts.scheme == "memory":
+        return MemoryBackend()
+    if parts.scheme == "segments":
+        # netloc absorbs the first component of a relative path
+        # (``segments://logs/shard``); join it back.
+        directory = (parts.netloc + parts.path) if parts.netloc else parts.path
+        if not directory:
+            raise ValueError(f"segments store URL needs a directory: {url!r}")
+        kwargs = {}
+        for key, value in parse_qsl(parts.query):
+            if key == "segment_bytes":
+                kwargs["segment_bytes"] = int(value)
+            elif key == "fsync":
+                kwargs["fsync"] = value
+            elif key == "compact_interval":
+                kwargs["compact_interval"] = float(value)
+            else:
+                raise ValueError(f"unknown store URL parameter {key!r}")
+        return SegmentLogBackend(directory, **kwargs)
+    raise ValueError(
+        f"unknown store URL scheme {parts.scheme!r} (expected "
+        f"memory:// or segments:///path): {url!r}"
+    )
+
+
+def open_store(url: str, *, max_events: int = 10_000) -> "EventStore":
+    """Build an :class:`EventStore` over the backend *url* names.
+
+    A durable backend with prior state recovers it here — the returned
+    store resumes the crashed incarnation's window, sequence counter
+    and lifetime totals.
+    """
+    from repro.core.store import EventStore  # runtime import: cycle guard
+
+    return EventStore(max_events=max_events, backend=backend_from_url(url))
+
+
+def shard_store_url(base: str, shard_id: str) -> str:
+    """Derive shard *shard_id*'s store URL from the cluster-wide base.
+
+    ``memory://`` is shared-nothing already and passes through;
+    ``segments://`` URLs gain the shard id as a trailing path
+    component so every shard logs to its own directory (query
+    parameters preserved).
+    """
+    parts = urlsplit(base)
+    if parts.scheme == "memory":
+        return base
+    path = parts.path.rstrip("/") + "/" + shard_id
+    url = f"{parts.scheme}://{parts.netloc}{path}"
+    if parts.query:
+        url += f"?{parts.query}"
+    return url

@@ -30,6 +30,8 @@ from itertools import islice
 from typing import Deque, Dict, Iterable, Optional
 
 from repro.core.events import EventType, FileEvent, prefix_probe
+from repro.core.storage.base import StoreBackend
+from repro.core.storage.memory import MemoryBackend
 
 
 class _SeqView:
@@ -113,12 +115,26 @@ class EventStore:
     ``(seq, event)`` lists) and tracks whether append timestamps have
     stayed monotone — :meth:`query` uses both to scan only the entries
     a filter can actually match instead of the whole retained window.
+
+    Durability is delegated to a pluggable *backend*
+    (:mod:`repro.core.storage`): the default
+    :class:`~repro.core.storage.memory.MemoryBackend` keeps the store's
+    historical volatile behaviour, while a
+    :class:`~repro.core.storage.segments.SegmentLogBackend` write-ahead
+    logs every batch and replays the log at construction — a store
+    built over a non-empty log resumes the crashed incarnation's
+    window, sequence counter and lifetime totals.
     """
 
-    def __init__(self, max_events: int = 100_000) -> None:
+    def __init__(
+        self,
+        max_events: int = 100_000,
+        backend: Optional[StoreBackend] = None,
+    ) -> None:
         if max_events < 1:
             raise ValueError(f"max_events must be >= 1: {max_events}")
         self.max_events = max_events
+        self.backend = backend if backend is not None else MemoryBackend()
         self._lock = threading.Lock()
         self._events: Deque[tuple[int, FileEvent]] = deque()
         self._next_seq = 1
@@ -140,6 +156,13 @@ class EventStore:
         #: touch only candidate entries, not the window.
         self.lock_acquisitions = 0
         self.events_scanned = 0
+        recovered = self.backend.recover(max_events)
+        if recovered is not None:
+            self._events.extend(recovered.entries)
+            self._next_seq = recovered.next_seq
+            self.total_stored = recovered.total_stored
+            self.total_rotated = recovered.total_rotated
+            self._rebuild_index()
 
     def append(self, event: FileEvent) -> int:
         """Store *event*; returns its sequence number."""
@@ -151,12 +174,18 @@ class EventStore:
         One lock acquisition per call: the batch receives a contiguous
         run of sequence numbers, so concurrent extenders can never
         interleave their numbering within a batch.
+
+        Write-ahead order: the batch reaches the durability backend
+        *before* any in-memory state mutates, so a backend failure
+        (disk full) leaves the store unchanged and a crash after the
+        append is recoverable.
         """
         if not events:
             return []
         with self._lock:
             self.lock_acquisitions += 1
             first = self._next_seq
+            self.backend.append(first, events)
             self._next_seq += len(events)
             for offset, event in enumerate(events):
                 entry = (first + offset, event)
@@ -177,7 +206,39 @@ class EventStore:
                     seq, event = self._events.popleft()
                     self._evict_from_bucket(seq, event)
                 self.total_rotated += overflow
+                self.backend.note_floor(self._events[0][0])
             return list(range(first, first + len(events)))
+
+    def discard_after(self, seq: int) -> int:
+        """Drop retained entries with sequence > *seq* and rewind numbering.
+
+        The restart primitive for replayed ingest: a recovered shard
+        store trims past its parent bridge's ack watermark so replayed
+        in-flight batches regenerate their original sequence numbers
+        (downstream watermark dedup then works unchanged).  Lifetime
+        ``total_stored`` is decremented for the dropped entries — the
+        replay will count them again.  Returns the number dropped.
+
+        The durable backend is *not* rewound: orphaned log records
+        above *seq* are shadowed at the next recovery by the replayed
+        records (same sequence numbers, later in the log — last wins).
+        """
+        with self._lock:
+            self.lock_acquisitions += 1
+            dropped = 0
+            while self._events and self._events[-1][0] > seq:
+                self._events.pop()
+                dropped += 1
+            if dropped:
+                self.total_stored -= dropped
+                self._index_dirty = True
+            if seq + 1 < self._next_seq:
+                self._next_seq = max(seq + 1, 1)
+            return dropped
+
+    def close(self) -> None:
+        """Flush and release the durability backend (no-op for memory)."""
+        self.backend.close()
 
     # -- query index maintenance --------------------------------------------
 
@@ -393,10 +454,17 @@ class EventStore:
         reuse) and the lifetime ``total_stored``/``total_rotated``
         counters, so the ``store_rotated`` and lifetime-stored gauges
         survive an aggregator restart.
+
+        On a durable backend the snapshot *truncates the log*: once the
+        file is written, the backend checkpoint advances past the
+        snapshotted history and fully-covered segments are deleted —
+        the snapshot is durable first, so a crash anywhere in between
+        loses nothing.
         """
         import json
 
         with self._lock:
+            self.lock_acquisitions += 1
             snapshot = list(self._events)
             next_seq = self._next_seq
             total_stored = self.total_stored
@@ -410,11 +478,28 @@ class EventStore:
                 handle.write(
                     json.dumps({"seq": seq, "event": event.to_dict()}) + "\n"
                 )
+            handle.flush()
+            if self.backend.durable:
+                import os
+
+                os.fsync(handle.fileno())
+        with self._lock:
+            self.lock_acquisitions += 1
+            self.backend.mark_snapshotted(next_seq - 1, total_stored)
         return len(snapshot)
 
     @classmethod
-    def load(cls, path: str) -> "EventStore":
-        """Restore a store previously written by :meth:`save`."""
+    def load(
+        cls, path: str, backend: Optional[StoreBackend] = None
+    ) -> "EventStore":
+        """Restore a store previously written by :meth:`save`.
+
+        With a durable *backend*, the snapshot is merged with whatever
+        the backend's log recovered: log records newer than the
+        snapshot (appended after the save, before the crash) extend the
+        restored window, and the merged window is then adopted back
+        into the log so it alone reproduces the store from now on.
+        """
         import json
 
         from repro.core.events import FileEvent
@@ -437,6 +522,33 @@ class EventStore:
             store.total_rotated = header.get(
                 "total_rotated", derived_stored - len(store._events)
             )
+        if backend is not None:
+            recovered = backend.recover(store.max_events)
+            if recovered is not None:
+                snapshot_last = store._next_seq - 1
+                fresh = [
+                    entry
+                    for entry in recovered.entries
+                    if entry[0] > snapshot_last
+                ]
+                store._events.extend(fresh)
+                store.total_stored += len(fresh)
+                overflow = len(store._events) - store.max_events
+                if overflow > 0:
+                    for _ in range(overflow):
+                        store._events.popleft()
+                    store.total_rotated += overflow
+                store._next_seq = max(store._next_seq, recovered.next_seq)
+            backend.adopt(
+                list(store._events), store._next_seq, store.total_stored
+            )
+            store.backend = backend
+        # The filled window bypassed extend(): rebuild the query index
+        # (buckets, ``_last_ts``, monotonicity) so a time-window query
+        # cannot take the binary-search fast path over unindexed data
+        # and the next extend() judges monotonicity against the real
+        # last timestamp instead of -inf.
+        store._rebuild_index()
         return store
 
     def approximate_memory_bytes(self) -> int:

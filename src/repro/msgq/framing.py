@@ -18,6 +18,14 @@ format.  Payloads that are not event batches (injected test doubles,
 future wire types) fall back to pickle, flagged by a one-byte prefix;
 the control plane (API requests/replies, exceptions) always uses
 pickle since it carries arbitrary objects and is off the hot path.
+
+The durable segment log (``repro.core.storage.segments``) shares the
+same flattened field order through :func:`pack_entry` /
+:func:`unpack_entry` — a *version-stable* fixed-layout binary record
+(``struct``-packed primitives, length-prefixed UTF-8 strings) that,
+unlike marshal, is safe to read back across interpreter upgrades.
+One field order, two codecs: marshal for the process boundary,
+struct for disk.
 """
 
 from __future__ import annotations
@@ -25,7 +33,8 @@ from __future__ import annotations
 import dataclasses
 import marshal
 import pickle
-from typing import Any
+import struct
+from typing import Any, Optional
 
 from repro.core.events import EventBatch, EventType, FileEvent, ReportBatch
 
@@ -150,3 +159,125 @@ def decode_entries(data: bytes) -> EventBatch:
         published_ts=published_ts,
         shard=shard,
     )
+
+
+# ---------------------------------------------------------------------------
+# Fixed-layout binary event records (the segment-log storage format)
+# ---------------------------------------------------------------------------
+
+#: Bump when the record layout below changes; segment files carry it in
+#: their header so recovery can refuse records it cannot parse.
+RECORD_LAYOUT_VERSION = 1
+
+#: EventType members in wire order — the on-disk type code is an index
+#: into this tuple (layout-versioned: reordering the enum requires a
+#: RECORD_LAYOUT_VERSION bump).
+_TYPE_BY_CODE = tuple(member.value for member in EventType)
+_CODE_BY_TYPE = {member: code for code, member in enumerate(EventType)}
+
+#: Fixed prefix of every record: sequence number (u64), timestamp
+#: (f64), event-type code (u8), flag bits (u8: 0=is_dir, 1=mdt_index
+#: present, 2=record_index present), mdt_index (i32, 0 when absent),
+#: record_index (i64, 0 when absent).  Absent numerics are still
+#: written so the prefix is the same 30 bytes for every record.
+_RECORD_FIXED = struct.Struct("<QdBBiq")
+_STRING_LEN = struct.Struct("<I")
+
+_FLAG_IS_DIR = 1
+_FLAG_MDT = 2
+_FLAG_RECORD_INDEX = 4
+
+#: The record's string fields, in flattened-tuple order (the same
+#: field order the marshal wire codec uses).  ``name`` and ``source``
+#: are non-optional in the dataclass but share the presence-mask
+#: treatment for layout uniformity.
+_STRING_FIELDS = (
+    "path", "name", "source", "fid", "parent_fid",
+    "record_type", "old_path", "jobid",
+)
+
+
+def pack_entry(seq: int, event: FileEvent) -> bytes:
+    """Serialise one ``(seq, event)`` store entry to its binary record.
+
+    Version-stable: only ``struct``-packed primitives and
+    length-prefixed UTF-8 — no marshal/pickle — so a segment log
+    written by one interpreter is readable by the next.
+    """
+    flags = 0
+    if event.is_dir:
+        flags |= _FLAG_IS_DIR
+    if event.mdt_index is not None:
+        flags |= _FLAG_MDT
+    if event.record_index is not None:
+        flags |= _FLAG_RECORD_INDEX
+    out = bytearray(
+        _RECORD_FIXED.pack(
+            seq,
+            event.timestamp,
+            _CODE_BY_TYPE[event.event_type],
+            flags,
+            event.mdt_index or 0,
+            event.record_index or 0,
+        )
+    )
+    mask = 0
+    encoded: list[Optional[bytes]] = []
+    for bit, field in enumerate(_STRING_FIELDS):
+        value = getattr(event, field)
+        if value is None:
+            encoded.append(None)
+        else:
+            mask |= 1 << bit
+            encoded.append(value.encode("utf-8"))
+    out.append(mask)
+    for data in encoded:
+        if data is not None:
+            out += _STRING_LEN.pack(len(data))
+            out += data
+    return bytes(out)
+
+
+def unpack_entry(buffer, offset: int = 0) -> tuple[int, FileEvent, int]:
+    """Inverse of :func:`pack_entry` over any buffer (bytes, mmap,
+    memoryview); returns ``(seq, event, next_offset)``.
+
+    Raises ``struct.error`` / ``IndexError`` on a truncated buffer and
+    ``ValueError`` on garbage — recovery treats all three as a torn
+    tail record.
+    """
+    seq, timestamp, type_code, flags, mdt_index, record_index = (
+        _RECORD_FIXED.unpack_from(buffer, offset)
+    )
+    offset += _RECORD_FIXED.size
+    mask = buffer[offset]
+    offset += 1
+    strings: list[Optional[str]] = []
+    for bit in range(len(_STRING_FIELDS)):
+        if mask & (1 << bit):
+            (length,) = _STRING_LEN.unpack_from(buffer, offset)
+            offset += _STRING_LEN.size
+            end = offset + length
+            if end > len(buffer):
+                raise ValueError("truncated string field")
+            strings.append(bytes(buffer[offset:end]).decode("utf-8"))
+            offset = end
+        else:
+            strings.append(None)
+    path, name, source, fid, parent_fid, record_type, old_path, jobid = strings
+    event = _build_event((
+        _TYPE_BY_CODE[type_code],
+        path,
+        bool(flags & _FLAG_IS_DIR),
+        timestamp,
+        name,
+        source,
+        fid,
+        parent_fid,
+        mdt_index if flags & _FLAG_MDT else None,
+        record_index if flags & _FLAG_RECORD_INDEX else None,
+        record_type,
+        old_path,
+        jobid,
+    ))
+    return seq, event, offset

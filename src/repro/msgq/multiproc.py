@@ -120,10 +120,20 @@ def _shard_main(spec: ShardChildSpec, inbox_q, events_q) -> None:
         transport, spec.config, registry=MetricsRegistry(),
         name=spec.shard_id,
     )
-    if spec.start_seq > 1:
+    if aggregator.store.last_seq >= spec.start_seq:
+        # A durable store recovered *past* the parent's ack watermark
+        # (it logged batches whose acks never arrived).  Trim back to
+        # the watermark: the parent replays every unacked batch, so the
+        # replayed events regenerate their original sequence numbers
+        # and downstream watermark dedup works unchanged.  The acked
+        # history below the watermark survives the restart.
+        aggregator.store.discard_after(spec.start_seq - 1)
+    elif spec.start_seq > 1:
         # Resume the sequence space where the acked history ended, so
         # replayed in-flight batches get their original numbers.
-        aggregator.store._next_seq = spec.start_seq
+        aggregator.store._next_seq = max(
+            aggregator.store._next_seq, spec.start_seq
+        )
     if spec.flush_batch_events is not None:
         aggregator.flush_batch_events = spec.flush_batch_events
     capture = (
@@ -173,6 +183,9 @@ def _shard_main(spec: ShardChildSpec, inbox_q, events_q) -> None:
             except Exception:
                 pass
             raise
+    # Graceful exit: flush the durable backend (no-op for memory) so a
+    # clean stop leaves no torn tail for the next incarnation.
+    aggregator.store.close()
 
 
 @contextmanager

@@ -180,11 +180,17 @@ class _Mailbox:
         *timeout* is a deadline across the whole call, not per wave.
 
         *shed_priorities* (aligned with *items*; 0 = must deliver,
-        higher = shed first) enables load shedding: when the remaining
-        group exceeds the available credits, sheddable items are
-        dropped — highest priority first, counted in :attr:`shed` —
-        until the remainder fits, and anything sheddable still
-        unadmitted at the deadline is dropped rather than failed.
+        higher = shed first) enables load shedding.  Shedding is
+        deadline-honouring for groups that fit the mark: a within-hwm
+        group blocks for credits exactly like the non-shedding path and
+        sheds only once the deadline expires — an instantaneous credit
+        shortfall that would have resolved in time never drops
+        anything.  Oversized groups (which can never be admitted
+        atomically) still shed eagerly down to the available credits —
+        highest priority first, counted in :attr:`shed`.  At deadline
+        expiry every sheddable item left is dropped, and the surviving
+        must-deliver remainder is admitted if it now fits the credits
+        freed by the shed.
 
         Returns the number of items admitted — or an
         ``(admitted, shed)`` pair when *shed_priorities* was given —
@@ -213,8 +219,13 @@ class _Mailbox:
                 remaining = len(pending) - cursor
                 if (
                     priorities is not None
+                    and remaining > self.hwm
                     and self._credits_locked() < remaining
                 ):
+                    # Only oversized groups shed on an instantaneous
+                    # shortfall — a within-hwm group would have blocked
+                    # and delivered, so it keeps blocking and sheds at
+                    # the deadline instead.
                     shed += self._shed_locked(pending, priorities, cursor)
                     remaining = len(pending) - cursor
                     if remaining == 0:
@@ -235,6 +246,16 @@ class _Mailbox:
                         shed += self._shed_locked(
                             pending, priorities, cursor, all_remaining=True
                         )
+                        leftover = len(pending) - cursor
+                        if 0 < leftover <= self._credits_locked():
+                            # The shed freed enough room: deliver the
+                            # surviving must-delivers instead of
+                            # failing them at the deadline.
+                            self._queue.extend(pending[cursor:])
+                            self.delivered += leftover
+                            self._ready.notify_all()
+                            admitted += leftover
+                            cursor += leftover
                     break
                 wave = (
                     remaining

@@ -251,6 +251,56 @@ class TestShedPriority:
         assert push.shed == 2
         assert pull.pending == 1  # only the occupier
 
+    def test_within_hwm_group_survives_transient_shortfall(self):
+        # A group that fits the mark must NOT shed on an instantaneous
+        # credit shortfall: it blocks like the non-shedding path, and a
+        # drain before the deadline delivers everything.
+        import threading
+
+        transport = make_transport("inproc")
+        pull = transport.pull(hwm=2).bind("inproc://sink")
+        push = transport.push(hwm=2).connect("inproc://sink")
+        push.send(("occupy", 0))
+        push.send(("occupy", 0))
+
+        def drain_soon():
+            time.sleep(0.05)
+            pull.recv_many(block=False)
+
+        drainer = threading.Thread(target=drain_soon)
+        drainer.start()
+        try:
+            push.send_many(
+                [("must", 0), ("shed", 5)],
+                timeout=2.0,
+                shed_priority=lambda p: p[1],
+            )
+        finally:
+            drainer.join()
+        assert push.shed == 0
+        assert [p[0] for p in pull.recv_many(block=False)] == [
+            "must",
+            "shed",
+        ]
+
+    def test_within_hwm_deadline_shed_then_admits_must_deliver(self):
+        # At deadline expiry the sheddable item is dropped, and the
+        # surviving must-deliver is admitted into the credits the shed
+        # just freed instead of failing the call.
+        transport = make_transport("inproc")
+        pull = transport.pull(hwm=4).bind("inproc://sink")
+        push = transport.push(hwm=4).connect("inproc://sink")
+        for _ in range(3):
+            push.send(("occupy", 0))
+        push.send_many(
+            [("must", 0), ("shed", 5)],
+            timeout=0.05,
+            shed_priority=lambda p: p[1],
+        )
+        assert push.shed == 1
+        kept = [p[0] for p in pull.recv_many(block=False)]
+        assert kept == ["occupy", "occupy", "occupy", "must"]
+
 
 # ---------------------------------------------------------------------------
 # RepSocket hwm satellite + REQ/REP edge paths + Context teardown
