@@ -1,0 +1,219 @@
+"""Telemetry-plane overhead: exposition, HTTP scrape, relay, alerts.
+
+Four arms price the observability surfaces added by the operator
+telemetry plane, on a registry shaped like a busy multi-shard cluster
+(``TELEMETRY_BENCH_SCOPES`` shard scopes × a dozen series each plus
+pipeline histograms):
+
+* ``render`` — ``render_prometheus()`` of the full registry;
+* ``scrape-http`` — end-to-end ``GET /metrics`` against a live
+  :class:`TelemetryServer` (stdlib threaded HTTP);
+* ``relay-merge`` — folding child-registry snapshots into the parent
+  through :class:`RegistryRelay`, including an epoch bump halfway
+  through to price the respawn path;
+* ``alert-eval`` — :class:`AlertEvaluator` passes with the recommended
+  rule set over every shard.
+
+The numbers are *counter-asserted*: the render arm must emit exactly
+the expected sample count, the scrape arm's ``scrapes`` counter must
+equal the request count, the relay arm must apply every frame with
+counters ending monotone-exact, and the evaluator's ``evaluations``
+counter must match the pass count.  The CI smoke run shrinks the shape
+via ``TELEMETRY_BENCH_SCOPES`` / ``TELEMETRY_BENCH_ITERS``.
+
+Results land in ``benchmarks/results/BENCH_telemetry.json`` plus the
+rendered table.
+"""
+
+import json
+import os
+import pathlib
+import time
+import urllib.request
+
+from repro.metrics.registry import MetricsRegistry
+from repro.telemetry import AlertEvaluator, RegistryRelay, TelemetryServer
+from repro.telemetry.alerts import recommended_rules
+
+N_SCOPES = int(os.environ.get("TELEMETRY_BENCH_SCOPES", "16"))
+N_ITERS = int(os.environ.get("TELEMETRY_BENCH_ITERS", "200"))
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+COUNTERS = ("events_stored", "batches_received", "api_requests", "crashes")
+GAUGES = ("inbound_depth", "inbound_hwm", "inbound_credits", "store_len")
+HISTOGRAMS = ("pipeline.publish", "pipeline.aggregate")
+
+
+def build_registry(n_scopes):
+    """A parent registry shaped like an n-shard cluster under load."""
+    registry = MetricsRegistry()
+    scopes = []
+    for index in range(n_scopes):
+        scope = registry.unique_scope(f"shard{index}")
+        scopes.append(scope)
+        for name in COUNTERS:
+            registry.counter(f"{scope}.{name}").inc(1000 + index)
+        for name in GAUGES:
+            registry.gauge(f"{scope}.{name}").set(index * 10)
+        for name in HISTOGRAMS:
+            histogram = registry.histogram(f"{scope}.{name}")
+            for value in (0.0001, 0.001, 0.01):
+                histogram.record(value, 100)
+    return registry, scopes
+
+
+def build_child():
+    """A child registry as the multiproc relay ships it."""
+    child = MetricsRegistry()
+    scope = child.unique_scope("s0")
+    for name in COUNTERS:
+        child.counter(f"{scope}.{name}")
+    for name in GAUGES:
+        child.gauge(f"{scope}.{name}")
+    for name in HISTOGRAMS:
+        child.histogram(name)
+    return child, scope
+
+
+def bench_render(registry, iters):
+    text = registry.render_prometheus()
+    samples = sum(
+        1 for line in text.splitlines() if line and not line.startswith("#")
+    )
+    started = time.perf_counter()
+    for _ in range(iters):
+        text = registry.render_prometheus()
+    elapsed = time.perf_counter() - started
+    # Every series must be rendered: per scope, the counters and gauges
+    # plus per-histogram bucket/sum/count lines; plus gauge_fn_errors.
+    histogram = next(iter(registry.histograms().values()))
+    per_hist = len(histogram.counts()) + 2
+    expected = N_SCOPES * (
+        len(COUNTERS) + len(GAUGES) + len(HISTOGRAMS) * per_hist
+    )
+    assert samples >= expected, (samples, expected)
+    return {
+        "scenario": "render",
+        "iterations": iters,
+        "samples_per_render": samples,
+        "elapsed_s": round(elapsed, 4),
+        "renders_per_s": round(iters / elapsed, 1),
+    }
+
+
+def bench_scrape(registry, iters):
+    server = TelemetryServer(registry)
+    server.start()
+    try:
+        url = server.url + "/metrics"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            body = response.read()
+        size = len(body)
+        started = time.perf_counter()
+        for _ in range(iters):
+            with urllib.request.urlopen(url, timeout=10) as response:
+                response.read()
+        elapsed = time.perf_counter() - started
+        assert server.scrapes.value == iters + 1, server.scrapes.value
+    finally:
+        server.close()
+    return {
+        "scenario": "scrape-http",
+        "iterations": iters,
+        "body_bytes": size,
+        "elapsed_s": round(elapsed, 4),
+        "scrapes_per_s": round(iters / elapsed, 1),
+    }
+
+
+def bench_relay(iters):
+    parent = MetricsRegistry()
+    bridge_scope = parent.unique_scope("shard0")
+    relay = RegistryRelay(parent, bridge_scope, strip_scopes=("s0",))
+    child, scope = build_child()
+    counter = child.counter(f"{scope}.events_stored")
+    epoch, total = 1, 0
+    started = time.perf_counter()
+    for index in range(iters):
+        if index == iters // 2:
+            # Respawn: a fresh child registry, counters restart at the
+            # banked total via the epoch offset.
+            child, scope = build_child()
+            counter = child.counter(f"{scope}.events_stored")
+            epoch += 1
+        counter.inc(10)
+        total += 10
+        relay.merge(child.export_state(), epoch=epoch)
+    elapsed = time.perf_counter() - started
+    assert relay.merges == iters, relay.merges
+    merged = parent.counter(f"{bridge_scope}.events_stored").value
+    assert merged == total, (merged, total)
+    return {
+        "scenario": "relay-merge",
+        "iterations": iters,
+        "series_per_frame": len(COUNTERS) + len(GAUGES) + len(HISTOGRAMS),
+        "elapsed_s": round(elapsed, 4),
+        "merges_per_s": round(iters / elapsed, 1),
+    }
+
+
+def bench_alerts(registry, iters):
+    evaluator = AlertEvaluator(
+        registry, rules=tuple(recommended_rules())
+    )
+    evaluator.evaluate_once(now=0.0)
+    started = time.perf_counter()
+    for index in range(iters):
+        evaluator.evaluate_once(now=float(index + 1))
+    elapsed = time.perf_counter() - started
+    assert evaluator.evaluations.value == iters + 1
+    return {
+        "scenario": "alert-eval",
+        "iterations": iters,
+        "rules": len(evaluator.rules),
+        "elapsed_s": round(elapsed, 4),
+        "evals_per_s": round(iters / elapsed, 1),
+    }
+
+
+class TestTelemetryOverhead:
+    def test_overhead_table(self, report):
+        registry, _scopes = build_registry(N_SCOPES)
+        scenarios = [
+            bench_render(registry, N_ITERS),
+            bench_scrape(registry, max(N_ITERS // 4, 10)),
+            bench_relay(N_ITERS),
+            bench_alerts(registry, N_ITERS),
+        ]
+
+        rate_keys = {
+            "render": "renders_per_s",
+            "scrape-http": "scrapes_per_s",
+            "relay-merge": "merges_per_s",
+            "alert-eval": "evals_per_s",
+        }
+        lines = [
+            f"{'scenario':<14} {'iters':>7} {'elapsed s':>10} {'ops/s':>12}"
+        ]
+        for row in scenarios:
+            lines.append(
+                f"{row['scenario']:<14} {row['iterations']:>7} "
+                f"{row['elapsed_s']:>10.4f} "
+                f"{row[rate_keys[row['scenario']]]:>12.1f}"
+            )
+        table = "\n".join(lines)
+        report.add("observability - telemetry plane overhead", table)
+
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / "BENCH_telemetry.json").write_text(
+            json.dumps(
+                {
+                    "scopes": N_SCOPES,
+                    "iterations": N_ITERS,
+                    "scenarios": scenarios,
+                },
+                indent=2,
+            )
+            + "\n"
+        )

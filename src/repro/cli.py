@@ -281,6 +281,7 @@ def cmd_cluster_demo(args: argparse.Namespace) -> int:
             num_shards=args.shards,
             transport=args.transport,
             aggregator=AggregatorConfig(store_url=args.store_url),
+            telemetry_port=args.telemetry_port,
         ),
     )
     delivered = []
@@ -290,6 +291,12 @@ def cmd_cluster_demo(args: argparse.Namespace) -> int:
             f"== cluster: {args.shards} shard(s), {args.num_mds} MDS, "
             f"map v{cluster.router.version} =="
         )
+        if cluster.telemetry is not None:
+            # This demo steps the pipeline deterministically (no
+            # supervisor), so the scrape server's worker needs an
+            # explicit start to answer HTTP during the run.
+            cluster.telemetry.server.start()
+            print(f"telemetry: {cluster.telemetry.url}/metrics")
         for index in range(args.events):
             fs.makedirs(f"/demo/d{index % 8}")
             fs.create(f"/demo/d{index % 8}/f{index}")
@@ -340,6 +347,117 @@ def cmd_cluster_demo(args: argparse.Namespace) -> int:
                 f"restarts={record['restart_count']}"
             )
         client.close()
+        if cluster.telemetry is not None:
+            import urllib.request
+
+            with urllib.request.urlopen(
+                f"{cluster.telemetry.url}/metrics"
+            ) as response:
+                exposition = response.read().decode("utf-8")
+            shard_lines = [
+                line for line in exposition.splitlines()
+                if "scope=" in line and not line.startswith("#")
+            ]
+            print(f"\n== scraped {cluster.telemetry.url}/metrics "
+                  f"({len(exposition.splitlines())} lines) ==")
+            for line in shard_lines[:10]:
+                print(line)
+    finally:
+        cluster.shutdown()
+    return 0
+
+
+def cmd_telemetry_demo(args: argparse.Namespace) -> int:
+    """Exercise the telemetry plane: scrape, induce an alert, resolve it."""
+    import json
+    import time
+    import urllib.request
+
+    from repro.cluster import ClusterConfig, ClusterMonitor
+    from repro.lustre import LustreFilesystem
+    from repro.telemetry import TelemetryConfig
+
+    fs = LustreFilesystem(num_mds=args.num_mds)
+    fs.makedirs("/demo/data")
+    cluster = ClusterMonitor(
+        fs,
+        ClusterConfig(
+            num_shards=args.shards,
+            transport=args.transport,
+            telemetry=TelemetryConfig(
+                port=args.port,
+                # Fires while events flow, resolves when the load stops.
+                rules=("demo-ingest: rate(*.events_stored) > 0",),
+                eval_interval=0.1,
+                flight_interval=0.1,
+            ),
+        ),
+    )
+    cluster.subscribe(lambda _seq, _event: None, name="demo")
+    url = cluster.telemetry.url
+
+    def fetch(path):
+        with urllib.request.urlopen(url + path, timeout=5.0) as response:
+            body = response.read().decode("utf-8")
+        if path == "/metrics":
+            return body
+        return json.loads(body)
+
+    def demo_states():
+        return {
+            inst["state"]
+            for inst in fetch("/alerts")["instances"]
+            if inst["rule"] == "demo-ingest"
+        }
+
+    cluster.start()
+    try:
+        print(f"== telemetry plane at {url} ==")
+        print("routes: /metrics /health /alerts /flight")
+
+        print("\n== inducing the demo-ingest alert (sustained load) ==")
+        deadline = time.monotonic() + 20.0
+        index = 0
+        while time.monotonic() < deadline and "firing" not in demo_states():
+            for _ in range(20):
+                fs.create(f"/demo/data/f{index}")
+                index += 1
+            time.sleep(0.05)
+        states = demo_states()
+        print(f"alert states under load: {sorted(states) or ['(none)']}")
+
+        print("\n== load stopped; waiting for resolution ==")
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline and "resolved" not in demo_states():
+            time.sleep(0.1)
+        print(f"alert states after: {sorted(demo_states()) or ['(none)']}")
+
+        print("\n== scrape ==")
+        exposition = fetch("/metrics")
+        interesting = [
+            line for line in exposition.splitlines()
+            if line.startswith("repro_alerts_firing")
+            or ("events_stored" in line and not line.startswith("#"))
+        ]
+        print(f"{len(exposition.splitlines())} lines; highlights:")
+        for line in interesting[:8]:
+            print(f"  {line}")
+
+        health = fetch("/health")
+        print(f"\nhealth: state={health['state']} "
+              f"services={len(health['services'])} "
+              f"degraded={health['degraded']}")
+
+        history = fetch("/alerts")["history"]
+        print(f"alert history: {len(history)} transition(s)")
+        for record in history[-4:]:
+            print(f"  {record['rule']}: {record['from']} -> {record['state']}")
+
+        flight = fetch("/flight")
+        print(f"flight recorder: {flight['depth']} frame(s) buffered, "
+              f"{len(flight['dumps'])} dump(s)")
+        for path in flight["dumps"][:3]:
+            print(f"  {path}")
     finally:
         cluster.shutdown()
     return 0
@@ -512,7 +630,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard store durability: memory:// (volatile) or "
         "segments:///path (per-shard append-only logs)",
     )
+    cluster.add_argument(
+        "--telemetry-port", type=int, default=None,
+        help="serve /metrics, /health and /alerts over HTTP on this "
+        "port (0 = ephemeral); omit to leave the telemetry plane off",
+    )
     cluster.set_defaults(func=cmd_cluster_demo)
+
+    telemetry = subparsers.add_parser(
+        "telemetry-demo",
+        help="run a cluster with the telemetry plane, scrape /metrics "
+        "over HTTP, and induce + resolve an alert",
+    )
+    telemetry.add_argument("--shards", type=int, default=2)
+    telemetry.add_argument("--num-mds", type=int, default=2)
+    telemetry.add_argument(
+        "--transport", choices=("inproc", "multiproc"), default="inproc",
+        help="multiproc also exercises the child->parent metrics relay",
+    )
+    telemetry.add_argument("--port", type=int, default=0,
+                           help="HTTP port (0 = ephemeral)")
+    telemetry.set_defaults(func=cmd_telemetry_demo)
 
     store = subparsers.add_parser(
         "store-demo",

@@ -43,6 +43,7 @@ from repro.metrics.registry import MetricsRegistry
 from repro.metrics.tracing import TRACE_SCOPE, Tracer, make_tracer
 from repro.msgq import Transport, make_transport
 from repro.runtime import RestartPolicy, ServiceCrash, Supervisor
+from repro.telemetry import TelemetryConfig, TelemetryPlane
 
 __all__ = [
     "ClusterConfig",
@@ -86,6 +87,13 @@ class ClusterConfig:
     autotune: bool = False
     autotune_interval: float = 0.25
     tuning: FlushTuning = field(default_factory=FlushTuning)
+    #: TCP port for the operator telemetry plane's HTTP scrape server
+    #: (``/metrics``, ``/health``, ``/alerts``); ``None`` leaves the
+    #: plane off, ``0`` binds an ephemeral port (read it back from
+    #: ``monitor.telemetry.port``).
+    telemetry_port: int | None = None
+    #: Full telemetry-plane configuration; overrides ``telemetry_port``.
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -276,6 +284,22 @@ class ClusterMonitor:
                 interval=self.config.autotune_interval,
             )
             self.supervisor.add_child(self.autotuner)
+        #: The operator telemetry plane (scrape server + alert
+        #: evaluator + flight recorder); its services run under this
+        #: cluster's supervisor.  ``None`` unless configured.  On the
+        #: multiproc backend the child→parent metrics relay puts every
+        #: shard child's series in the scraped exposition too.
+        self.telemetry: TelemetryPlane | None = None
+        telemetry_config = self.config.telemetry
+        if telemetry_config is None and self.config.telemetry_port is not None:
+            telemetry_config = TelemetryConfig(port=self.config.telemetry_port)
+        if telemetry_config is not None:
+            self.telemetry = TelemetryPlane(
+                self.registry,
+                telemetry_config,
+                health_provider=self.supervisor.health,
+            )
+            self.telemetry.add_to(self.supervisor)
 
     def _make_bridge(self, shard_id: str, shard_config: AggregatorConfig):
         """One process-shard bridge, via the transport's factory when it

@@ -35,6 +35,7 @@ from repro.metrics.registry import MetricsRegistry
 from repro.metrics.tracing import TRACE_SCOPE, Tracer, make_tracer
 from repro.msgq import Transport, make_transport
 from repro.runtime import RestartPolicy, Supervisor
+from repro.telemetry import TelemetryConfig, TelemetryPlane
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,13 @@ class MonitorConfig:
     #: child process behind a
     #: :class:`~repro.msgq.multiproc.ProcessShardBridge`.
     transport: str = "inproc"
+    #: TCP port for the operator telemetry plane's HTTP scrape server
+    #: (``/metrics``, ``/health``, ``/alerts``); ``None`` leaves the
+    #: plane off, ``0`` binds an ephemeral port (read it back from
+    #: ``monitor.telemetry.port``).
+    telemetry_port: int | None = None
+    #: Full telemetry-plane configuration; overrides ``telemetry_port``.
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.transport not in ("inproc", "multiproc"):
@@ -184,6 +192,20 @@ class LustreMonitor:
             )
             self.collectors.append(collector)
         self.consumers: list[Consumer] = []
+        #: The operator telemetry plane (scrape server + alert
+        #: evaluator + flight recorder); its services run under this
+        #: monitor's supervisor.  ``None`` unless configured.
+        self.telemetry: TelemetryPlane | None = None
+        telemetry_config = self.config.telemetry
+        if telemetry_config is None and self.config.telemetry_port is not None:
+            telemetry_config = TelemetryConfig(port=self.config.telemetry_port)
+        if telemetry_config is not None:
+            self.telemetry = TelemetryPlane(
+                self.registry,
+                telemetry_config,
+                health_provider=self.supervisor.health,
+            )
+            self.telemetry.add_to(self.supervisor)
 
     def _make_bridge(self):
         """The process-shard bridge for this monitor's one aggregator."""

@@ -25,15 +25,35 @@ Metric names are dotted: ``<scope>.<metric>``, where the scope is the
 owning service's unique name within the registry (see
 :meth:`MetricsRegistry.unique_scope`).  :meth:`render_prometheus`
 renders everything in the Prometheus text exposition format for
-operator tooling.
+operator tooling: series are grouped into families (one ``# HELP`` /
+``# TYPE`` header pair per family), and series owned by a *registered*
+service scope render the scope as a ``scope="..."`` label on a shared
+family instead of a name-mangled prefix — so ``shard0.inbound_depth``
+and ``shard1.inbound_depth`` become two samples of one
+``repro_inbound_depth`` family that dashboards can aggregate across.
+
+Callback gauges are **guarded** everywhere they are read: a raising
+``gauge_fn`` is skipped (and counted in ``gauge_fn_errors``) rather
+than aborting a whole snapshot or scrape — one bad probe must never
+blind the exposition.
+
+:meth:`export_state` / :meth:`RelayedHistogram` are the cross-process
+half: a child process exports its registry as plain primitives
+(histogram bucket counts included) and the parent merges them back in
+(:mod:`repro.telemetry.relay`), so one scrape of the parent covers
+series that live in shard child processes.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Iterator, Optional, Union
+from typing import Any, Callable, Dict, Iterator, Optional, Union
 
 from repro.metrics.histogram import LatencyHistogram
+
+#: Registry counter incremented whenever a callback gauge raises during
+#: a snapshot or exposition render (the series is skipped instead).
+GAUGE_FN_ERRORS = "gauge_fn_errors"
 
 
 class Counter:
@@ -156,6 +176,127 @@ class Histogram:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram({self.name}, n={self._hist.total})"
 
+    def export_state(self) -> dict:
+        """The histogram as plain primitives (for cross-process relay)."""
+        hist = self._hist
+        with hist._lock:
+            return {
+                "counts": list(hist._counts),
+                "sum": hist.sum,
+                "total": hist.total,
+                "max": hist.max_seen,
+                "min_latency": hist.min_latency,
+            }
+
+
+class RelayedHistogram:
+    """A histogram whose state is *installed* rather than recorded.
+
+    The cross-process metrics relay ships histogram bucket counts from
+    a shard child's registry to the parent; the parent needs an object
+    with the :class:`Histogram` read API (``counts``/``bucket_bounds``/
+    ``sum``/``total``/``summary``) that it can overwrite wholesale on
+    every relay tick.  It lives in the registry's histogram map, so
+    snapshots and the Prometheus exposition render it exactly like a
+    locally recorded histogram — cumulative ``_bucket`` series and all.
+    """
+
+    __slots__ = ("name", "_lock", "_counts", "_sum", "_total", "_max",
+                 "_min_latency")
+
+    def __init__(self, name: str, min_latency: float = 1e-6,
+                 buckets: int = 40) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._counts = [0] * buckets
+        self._sum = 0.0
+        self._total = 0
+        self._max = 0.0
+        self._min_latency = min_latency
+
+    def set_state(
+        self,
+        counts: list[int],
+        total_sum: float,
+        total: int,
+        max_seen: float,
+        min_latency: float = 1e-6,
+    ) -> None:
+        """Replace the whole distribution (one relay tick)."""
+        with self._lock:
+            self._counts = list(counts)
+            self._sum = total_sum
+            self._total = total
+            self._max = max_seen
+            self._min_latency = min_latency
+
+    # -- Histogram read API --------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def max_seen(self) -> float:
+        return self._max
+
+    def counts(self) -> list[int]:
+        with self._lock:
+            return list(self._counts)
+
+    def bucket_bounds(self, index: int) -> tuple[float, float]:
+        if index == 0:
+            return (0.0, self._min_latency)
+        low = self._min_latency * 2 ** (index - 1)
+        return (low, low * 2)
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            counts = list(self._counts)
+            total = self._total
+            total_sum = self._sum
+            max_seen = self._max
+        if total == 0:
+            return {
+                "count": 0, "mean": 0.0, "max": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
+
+        def pct(fraction: float) -> float:
+            threshold = fraction * total
+            cumulative = 0
+            for index, count in enumerate(counts):
+                cumulative += count
+                if cumulative >= threshold:
+                    return self.bucket_bounds(index)[1]
+            return max_seen
+
+        return {
+            "count": total,
+            "mean": total_sum / total,
+            "max": max_seen,
+            "p50": pct(0.50),
+            "p95": pct(0.95),
+            "p99": pct(0.99),
+        }
+
+    def export_state(self) -> dict:
+        with self._lock:
+            return {
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "total": self._total,
+                "max": self._max,
+                "min_latency": self._min_latency,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RelayedHistogram({self.name}, n={self._total})"
+
 
 class MetricsRegistry:
     """Get-or-create registry of named counters, gauges and histograms.
@@ -169,8 +310,13 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._gauge_fns: Dict[str, Callable[[], Union[int, float]]] = {}
-        self._histograms: Dict[str, Histogram] = {}
+        self._histograms: Dict[str, Union[Histogram, RelayedHistogram]] = {}
         self._scopes: Dict[str, int] = {}
+        #: Concrete scope strings handed out by :meth:`unique_scope` —
+        #: the exposition renders these as ``scope="..."`` labels.
+        self._reserved_scopes: set[str] = set()
+        #: One-line help texts per dotted metric name (optional).
+        self._help: Dict[str, str] = {}
 
     # -- registration -------------------------------------------------------
 
@@ -207,7 +353,29 @@ class MetricsRegistry:
                 )
             return metric
 
-    def histograms(self) -> Dict[str, Histogram]:
+    def relayed_histogram(
+        self, name: str, min_latency: float = 1e-6, buckets: int = 40
+    ) -> RelayedHistogram:
+        """Return the relayed (externally set) histogram *name*.
+
+        Raises :class:`TypeError` when *name* already exists as a
+        locally recorded :class:`Histogram` — the two kinds must never
+        alias one series.
+        """
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = RelayedHistogram(
+                    name, min_latency=min_latency, buckets=buckets
+                )
+            if not isinstance(metric, RelayedHistogram):
+                raise TypeError(
+                    f"{name!r} is a locally recorded histogram; it cannot "
+                    f"be overwritten by a relay"
+                )
+            return metric
+
+    def histograms(self) -> Dict[str, Union[Histogram, RelayedHistogram]]:
         """A point-in-time copy of the registered histograms by name."""
         with self._lock:
             return dict(self._histograms)
@@ -222,12 +390,58 @@ class MetricsRegistry:
         with self._lock:
             count = self._scopes.get(base, 0) + 1
             self._scopes[base] = count
-            return base if count == 1 else f"{base}#{count}"
+            scope = base if count == 1 else f"{base}#{count}"
+            self._reserved_scopes.add(scope)
+            return scope
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a one-line ``# HELP`` text to metric *name*.
+
+        *name* is the dotted registry name (scope included); scoped
+        series rendered under a shared family use the help text of
+        whichever member described it first.
+        """
+        with self._lock:
+            self._help[name] = help_text
+
+    def contains(self, name: str) -> bool:
+        """True when *name* is registered as any metric kind."""
+        with self._lock:
+            return (
+                name in self._counters
+                or name in self._gauges
+                or name in self._gauge_fns
+                or name in self._histograms
+            )
+
+    def unregister(self, name: str) -> bool:
+        """Remove metric *name* of any kind (True when it existed).
+
+        Used when a relayed series supersedes a local placeholder (and
+        by tests); references handed out earlier keep working but are
+        no longer rendered.
+        """
+        with self._lock:
+            removed = False
+            for table in (self._counters, self._gauges,
+                          self._gauge_fns, self._histograms):
+                if name in table:
+                    del table[name]
+                    removed = True
+            return removed
 
     # -- reading ------------------------------------------------------------
 
+    def _gauge_fn_failed(self, name: str, exc: Exception) -> None:
+        """Account one raising callback gauge (the series is skipped)."""
+        self.counter(GAUGE_FN_ERRORS).inc()
+
     def value(self, name: str, default: Union[int, float] = 0) -> Union[int, float]:
-        """Current value of one metric (0/default when absent)."""
+        """Current value of one metric (0/default when absent).
+
+        A raising callback gauge yields *default* (and bumps
+        ``gauge_fn_errors``) instead of propagating.
+        """
         with self._lock:
             if name in self._counters:
                 return self._counters[name].value
@@ -235,7 +449,10 @@ class MetricsRegistry:
                 return self._gauges[name].value
             fn = self._gauge_fns.get(name)
         if fn is not None:
-            return fn()
+            try:
+                return fn()
+            except Exception as exc:
+                self._gauge_fn_failed(name, exc)
         return default
 
     def names(self) -> list[str]:
@@ -269,7 +486,14 @@ class MetricsRegistry:
                 key = name[len(prefix) + 1:]
             else:
                 key = name
-            result[key] = value() if callable(value) else value
+            if callable(value):
+                # Guarded: one raising probe skips its series only.
+                try:
+                    value = value()
+                except Exception as exc:
+                    self._gauge_fn_failed(name, exc)
+                    continue
+            result[key] = value
         # Histograms flatten into <name>.count/mean/max/p50/p95/p99, so
         # percentile visibility rides along with every stats answer.
         for name, histogram in histograms:
@@ -290,23 +514,64 @@ class MetricsRegistry:
     def __iter__(self) -> Iterator[str]:
         return iter(self.names())
 
-    # -- exposition ----------------------------------------------------------
+    # -- cross-process export -------------------------------------------------
 
-    def render_prometheus(self, namespace: str = "repro") -> str:
-        """The registry in the Prometheus text exposition format.
+    def export_state(self) -> Dict[str, Any]:
+        """The whole registry as plain primitives (for the relay wire).
 
-        Dotted metric names are sanitised to the ``[a-zA-Z0-9_:]``
-        alphabet (dots and ``#`` become underscores).  Histograms render
-        the conventional cumulative ``_bucket{le="..."}`` series plus
-        ``_sum`` and ``_count``; counters get ``_total`` appended per
-        Prometheus naming convention.
+        Counters, gauges, and evaluated callback gauges ship as value
+        maps; histograms ship their full bucket state so the parent's
+        exposition can render real ``_bucket`` series for child-side
+        distributions.  Callback gauges are guarded as everywhere else.
         """
         with self._lock:
             counters = list(self._counters.items())
             gauges = list(self._gauges.items())
             gauge_fns = list(self._gauge_fns.items())
             histograms = list(self._histograms.items())
-        lines: list[str] = []
+        state: Dict[str, Any] = {
+            "counters": {name: c.value for name, c in counters},
+            "gauges": {name: g.value for name, g in gauges},
+            "gauge_fns": {},
+            "histograms": {
+                name: h.export_state() for name, h in histograms
+            },
+        }
+        for name, fn in gauge_fns:
+            try:
+                state["gauge_fns"][name] = fn()
+            except Exception as exc:
+                self._gauge_fn_failed(name, exc)
+        return state
+
+    # -- exposition ----------------------------------------------------------
+
+    def render_prometheus(self, namespace: str = "repro") -> str:
+        """The registry in the Prometheus text exposition format.
+
+        Dotted metric names are sanitised to the ``[a-zA-Z0-9_:]``
+        alphabet (dots and ``#`` become underscores).  Series are
+        grouped into metric families: one ``# HELP``/``# TYPE`` header
+        pair per family, samples after their headers.  Series whose
+        name starts with a scope reserved via :meth:`unique_scope`
+        render the scope as a ``scope="..."`` label on a family named
+        after the unscoped remainder — unless that would be ambiguous
+        (the family already exists with a different metric kind, or two
+        series would collapse onto identical label sets), in which case
+        the series falls back to the historical name-mangled form.
+        Histograms render the conventional cumulative
+        ``_bucket{le="..."}`` series plus ``_sum`` and ``_count``;
+        counters get ``_total`` appended per Prometheus convention.
+        Raising callback gauges are skipped (counted in
+        ``gauge_fn_errors``) so one bad probe cannot blind a scrape.
+        """
+        with self._lock:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            gauge_fns = list(self._gauge_fns.items())
+            histograms = list(self._histograms.items())
+            scopes = sorted(self._reserved_scopes, key=len, reverse=True)
+            help_texts = dict(self._help)
 
         def sanitize(name: str) -> str:
             cleaned = "".join(
@@ -317,31 +582,124 @@ class MetricsRegistry:
                 cleaned = "_" + cleaned
             return f"{namespace}_{cleaned}" if namespace else cleaned
 
+        def split_scope(name: str) -> tuple[Optional[str], str]:
+            for scope in scopes:  # longest reserved scope wins
+                if name.startswith(scope + ".") and len(name) > len(scope) + 1:
+                    return scope, name[len(scope) + 1:]
+            return None, name
+
+        def escape_label(value: str) -> str:
+            return (
+                value.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+            )
+
+        # One record per series: [raw name, kind, payload, family, labels].
+        series: list[list] = []
         for name, counter in counters:
-            metric = sanitize(name) + "_total"
-            lines.append(f"# TYPE {metric} counter")
-            lines.append(f"{metric} {counter.value}")
+            series.append([name, "counter", counter.value, None, None])
         for name, gauge in gauges:
-            metric = sanitize(name)
-            lines.append(f"# TYPE {metric} gauge")
-            lines.append(f"{metric} {gauge.value}")
+            series.append([name, "gauge", gauge.value, None, None])
         for name, fn in gauge_fns:
-            metric = sanitize(name)
-            lines.append(f"# TYPE {metric} gauge")
-            lines.append(f"{metric} {fn()}")
+            try:
+                value = fn()
+            except Exception as exc:
+                self._gauge_fn_failed(name, exc)
+                continue
+            series.append([name, "gauge", value, None, None])
         for name, histogram in histograms:
-            metric = sanitize(name)
-            lines.append(f"# TYPE {metric} histogram")
-            cumulative = 0
-            for index, count in enumerate(histogram.counts()):
-                cumulative += count
-                bound = histogram.bucket_bounds(index)[1]
-                lines.append(
-                    f'{metric}_bucket{{le="{bound:.9g}"}} {cumulative}'
+            series.append([name, "histogram", histogram, None, None])
+
+        def assign(record: list, mangled: bool) -> None:
+            name, kind = record[0], record[1]
+            scope, rest = (None, name) if mangled else split_scope(name)
+            family = sanitize(rest)
+            if kind == "counter":
+                family += "_total"
+            record[3] = family
+            record[4] = (
+                f'scope="{escape_label(scope)}"' if scope else ""
+            )
+
+        for record in series:
+            assign(record, mangled=False)
+
+        def conflicts() -> set[str]:
+            """Families that are ambiguous: mixed kinds, or identical
+            (family, labels) pairs from different raw series."""
+            kinds: Dict[str, set] = {}
+            keys: Dict[tuple, int] = {}
+            bad: set[str] = set()
+            for _name, kind, _payload, family, labels in series:
+                kinds.setdefault(family, set()).add(kind)
+                keys[(family, labels)] = keys.get((family, labels), 0) + 1
+            for family, family_kinds in kinds.items():
+                if len(family_kinds) > 1:
+                    bad.add(family)
+            for (family, _labels), count in keys.items():
+                if count > 1:
+                    bad.add(family)
+            return bad
+
+        bad = conflicts()
+        if bad:
+            for record in series:
+                if record[4] and record[3] in bad:
+                    assign(record, mangled=True)
+            # Pathological mangled collisions: drop later duplicates so
+            # the exposition stays parseable.
+            seen: set[tuple] = set()
+            deduped = []
+            for record in series:
+                key = (record[3], record[4])
+                if record[3] in conflicts() and key in seen:
+                    continue
+                seen.add(key)
+                deduped.append(record)
+            series = deduped
+
+        families: Dict[str, list] = {}
+        family_kind: Dict[str, str] = {}
+        for record in series:
+            families.setdefault(record[3], []).append(record)
+            family_kind[record[3]] = record[1]
+
+        lines: list[str] = []
+        for family in sorted(families):
+            members = families[family]
+            kind = family_kind[family]
+            help_text = next(
+                (help_texts[m[0]] for m in members if m[0] in help_texts),
+                None,
+            )
+            if help_text is None:
+                base = split_scope(members[0][0])[1] if members[0][4] else (
+                    members[0][0]
                 )
-            lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
-            lines.append(f"{metric}_sum {histogram.sum:.9g}")
-            lines.append(f"{metric}_count {histogram.total}")
+                help_text = f"{kind} {base}"
+            lines.append(f"# HELP {family} {escape_label(help_text)}")
+            lines.append(f"# TYPE {family} {kind}")
+            for name, _kind, payload, _family, label in members:
+                if kind == "histogram":
+                    suffix = f",{label}" if label else ""
+                    cumulative = 0
+                    for index, count in enumerate(payload.counts()):
+                        cumulative += count
+                        bound = payload.bucket_bounds(index)[1]
+                        lines.append(
+                            f'{family}_bucket{{le="{bound:.9g}"{suffix}}} '
+                            f"{cumulative}"
+                        )
+                    lines.append(
+                        f'{family}_bucket{{le="+Inf"{suffix}}} {cumulative}'
+                    )
+                    wrap = f"{{{label}}}" if label else ""
+                    lines.append(f"{family}_sum{wrap} {payload.sum:.9g}")
+                    lines.append(f"{family}_count{wrap} {payload.total}")
+                else:
+                    wrap = f"{{{label}}}" if label else ""
+                    lines.append(f"{family}{wrap} {payload}")
         return "\n".join(lines) + "\n"
 
 
@@ -370,6 +728,9 @@ class ScopedRegistry:
         return self.registry.histogram(
             self._qualify(name), min_latency=min_latency, buckets=buckets
         )
+
+    def describe(self, name: str, help_text: str) -> None:
+        self.registry.describe(self._qualify(name), help_text)
 
     def value(self, name: str, default: Union[int, float] = 0) -> Union[int, float]:
         return self.registry.value(self._qualify(name), default)

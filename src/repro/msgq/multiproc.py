@@ -57,11 +57,17 @@ from repro.msgq.framing import (
     encode_report,
 )
 from repro.runtime.service import Service, ServiceCrash, WorkerSpec
+from repro.telemetry.relay import RegistryRelay, decode_state
 
 __all__ = ["MultiprocTransport", "ProcessShardBridge", "ShardChildSpec"]
 
 #: Default child start method (see module docstring).
 DEFAULT_START_METHOD = "spawn"
+
+#: How often (seconds) the child ships its registry snapshot to the
+#: parent; 0 disables the relay.  Snapshots ride the ordinary child
+#: output queue, so they are strictly ordered with pubs and acks.
+DEFAULT_RELAY_INTERVAL = 0.25
 
 #: Frames the parent→child queue holds before the bridge stops
 #: draining its PULL socket (backpressure propagates to collectors
@@ -82,6 +88,7 @@ class ShardChildSpec:
     start_seq: int = 1
     want_pubs: bool = False
     flush_batch_events: Optional[int] = None
+    relay_interval: float = DEFAULT_RELAY_INTERVAL
 
 
 def _forward_pubs(capture, events_q, want_pubs: bool) -> None:
@@ -104,9 +111,11 @@ def _shard_main(spec: ShardChildSpec, inbox_q, events_q) -> None:
     """Child process entry point: a synchronously driven Aggregator.
 
     Frames in: ``("batch", bid, bytes)``, ``("req", rid, bytes)``,
-    ``("want", bool)``, ``("tune", {...})``, ``("stop",)``.
+    ``("want", bool)``, ``("tune", {...})``, ``("relay",)``,
+    ``("stop",)``.
     Frames out: ``("pub", topic, bytes)``, ``("ack", bid, last_seq)``,
-    ``("reply", rid, bytes)``, ``("crashed", reason)``.
+    ``("reply", rid, bytes)``, ``("metrics", bytes)``,
+    ``("crashed", reason)``.
 
     Publications are forwarded *before* the batch's ack, so an acked
     batch's events are always ahead of the ack in the FIFO — the
@@ -114,6 +123,7 @@ def _shard_main(spec: ShardChildSpec, inbox_q, events_q) -> None:
     """
     from repro.core.aggregator import Aggregator
     from repro.metrics.registry import MetricsRegistry
+    from repro.telemetry.relay import encode_state
 
     transport = Context()
     aggregator = Aggregator(
@@ -143,12 +153,34 @@ def _shard_main(spec: ShardChildSpec, inbox_q, events_q) -> None:
     )
     want_pubs = spec.want_pubs
     parent = multiprocessing.parent_process()
+
+    def _ship_metrics() -> None:
+        # Best-effort: a full output queue means the parent is behind on
+        # real work; dropping a snapshot only delays one relay tick.
+        state = aggregator.metrics.registry.export_state()
+        try:
+            events_q.put_nowait(("metrics", encode_state(state)))
+        except Exception:
+            pass
+
+    last_relay = time.monotonic()
+
+    def _maybe_relay() -> None:
+        nonlocal last_relay
+        if spec.relay_interval <= 0:
+            return
+        now = time.monotonic()
+        if now - last_relay >= spec.relay_interval:
+            _ship_metrics()
+            last_relay = now
+
     while True:
         try:
             frame = inbox_q.get(timeout=0.1)
         except queue.Empty:
             if parent is not None and not parent.is_alive():
                 break
+            _maybe_relay()
             continue
         kind = frame[0]
         if kind == "stop":
@@ -175,6 +207,10 @@ def _shard_main(spec: ShardChildSpec, inbox_q, events_q) -> None:
                     aggregator.flush_batch_events = int(
                         knobs["batch_events"]
                     )
+            elif kind == "relay":
+                _ship_metrics()
+                last_relay = time.monotonic()
+            _maybe_relay()
         except Exception as exc:
             try:
                 events_q.put_nowait(
@@ -183,8 +219,12 @@ def _shard_main(spec: ShardChildSpec, inbox_q, events_q) -> None:
             except Exception:
                 pass
             raise
-    # Graceful exit: flush the durable backend (no-op for memory) so a
-    # clean stop leaves no torn tail for the next incarnation.
+    # Graceful exit: a last snapshot (so the parent's merged series end
+    # at the child's final truth), then flush the durable backend
+    # (no-op for memory) so a clean stop leaves no torn tail for the
+    # next incarnation.
+    if spec.relay_interval > 0:
+        _ship_metrics()
     aggregator.store.close()
 
 
@@ -233,6 +273,7 @@ class ProcessShardBridge(Service):
         registry=None,
         start_method: str = DEFAULT_START_METHOD,
         inbox_frames: int = DEFAULT_INBOX_FRAMES,
+        relay_interval: float = DEFAULT_RELAY_INTERVAL,
     ) -> None:
         super().__init__(shard_id, registry)
         self.config = config
@@ -285,6 +326,19 @@ class ProcessShardBridge(Service):
         self.metrics.gauge_fn("inbound_hwm", lambda: self.inbound.hwm)
         self.metrics.gauge_fn("inbound_credits", lambda: self.inbound.credits)
         self.metrics.gauge_fn("api_depth", lambda: self.api.pending)
+        # Child→parent metrics relay: child registry snapshots merge
+        # into the parent registry under this bridge's scope.  The epoch
+        # bumps on every (re)spawn so relayed counters resume monotone
+        # across child incarnations; parent-local series (the mirrors
+        # above) always win over relayed ones.
+        self.relay_interval = relay_interval
+        self._relay_epoch = 0
+        self._relay = RegistryRelay(
+            self.metrics.registry,
+            scope=self.metrics.scope,
+            strip_scopes=(shard_id,),
+        )
+        self._relay_frames = self.metrics.counter("relay_frames")
         self._spawn()
 
     # -- tuning / observability hooks (Aggregator-compatible) ---------------
@@ -321,6 +375,10 @@ class ProcessShardBridge(Service):
     def _spawn(self) -> None:
         self._inbox_q = self._mp.Queue(self._inbox_frames)
         self._events_q = self._mp.Queue(self._inbox_frames * 4 + 16)
+        # New incarnation: relayed counters fold the dead child's final
+        # values into their offsets.  Bumped before any frame from the
+        # new child can arrive.
+        self._relay_epoch += 1
         spec = ShardChildSpec(
             shard_id=self.name,
             config=self.config,
@@ -331,6 +389,7 @@ class ProcessShardBridge(Service):
                 if self._flush_batch_events != self.config.batch_events
                 else None
             ),
+            relay_interval=self.relay_interval,
         )
         self._proc = self._mp.Process(
             target=_shard_main,
@@ -382,6 +441,21 @@ class ProcessShardBridge(Service):
                     )
         self._spawn()
         return 1
+
+    def request_metrics(self) -> bool:
+        """Ask the child for an immediate registry snapshot (the reply
+        arrives as a ``metrics`` frame on a later pump).  Returns False
+        when the control queue is full — retry on the next pump."""
+        try:
+            self._inbox_q.put_nowait(("relay",))
+            return True
+        except Exception:
+            return False
+
+    @property
+    def relay_merges(self) -> int:
+        """Relay snapshots merged into the parent registry so far."""
+        return self._relay.merges
 
     def kill_child(self) -> None:
         """SIGKILL the shard process (failover testing).  The next pump
@@ -506,6 +580,9 @@ class ProcessShardBridge(Service):
             self._pending_requests.pop(rid, None)
             if channel is not None:
                 channel.send(pickle.loads(data))
+        elif kind == "metrics":
+            self._relay.merge(decode_state(frame[1]), self._relay_epoch)
+            self._relay_frames.inc()
         elif kind == "crashed":
             self._child_error = frame[1]
             self._service_log.warning(
@@ -593,12 +670,14 @@ class MultiprocTransport(Context):
         self._bridges: list[ProcessShardBridge] = []
 
     def process_shard(
-        self, shard_id: str, config, registry=None
+        self, shard_id: str, config, registry=None,
+        relay_interval: float = DEFAULT_RELAY_INTERVAL,
     ) -> ProcessShardBridge:
         """Spawn one shard's child process and return its bridge."""
         bridge = ProcessShardBridge(
             shard_id, config, self,
             registry=registry, start_method=self.start_method,
+            relay_interval=relay_interval,
         )
         self._bridges.append(bridge)
         return bridge

@@ -1,0 +1,465 @@
+"""Declarative alert rules evaluated over registry snapshots.
+
+MELT-style operation (PAPERS.md) needs more than a scrape endpoint: an
+operator has to be told *when* the fabric is unhealthy — a shard's
+inbound queue saturating, credits exhausted, a child process
+restart-looping, fsync falling behind appends.  This module is a small
+in-process alerting tier over :meth:`MetricsRegistry.snapshot`:
+
+* :class:`AlertRule` — a frozen declarative rule.  Three kinds:
+  ``threshold`` (value, or value/divisor ratio, compared against a
+  bound), ``rate`` (change per second between evaluations), and
+  ``absence`` (no series matches the pattern at all).  Metric patterns
+  use fnmatch globbing (``*.inbound_depth``) so one rule covers every
+  shard; a ``*`` captured in the metric pattern substitutes into the
+  divisor pattern so ratios pair up per-shard.
+* :func:`parse_rule` — a compact text grammar
+  (``shard-pressure: *.inbound_depth / *.inbound_hwm > 0.8 for 5s``)
+  so rules can arrive from CLI flags and config files.
+* :class:`AlertEvaluator` — a :class:`~repro.runtime.Service` that
+  periodically evaluates every rule against a fresh snapshot and runs
+  each (rule, series) instance through the
+  ``ok → pending → firing → resolved`` state machine: a breach must
+  persist ``for <duration>`` before firing, and a firing alert resolves
+  (sticky state, kept in history) once the breach clears.  Firing
+  alerts surface on ``/alerts``, in ``repro_alerts_firing``, and
+  through ``on_transition`` callbacks (the flight recorder hooks one).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.metrics.registry import MetricsRegistry
+from repro.runtime.service import Service, WorkerSpec
+
+__all__ = [
+    "AlertEvaluator",
+    "AlertRule",
+    "AlertState",
+    "parse_rule",
+    "recommended_rules",
+]
+
+def _glob_capture(pattern: str) -> "re.Pattern[str]":
+    """Compile a glob to a regex whose ``*``/``?`` wildcards capture."""
+    parts: List[str] = []
+    for char in pattern:
+        if char == "*":
+            parts.append("(.*)")
+        elif char == "?":
+            parts.append("(.)")
+        else:
+            parts.append(re.escape(char))
+    return re.compile("".join(parts) + r"\Z")
+
+
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative alert condition over snapshot series.
+
+    kind:
+        ``threshold`` compares each matching series' value (divided by
+        its paired *divisor* series when set); ``rate`` compares the
+        per-second change between consecutive evaluations; ``absence``
+        breaches when *no* series matches *metric* at all.
+    duration:
+        Seconds a breach must persist before the instance fires.  Zero
+        fires on the first breaching evaluation.
+    """
+
+    name: str
+    metric: str
+    op: str = ">"
+    threshold: float = 0.0
+    duration: float = 0.0
+    kind: str = "threshold"
+    divisor: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown comparison op {self.op!r}")
+        if self.kind not in ("threshold", "rate", "absence"):
+            raise ValueError(f"unknown rule kind {self.kind!r}")
+
+    def compare(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+    def spec(self) -> str:
+        """The rule condition as display text."""
+        metric = self.metric
+        if self.kind == "rate":
+            metric = f"rate({metric})"
+        elif self.kind == "absence":
+            return f"absent({metric}) for {self.duration:g}s"
+        if self.divisor:
+            metric = f"{metric} / {self.divisor}"
+        text = f"{metric} {self.op} {self.threshold:g}"
+        if self.duration:
+            text += f" for {self.duration:g}s"
+        return text
+
+
+_RULE_RE = re.compile(
+    r"""^\s*
+    (?:(?P<name>[\w.\-]+)\s*:)?\s*
+    (?:
+        absent\(\s*(?P<absent>[^\s()]+)\s*\)
+        |
+        (?:rate\(\s*(?P<rated>[^\s()]+)\s*\)|(?P<metric>[^\s()/]+))
+        (?:\s*/\s*(?P<divisor>[^\s()]+))?
+        \s*(?P<op>>=|<=|==|!=|>|<)\s*
+        (?P<threshold>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+    )
+    (?:\s+for\s+(?P<duration>\d+(?:\.\d+)?)s?)?
+    \s*$""",
+    re.VERBOSE,
+)
+
+
+def parse_rule(text: str) -> AlertRule:
+    """Parse ``[name:] <cond> [for Ns]`` rule text.
+
+    Conditions: ``metric > N``, ``metric / divisor > N``,
+    ``rate(metric) > N``, ``absent(metric)``.  Examples::
+
+        shard-pressure: *.inbound_depth / *.inbound_hwm > 0.8 for 10s
+        restarts: rate(*.child_restarts) > 0
+        stale: absent(*.events_stored) for 30s
+    """
+    match = _RULE_RE.match(text)
+    if not match:
+        raise ValueError(f"unparseable alert rule: {text!r}")
+    groups = match.groupdict()
+    duration = float(groups["duration"] or 0.0)
+    if groups["absent"]:
+        return AlertRule(
+            name=groups["name"] or f"absent-{groups['absent']}",
+            metric=groups["absent"],
+            kind="absence",
+            duration=duration,
+        )
+    kind = "rate" if groups["rated"] else "threshold"
+    metric = groups["rated"] or groups["metric"]
+    if kind == "rate" and groups["divisor"]:
+        raise ValueError(f"rate() rules take no divisor: {text!r}")
+    return AlertRule(
+        name=groups["name"] or f"{kind}-{metric}",
+        metric=metric,
+        op=groups["op"],
+        threshold=float(groups["threshold"]),
+        duration=duration,
+        kind=kind,
+        divisor=groups["divisor"],
+    )
+
+
+def recommended_rules() -> Tuple[AlertRule, ...]:
+    """The stock rule set for a monitor/cluster deployment.
+
+    Covers the failure modes the OPERATIONS runbook calls out: shard
+    inbound pressure, credit exhaustion, child restart churn, store
+    fsync lag, and supervised-service crashes.
+    """
+    return (
+        AlertRule(
+            name="shard-inbound-pressure",
+            metric="*.inbound_depth",
+            divisor="*.inbound_hwm",
+            op=">",
+            threshold=0.8,
+            duration=5.0,
+            description="shard inbound queue above 80% of its high-water mark",
+        ),
+        AlertRule(
+            name="credit-exhaustion",
+            metric="*.inbound_credits",
+            op="<=",
+            threshold=0.0,
+            duration=5.0,
+            description="flow-control credits exhausted; producers are blocked",
+        ),
+        AlertRule(
+            name="child-restarts",
+            metric="*.child_restarts",
+            kind="rate",
+            op=">",
+            threshold=0.0,
+            description="a shard child process died and was respawned",
+        ),
+        AlertRule(
+            name="store-fsync-lag",
+            metric="*.store_backend_appends",
+            divisor="*.store_backend_fsyncs",
+            op=">",
+            threshold=10_000.0,
+            duration=10.0,
+            description="append/fsync ratio too high; durability window growing",
+        ),
+        AlertRule(
+            name="service-crashes",
+            metric="*.crashes",
+            kind="rate",
+            op=">",
+            threshold=0.0,
+            description="a supervised service worker crashed",
+        ),
+    )
+
+
+class AlertState:
+    """Alert instance states (plain strings keep history JSON-trivial)."""
+
+    OK = "ok"
+    PENDING = "pending"
+    FIRING = "firing"
+    RESOLVED = "resolved"
+
+
+OK = AlertState.OK
+PENDING = AlertState.PENDING
+FIRING = AlertState.FIRING
+RESOLVED = AlertState.RESOLVED
+
+
+@dataclass
+class _Instance:
+    """State machine for one (rule, series) pair."""
+
+    rule: AlertRule
+    series: str
+    state: str = OK
+    value: float = 0.0
+    breach_since: Optional[float] = None
+    fired_at: Optional[float] = None
+    resolved_at: Optional[float] = None
+    #: Previous (time, value) sample for rate rules.
+    prev: Optional[Tuple[float, float]] = None
+    transitions: int = 0
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule.name,
+            "spec": self.rule.spec(),
+            "series": self.series,
+            "state": self.state,
+            "value": self.value,
+            "fired_at": self.fired_at,
+            "resolved_at": self.resolved_at,
+            "description": self.rule.description,
+        }
+
+
+class AlertEvaluator(Service):
+    """Periodically evaluates alert rules against registry snapshots.
+
+    Deterministic tests call :meth:`evaluate_once` directly with a fake
+    *now* and a prepared snapshot; in live mode a periodic worker polls
+    the shared registry every ``interval`` seconds.  All reads used by
+    the HTTP endpoint take the internal lock, so the scrape thread sees
+    a consistent view.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        rules: Tuple[AlertRule, ...] = (),
+        interval: float = 1.0,
+        history_limit: int = 256,
+        name: str = "alerts",
+    ) -> None:
+        super().__init__(name, registry)
+        self.registry = registry
+        self.rules: List[AlertRule] = list(rules)
+        self.interval = interval
+        self._alert_lock = threading.Lock()
+        self._instances: Dict[Tuple[str, str], _Instance] = {}
+        self.history: deque = deque(maxlen=history_limit)
+        #: Called with (instance_record, old_state, new_state) on every
+        #: state change; the flight recorder subscribes here.
+        self.on_transition: List[Callable[[Dict[str, Any], str, str], None]] = []
+        self.evaluations = self.metrics.counter("evaluations")
+        # Root-level (unscoped) gauge: renders as repro_alerts_firing.
+        registry.gauge_fn("alerts_firing", self.firing_count)
+        registry.describe(
+            "alerts_firing", "number of alert instances currently firing"
+        )
+
+    # -- service plumbing ---------------------------------------------------
+
+    def worker_specs(self) -> list[WorkerSpec]:
+        return [WorkerSpec("evaluate", self.evaluate_once, interval=self.interval)]
+
+    # -- evaluation ---------------------------------------------------------
+
+    def add_rule(self, rule: AlertRule) -> None:
+        with self._alert_lock:
+            self.rules.append(rule)
+
+    def _series_values(
+        self, rule: AlertRule, snapshot: Mapping[str, Any]
+    ) -> List[Tuple[str, Optional[float]]]:
+        """Matching (series, value) pairs; value None = missing divisor."""
+        pairs: List[Tuple[str, Optional[float]]] = []
+        pattern = _glob_capture(rule.metric)
+        for key in sorted(snapshot):
+            value = snapshot[key]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            match = pattern.match(key)
+            if not match:
+                continue
+            if rule.divisor is None:
+                pairs.append((key, float(value)))
+                continue
+            # Substitute the stars captured from the metric pattern into
+            # the divisor pattern so ratios pair per-shard:
+            # *.inbound_depth matching shard0.inbound_depth makes the
+            # divisor *.inbound_hwm look up shard0.inbound_hwm.
+            divisor_name = rule.divisor
+            for captured in match.groups():
+                divisor_name = divisor_name.replace("*", captured, 1)
+            divisor_value = snapshot.get(divisor_name)
+            if (
+                isinstance(divisor_value, (int, float))
+                and not isinstance(divisor_value, bool)
+                and float(divisor_value) != 0.0
+            ):
+                pairs.append((key, float(value) / float(divisor_value)))
+            else:
+                pairs.append((key, None))
+        return pairs
+
+    def evaluate_once(
+        self,
+        now: Optional[float] = None,
+        snapshot: Optional[Mapping[str, Any]] = None,
+    ) -> int:
+        """Evaluate every rule once; returns instances currently firing."""
+        now = time.time() if now is None else now
+        if snapshot is None:
+            snapshot = self.registry.snapshot()
+        with self._alert_lock:
+            self.evaluations.inc()
+            for rule in self.rules:
+                if rule.kind == "absence":
+                    self._evaluate_absence(rule, snapshot, now)
+                    continue
+                for series, value in self._series_values(rule, snapshot):
+                    if value is None:
+                        continue
+                    instance = self._instance(rule, series)
+                    if rule.kind == "rate":
+                        sample = value
+                        if instance.prev is None:
+                            instance.prev = (now, sample)
+                            continue
+                        prev_time, prev_value = instance.prev
+                        instance.prev = (now, sample)
+                        elapsed = now - prev_time
+                        if elapsed <= 0:
+                            continue
+                        value = (sample - prev_value) / elapsed
+                    self._step(instance, rule.compare(value), value, now)
+            return sum(
+                1 for inst in self._instances.values() if inst.state == FIRING
+            )
+
+    def _evaluate_absence(
+        self, rule: AlertRule, snapshot: Mapping[str, Any], now: float
+    ) -> None:
+        present = any(
+            fnmatch.fnmatch(key, rule.metric)
+            and isinstance(snapshot[key], (int, float))
+            for key in snapshot
+        )
+        instance = self._instance(rule, rule.metric)
+        self._step(instance, not present, 0.0 if present else 1.0, now)
+
+    def _instance(self, rule: AlertRule, series: str) -> _Instance:
+        key = (rule.name, series)
+        instance = self._instances.get(key)
+        if instance is None:
+            instance = self._instances[key] = _Instance(rule, series)
+        return instance
+
+    def _step(
+        self, instance: _Instance, breaching: bool, value: float, now: float
+    ) -> None:
+        instance.value = value
+        old = instance.state
+        if breaching:
+            if instance.breach_since is None:
+                instance.breach_since = now
+            held = now - instance.breach_since
+            if instance.state in (OK, PENDING, RESOLVED):
+                if held >= instance.rule.duration:
+                    instance.state = FIRING
+                    instance.fired_at = now
+                    instance.resolved_at = None
+                elif instance.state != PENDING:
+                    instance.state = PENDING
+        else:
+            instance.breach_since = None
+            if instance.state == FIRING:
+                instance.state = RESOLVED
+                instance.resolved_at = now
+            elif instance.state == PENDING:
+                instance.state = OK
+        if instance.state != old:
+            instance.transitions += 1
+            record = {**instance.describe(), "at": now, "from": old}
+            self.history.append(record)
+            self.metrics.counter(f"transitions_{instance.state}").inc()
+            for callback in list(self.on_transition):
+                try:
+                    callback(record, old, instance.state)
+                except Exception:  # a broken sink must not stop evaluation
+                    self.metrics.counter("callback_errors").inc()
+
+    # -- read surface -------------------------------------------------------
+
+    def firing_count(self) -> int:
+        with self._alert_lock:
+            return sum(
+                1 for inst in self._instances.values() if inst.state == FIRING
+            )
+
+    def alerts(self) -> Dict[str, Any]:
+        """The `/alerts` endpoint payload."""
+        with self._alert_lock:
+            instances = [
+                inst.describe()
+                for inst in self._instances.values()
+                if inst.state != OK
+            ]
+            return {
+                "firing": sum(1 for i in instances if i["state"] == FIRING),
+                "rules": [
+                    {
+                        "name": rule.name,
+                        "spec": rule.spec(),
+                        "description": rule.description,
+                    }
+                    for rule in self.rules
+                ],
+                "instances": instances,
+                "history": list(self.history),
+            }

@@ -1,0 +1,195 @@
+"""Flight recorder: a ring of registry snapshots dumped on trouble.
+
+When a shard child dies or an alert fires, the metrics that *led up to*
+the event are what an operator needs — and they are exactly what a
+point-in-time scrape can no longer show.  The :class:`FlightRecorder`
+keeps a bounded ring buffer of periodic full-registry snapshots
+(cheap: one locked dict copy per tick) and writes the whole ring to a
+JSON file when something goes wrong:
+
+* the :class:`~repro.telemetry.alerts.AlertEvaluator` calls
+  :meth:`dump` through its ``on_transition`` hook when an instance
+  enters ``firing``;
+* the recorder's own periodic tick watches a health provider (the
+  supervision tree) and dumps when a service turns up ``crashed`` or
+  its ``restart_count`` moves — covering :class:`ServiceCrash` paths
+  that never raise through the recorder itself.
+
+Dump files are small, self-describing JSON
+(``flight-<n>-<reason>.json``) under ``directory`` (a temp directory
+is created lazily when none is configured); a cooldown keeps a
+flapping alert from writing an unbounded file series.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.metrics.registry import MetricsRegistry
+from repro.runtime.service import Service, WorkerSpec
+
+__all__ = ["FlightRecorder"]
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+def _slug(reason: str) -> str:
+    return _SLUG_RE.sub("-", reason).strip("-")[:64] or "dump"
+
+
+class FlightRecorder(Service):
+    """Rolling registry snapshots with dump-on-incident.
+
+    capacity / interval:
+        Ring size and seconds between snapshots — together the lookback
+        window (default 120 × 0.5 s = one minute of history).
+    health_provider:
+        Optional zero-arg callable returning a supervision-tree health
+        dict (``Supervisor.health()``); crashed states and
+        restart-count movement observed through it trigger automatic
+        dumps.
+    cooldown:
+        Minimum seconds between automatic dumps for the same reason.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        directory: Optional[str] = None,
+        capacity: int = 120,
+        interval: float = 0.5,
+        health_provider: Optional[Callable[[], Mapping[str, Any]]] = None,
+        cooldown: float = 5.0,
+        name: str = "flight-recorder",
+    ) -> None:
+        super().__init__(name, registry)
+        self.registry = registry
+        self.directory = directory
+        self.capacity = capacity
+        self.interval = interval
+        self.health_provider = health_provider
+        self.cooldown = cooldown
+        self._ring_lock = threading.Lock()
+        self._ring: deque = deque(maxlen=capacity)
+        self._dump_index = 0
+        self._last_dump_at: Dict[str, float] = {}
+        self._restart_counts: Dict[str, int] = {}
+        self._crashed_seen: set[str] = set()
+        self.dumps: List[str] = []
+        self.snapshots_taken = self.metrics.counter("snapshots")
+        self.dumps_written = self.metrics.counter("dumps")
+        self.dump_errors = self.metrics.counter("dump_errors")
+
+    # -- service plumbing ---------------------------------------------------
+
+    def worker_specs(self) -> list[WorkerSpec]:
+        return [WorkerSpec("record", self.tick, interval=self.interval)]
+
+    # -- recording ----------------------------------------------------------
+
+    def tick(self, now: Optional[float] = None) -> int:
+        """Take one snapshot and check supervision health; returns dumps
+        written this tick.  Deterministic tests call this directly."""
+        now = time.time() if now is None else now
+        snapshot = self.registry.snapshot()
+        with self._ring_lock:
+            self._ring.append({"at": now, "metrics": snapshot})
+        self.snapshots_taken.inc()
+        return self._check_health(now)
+
+    def _check_health(self, now: float) -> int:
+        if self.health_provider is None:
+            return 0
+        try:
+            health = self.health_provider()
+        except Exception:
+            self.dump_errors.inc()
+            return 0
+        written = 0
+        for key, record in (health.get("services") or {}).items():
+            if not isinstance(record, Mapping):
+                continue
+            state = record.get("state")
+            restarts = int(record.get("restart_count") or 0)
+            previous = self._restart_counts.get(key)
+            self._restart_counts[key] = restarts
+            if state == "crashed" and key not in self._crashed_seen:
+                self._crashed_seen.add(key)
+                if self.dump(f"crash-{key}", now=now):
+                    written += 1
+            elif state != "crashed":
+                self._crashed_seen.discard(key)
+            if previous is not None and restarts > previous:
+                if self.dump(f"restart-{key}", now=now):
+                    written += 1
+        return written
+
+    # -- dumping ------------------------------------------------------------
+
+    def _resolve_directory(self) -> str:
+        if self.directory is None:
+            self.directory = tempfile.mkdtemp(prefix="repro-flight-")
+        os.makedirs(self.directory, exist_ok=True)
+        return self.directory
+
+    def dump(self, reason: str, now: Optional[float] = None) -> Optional[str]:
+        """Write the current ring to disk; returns the path (or None
+        when suppressed by the per-reason cooldown or on write error)."""
+        now = time.time() if now is None else now
+        slug = _slug(reason)
+        last = self._last_dump_at.get(slug)
+        if last is not None and now - last < self.cooldown:
+            return None
+        self._last_dump_at[slug] = now
+        with self._ring_lock:
+            frames = list(self._ring)
+            self._dump_index += 1
+            index = self._dump_index
+        payload = {
+            "reason": reason,
+            "at": now,
+            "interval": self.interval,
+            "frames": frames,
+        }
+        path = os.path.join(
+            self._resolve_directory(), f"flight-{index:04d}-{slug}.json"
+        )
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=None, separators=(",", ":"))
+        except OSError:
+            self.dump_errors.inc()
+            return None
+        self.dumps.append(path)
+        self.dumps_written.inc()
+        return path
+
+    def on_alert(self, record: Dict[str, Any], old: str, new: str) -> None:
+        """``AlertEvaluator.on_transition`` hook: dump on entry to firing."""
+        if new == "firing":
+            self.dump(f"alert-{record.get('rule', 'unknown')}")
+
+    # -- read surface -------------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        """The `/flight` endpoint payload."""
+        with self._ring_lock:
+            depth = len(self._ring)
+            newest = self._ring[-1]["at"] if self._ring else None
+            oldest = self._ring[0]["at"] if self._ring else None
+        return {
+            "directory": self.directory,
+            "capacity": self.capacity,
+            "interval": self.interval,
+            "depth": depth,
+            "oldest": oldest,
+            "newest": newest,
+            "dumps": list(self.dumps),
+        }

@@ -1,0 +1,228 @@
+"""Cross-process metrics relay: export a child registry, merge upstream.
+
+The multiproc transport (PR 6) runs each shard's aggregation in a child
+process with its *own* :class:`~repro.metrics.MetricsRegistry` — so
+every child-side series (stage histograms, store-backend gauges, rule
+index counters) was invisible to the parent's Prometheus exposition.
+This module closes that hole:
+
+* the **child** periodically captures its registry with
+  :meth:`MetricsRegistry.export_state` (plain primitives, histogram
+  bucket counts included) and ships the state over the existing
+  control plane, marshal-encoded like every other multiproc frame;
+* the **parent** bridge feeds each state into a :class:`RegistryRelay`,
+  which merges the series into the parent registry under the bridge's
+  scope (``shard0.store_backend_segments``,
+  ``shard0.pipeline.aggregate`` …) so one scrape of the parent covers
+  the whole tree.
+
+**Respawn-safe monotone counters.**  A respawned child starts its
+counters at zero.  The relay tracks a per-series *offset*: when the
+bridge respawns the child it bumps the relay *epoch*, the relay folds
+the last value seen from the dead incarnation into the offset, and the
+merged parent counter continues monotonically — Prometheus rate()
+windows never see a reset.  Histogram bucket counts (which are
+cumulative counters per bucket) get the same element-wise treatment.
+
+**Parent-local series win.**  The bridge keeps its own authoritative
+counters (``batches_received``, ``events_stored`` mirrors …); the
+relay only fills names the parent has not registered itself, so
+relayed values can never fight a local series for one name.
+"""
+
+from __future__ import annotations
+
+import marshal
+import time
+from typing import Dict, Iterable, Optional
+
+from repro.metrics.registry import MetricsRegistry
+
+__all__ = ["RegistryRelay", "decode_state", "encode_state"]
+
+
+def encode_state(state: dict) -> bytes:
+    """Marshal-encode an ``export_state()`` dict (pickle-free frame)."""
+    return marshal.dumps(state)
+
+
+def decode_state(data: bytes) -> dict:
+    """Decode a frame produced by :func:`encode_state`."""
+    return marshal.loads(data)
+
+
+class _CounterTrack:
+    """Offset accounting for one relayed monotone series."""
+
+    __slots__ = ("offset", "last", "epoch")
+
+    def __init__(self, epoch: int) -> None:
+        self.offset = 0.0
+        self.last = 0.0
+        self.epoch = epoch
+
+    def fold(self, epoch: int) -> None:
+        """A new child incarnation: bank the dead one's final value."""
+        if epoch != self.epoch:
+            self.offset += self.last
+            self.last = 0.0
+            self.epoch = epoch
+
+
+class _HistogramTrack:
+    """Offset accounting for one relayed histogram (per-bucket)."""
+
+    __slots__ = ("base_counts", "base_sum", "base_total", "max_seen",
+                 "last", "epoch")
+
+    def __init__(self, epoch: int) -> None:
+        self.base_counts: list[int] = []
+        self.base_sum = 0.0
+        self.base_total = 0
+        self.max_seen = 0.0
+        self.last: Optional[dict] = None
+        self.epoch = epoch
+
+    def fold(self, epoch: int) -> None:
+        if epoch != self.epoch:
+            if self.last is not None:
+                self._bank(self.last)
+            self.last = None
+            self.epoch = epoch
+
+    def _bank(self, state: dict) -> None:
+        counts = state["counts"]
+        if len(self.base_counts) < len(counts):
+            self.base_counts.extend(
+                [0] * (len(counts) - len(self.base_counts))
+            )
+        for index, count in enumerate(counts):
+            self.base_counts[index] += count
+        self.base_sum += state["sum"]
+        self.base_total += state["total"]
+        self.max_seen = max(self.max_seen, state["max"])
+
+    def merged(self, state: dict) -> dict:
+        """base + the live incarnation's current state."""
+        self.last = state
+        counts = list(state["counts"])
+        if len(counts) < len(self.base_counts):
+            counts.extend([0] * (len(self.base_counts) - len(counts)))
+        for index, base in enumerate(self.base_counts):
+            counts[index] += base
+        return {
+            "counts": counts,
+            "sum": self.base_sum + state["sum"],
+            "total": self.base_total + state["total"],
+            "max": max(self.max_seen, state["max"]),
+            "min_latency": state["min_latency"],
+        }
+
+
+class RegistryRelay:
+    """Merges child-process registry states into a parent registry.
+
+    *scope* is the parent-side prefix (the owning bridge's metrics
+    scope); *strip_scopes* are child-side scopes folded into it, so the
+    child aggregator's own scope does not stutter — child
+    ``shard0.events_stored`` maps to parent ``shard0.events_stored``,
+    while unscoped child series (``pipeline.aggregate``) map to
+    ``shard0.pipeline.aggregate``.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        scope: str,
+        strip_scopes: Iterable[str] = (),
+    ) -> None:
+        self.registry = registry
+        self.scope = scope
+        self.strip_scopes = tuple(strip_scopes)
+        #: Parent names this relay created (and may keep updating).
+        self._owned: set[str] = set()
+        #: Names that exist parent-side already — never relayed.
+        self._shadowed: set[str] = set()
+        self._counters: Dict[str, _CounterTrack] = {}
+        self._histograms: Dict[str, _HistogramTrack] = {}
+        #: Relay ticks merged and wall-clock stamp of the latest one.
+        self.merges = 0
+        self.last_merge_time: Optional[float] = None
+
+    def _map_name(self, name: str) -> str:
+        for strip in self.strip_scopes:
+            if name.startswith(strip + ".") and len(name) > len(strip) + 1:
+                return f"{self.scope}.{name[len(strip) + 1:]}"
+        return f"{self.scope}.{name}"
+
+    def _claim(self, mapped: str) -> bool:
+        """True when *mapped* is (or becomes) relay-owned."""
+        if mapped in self._owned:
+            return True
+        if mapped in self._shadowed:
+            return False
+        if self.registry.contains(mapped):
+            self._shadowed.add(mapped)
+            return False
+        self._owned.add(mapped)
+        return True
+
+    @property
+    def age(self) -> float:
+        """Seconds since the last merged relay tick (inf before one)."""
+        if self.last_merge_time is None:
+            return float("inf")
+        return max(0.0, time.time() - self.last_merge_time)
+
+    def merge(self, state: dict, epoch: int) -> int:
+        """Merge one child ``export_state()`` under incarnation *epoch*.
+
+        Returns the number of series applied.  Counters and histogram
+        buckets resume monotone across epochs via offset folding;
+        gauges and evaluated callback gauges are plain overwrites.
+        """
+        applied = 0
+        for name, value in state.get("counters", {}).items():
+            mapped = self._map_name(name)
+            if not self._claim(mapped):
+                continue
+            track = self._counters.get(mapped)
+            if track is None:
+                track = self._counters[mapped] = _CounterTrack(epoch)
+            track.fold(epoch)
+            total = track.offset + value
+            counter = self.registry.counter(mapped)
+            delta = total - counter.value
+            if delta > 0:
+                counter.inc(int(delta))
+            track.last = value
+            applied += 1
+        for table in ("gauges", "gauge_fns"):
+            for name, value in state.get(table, {}).items():
+                mapped = self._map_name(name)
+                if not self._claim(mapped):
+                    continue
+                self.registry.gauge(mapped).set(value)
+                applied += 1
+        for name, hist_state in state.get("histograms", {}).items():
+            mapped = self._map_name(name)
+            if not self._claim(mapped):
+                continue
+            track = self._histograms.get(mapped)
+            if track is None:
+                track = self._histograms[mapped] = _HistogramTrack(epoch)
+            track.fold(epoch)
+            merged = track.merged(hist_state)
+            histogram = self.registry.relayed_histogram(
+                mapped,
+                min_latency=merged["min_latency"],
+                buckets=len(merged["counts"]),
+            )
+            histogram.set_state(
+                merged["counts"], merged["sum"], merged["total"],
+                merged["max"], merged["min_latency"],
+            )
+            applied += 1
+        self.merges += 1
+        self.last_merge_time = time.time()
+        return applied

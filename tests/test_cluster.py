@@ -570,7 +570,12 @@ class TestClusterClient:
         try:
             exposition = cluster.client().metrics()["prometheus"]
             for shard_id in cluster.shard_ids:
-                assert f"repro_{shard_id}_events_stored_total" in exposition
+                # Shard scopes are reserved via unique_scope(), so they
+                # render as a scope label on one shared family.
+                assert (
+                    f'repro_events_stored_total{{scope="{shard_id}"}}'
+                    in exposition
+                )
         finally:
             cluster.shutdown()
 

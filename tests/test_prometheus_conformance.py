@@ -1,0 +1,415 @@
+"""Strict Prometheus text-format conformance for render_prometheus().
+
+A scraper-side line-grammar checker: every exposition the registry can
+produce must parse under the text format 0.0.4 rules — TYPE before any
+series of its family, one HELP/TYPE pair per family, valid metric/label
+names, monotone cumulative `le` buckets with a trailing +Inf equal to
+`_count`, `_total`-suffixed counter families, and no duplicate
+(family, labels) samples.  Future metrics that would silently break a
+real scraper break these tests instead.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.metrics.registry import GAUGE_FN_ERRORS, MetricsRegistry
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+LABEL_PAIR = re.compile(r'^(?P<key>[^=]+)="(?P<value>(?:[^"\\]|\\.)*)"$')
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+class ConformanceError(AssertionError):
+    pass
+
+
+def _family_of(name: str, typed: dict) -> str:
+    """The family a sample belongs to (histogram suffixes stripped)."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        base = name[: -len(suffix)]
+        if name.endswith(suffix) and typed.get(base) == "histogram":
+            return base
+    return name
+
+
+def parse_labels(text: str) -> dict:
+    labels = {}
+    if not text:
+        return labels
+    for pair in text.split(","):
+        match = LABEL_PAIR.match(pair)
+        if match is None:
+            raise ConformanceError(f"bad label pair: {pair!r}")
+        key = match.group("key")
+        if not LABEL_NAME.match(key):
+            raise ConformanceError(f"bad label name: {key!r}")
+        if key in labels:
+            raise ConformanceError(f"duplicate label {key!r} in {text!r}")
+        labels[key] = match.group("value")
+    return labels
+
+
+def check_exposition(text: str) -> dict:
+    """Validate *text*; returns {family: {"type", "samples"}}."""
+    if not text.endswith("\n"):
+        raise ConformanceError("exposition must end with a newline")
+    families: dict = {}
+    typed: dict = {}
+    helped: set = set()
+    seen_samples: set = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            raise ConformanceError(f"line {lineno}: blank line")
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[3].strip():
+                raise ConformanceError(f"line {lineno}: empty HELP text")
+            name = parts[2]
+            if name in helped:
+                raise ConformanceError(
+                    f"line {lineno}: duplicate HELP for {name}"
+                )
+            helped.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ConformanceError(f"line {lineno}: malformed TYPE")
+            name, kind = parts[2], parts[3]
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                           "untyped"):
+                raise ConformanceError(
+                    f"line {lineno}: unknown type {kind!r}"
+                )
+            if name in typed:
+                raise ConformanceError(
+                    f"line {lineno}: duplicate TYPE for {name}"
+                )
+            if not METRIC_NAME.match(name):
+                raise ConformanceError(
+                    f"line {lineno}: bad family name {name!r}"
+                )
+            typed[name] = kind
+            families[name] = {"type": kind, "samples": []}
+            continue
+        if line.startswith("#"):
+            continue  # comments are legal
+        match = SAMPLE.match(line)
+        if match is None:
+            raise ConformanceError(f"line {lineno}: unparseable: {line!r}")
+        name = match.group("name")
+        if not METRIC_NAME.match(name):
+            raise ConformanceError(f"line {lineno}: bad name {name!r}")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            if match.group("value") not in ("+Inf", "-Inf", "NaN"):
+                raise ConformanceError(
+                    f"line {lineno}: bad value {match.group('value')!r}"
+                ) from None
+            value = float(match.group("value").replace("Inf", "inf"))
+        labels = parse_labels(match.group("labels") or "")
+        family = _family_of(name, typed)
+        if family not in typed:
+            raise ConformanceError(
+                f"line {lineno}: series {name} before its TYPE"
+            )
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_samples:
+            raise ConformanceError(f"line {lineno}: duplicate sample {key}")
+        seen_samples.add(key)
+        families[family]["samples"].append((name, labels, value))
+    _check_families(families)
+    return families
+
+
+def _check_families(families: dict) -> None:
+    for family, record in families.items():
+        kind, samples = record["type"], record["samples"]
+        if not samples:
+            raise ConformanceError(f"family {family} has a TYPE but no series")
+        if kind == "counter":
+            if not family.endswith("_total"):
+                raise ConformanceError(
+                    f"counter family {family} lacks the _total suffix"
+                )
+            for name, _labels, value in samples:
+                if name != family:
+                    raise ConformanceError(
+                        f"counter sample {name} outside family {family}"
+                    )
+                if value < 0:
+                    raise ConformanceError(f"negative counter {name}={value}")
+        elif kind == "gauge":
+            if family.endswith("_total"):
+                raise ConformanceError(
+                    f"gauge family {family} must not end in _total"
+                )
+        elif kind == "histogram":
+            _check_histogram(family, samples)
+
+
+def _check_histogram(family: str, samples: list) -> None:
+    # Group bucket series by their non-le labels (one scope = one
+    # histogram instance sharing the family).
+    instances: dict = {}
+    for name, labels, value in samples:
+        rest = tuple(
+            sorted((k, v) for k, v in labels.items() if k != "le")
+        )
+        record = instances.setdefault(
+            rest, {"buckets": [], "sum": None, "count": None}
+        )
+        if name == f"{family}_bucket":
+            if "le" not in labels:
+                raise ConformanceError(f"{family}_bucket without le label")
+            bound = (
+                float("inf") if labels["le"] == "+Inf" else float(labels["le"])
+            )
+            record["buckets"].append((bound, value))
+        elif name == f"{family}_sum":
+            record["sum"] = value
+        elif name == f"{family}_count":
+            record["count"] = value
+        else:
+            raise ConformanceError(
+                f"sample {name} is not a histogram series of {family}"
+            )
+    for rest, record in instances.items():
+        buckets = record["buckets"]
+        if not buckets:
+            raise ConformanceError(f"histogram {family}{rest} has no buckets")
+        bounds = [bound for bound, _ in buckets]
+        if bounds != sorted(bounds):
+            raise ConformanceError(
+                f"histogram {family}{rest} le bounds not ascending"
+            )
+        if bounds[-1] != float("inf"):
+            raise ConformanceError(
+                f"histogram {family}{rest} missing +Inf bucket"
+            )
+        counts = [count for _, count in buckets]
+        if counts != sorted(counts):
+            raise ConformanceError(
+                f"histogram {family}{rest} bucket counts not cumulative"
+            )
+        if record["count"] is None or record["sum"] is None:
+            raise ConformanceError(
+                f"histogram {family}{rest} missing _sum/_count"
+            )
+        if counts[-1] != record["count"]:
+            raise ConformanceError(
+                f"histogram {family}{rest} +Inf bucket != _count"
+            )
+
+
+# ---------------------------------------------------------------------------
+# The checker against the renderer
+# ---------------------------------------------------------------------------
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    scope0 = registry.unique_scope("shard0")
+    scope1 = registry.unique_scope("shard1")
+    for scope in (scope0, scope1):
+        registry.counter(f"{scope}.events_stored").inc(7)
+        registry.gauge(f"{scope}.inbound_depth").set(3)
+        registry.histogram(f"{scope}.flush_latency").record(0.001, 5)
+    # Unreserved dotted names keep the name-mangled form.
+    registry.counter("pipeline.errors").inc(2)
+    registry.histogram("pipeline.publish").record(0.002, 3)
+    registry.gauge_fn("uptime_seconds", lambda: 12.5)
+    registry.describe("uptime_seconds", "seconds since start")
+    return registry
+
+
+class TestRendererConformance:
+    def test_populated_registry_conforms(self):
+        families = check_exposition(populated_registry().render_prometheus())
+        assert families["repro_events_stored_total"]["type"] == "counter"
+        assert families["repro_uptime_seconds"]["type"] == "gauge"
+
+    def test_reserved_scopes_render_as_labels(self):
+        text = populated_registry().render_prometheus()
+        assert 'repro_events_stored_total{scope="shard0"} 7' in text
+        assert 'repro_inbound_depth{scope="shard1"} 3' in text
+        # Unreserved dotted names stay mangled (no scope label).
+        assert "repro_pipeline_errors_total 2" in text
+
+    def test_one_help_and_type_pair_per_family(self):
+        text = populated_registry().render_prometheus()
+        assert text.count("# TYPE repro_events_stored_total ") == 1
+        assert text.count("# HELP repro_events_stored_total ") == 1
+        assert text.count("# TYPE repro_flush_latency ") == 1
+
+    def test_help_text_is_customizable(self):
+        registry = populated_registry()
+        text = registry.render_prometheus()
+        assert "# HELP repro_uptime_seconds seconds since start" in text
+
+    def test_every_series_has_type_before_it(self):
+        text = populated_registry().render_prometheus()
+        seen_types = set()
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                seen_types.add(line.split(" ")[2])
+            elif line and not line.startswith("#"):
+                name = SAMPLE.match(line).group("name")
+                base = re.sub(r"_(bucket|sum|count)$", "", name)
+                assert name in seen_types or base in seen_types
+
+    def test_histogram_buckets_cumulative_and_capped(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency")
+        for value in (1e-6, 1e-4, 0.01, 0.5, 2.0):
+            hist.record(value)
+        families = check_exposition(registry.render_prometheus())
+        record = families["repro_latency"]
+        (instance,) = {
+            tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            for _n, labels, _v in record["samples"]
+        }
+        assert instance == ()
+
+    def test_scope_collision_falls_back_to_mangled(self):
+        registry = MetricsRegistry()
+        scope = registry.unique_scope("svc")
+        # Same family from the scope AND a root-level series: the
+        # scoped one cannot use a bare label without colliding.
+        registry.counter(f"{scope}.requests").inc(1)
+        registry.histogram("svc2.requests").record(0.1)
+        check_exposition(registry.render_prometheus())
+
+    def test_cluster_exposition_conforms(self):
+        from repro.cluster import ClusterConfig, ClusterMonitor
+        from repro.lustre import LustreFilesystem
+        from repro.lustre.mds import DnePolicy
+        from repro.util.clock import ManualClock
+
+        fs = LustreFilesystem(
+            num_mds=2, mdts_per_mds=2,
+            dne_policy=DnePolicy.ROUND_ROBIN, clock=ManualClock(),
+        )
+        cluster = ClusterMonitor(fs, ClusterConfig(num_shards=2))
+        try:
+            cluster.subscribe(lambda _seq, _event: None)
+            fs.makedirs("/p")
+            for index in range(40):
+                fs.create(f"/p/f{index}")
+            cluster.drain()
+            families = check_exposition(
+                cluster.registry.render_prometheus()
+            )
+            assert families["repro_events_stored_total"]["type"] == "counter"
+            scopes = {
+                labels.get("scope")
+                for _n, labels, _v in families[
+                    "repro_events_stored_total"
+                ]["samples"]
+            }
+            assert {"shard0", "shard1"} <= scopes
+        finally:
+            cluster.shutdown()
+
+
+class TestGaugeFnGuard:
+    """A raising gauge_fn must not blind the whole exposition."""
+
+    def _registry_with_bad_probe(self):
+        registry = MetricsRegistry()
+        registry.counter("good_counter").inc(3)
+        registry.gauge_fn("good_probe", lambda: 1.0)
+
+        def bad_probe():
+            raise RuntimeError("probe exploded")
+
+        registry.gauge_fn("bad_probe", bad_probe)
+        return registry
+
+    def test_snapshot_skips_failing_probe(self):
+        registry = self._registry_with_bad_probe()
+        snapshot = registry.snapshot()
+        assert snapshot["good_counter"] == 3
+        assert snapshot["good_probe"] == 1.0
+        assert "bad_probe" not in snapshot
+
+    def test_failures_are_counted(self):
+        registry = self._registry_with_bad_probe()
+        registry.snapshot()
+        registry.snapshot()
+        assert registry.counter(GAUGE_FN_ERRORS).value == 2
+
+    def test_render_survives_failing_probe(self):
+        registry = self._registry_with_bad_probe()
+        text = registry.render_prometheus()
+        check_exposition(text)
+        assert "good_probe" in text
+        assert "bad_probe" not in text
+
+    def test_value_returns_default_on_failure(self):
+        registry = self._registry_with_bad_probe()
+        assert registry.value("bad_probe", default=-1) == -1
+
+
+class TestCheckerCatchesViolations:
+    """The checker itself must reject broken expositions."""
+
+    def test_rejects_series_before_type(self):
+        with pytest.raises(ConformanceError, match="before its TYPE"):
+            check_exposition("repro_x_total 1\n# TYPE repro_x_total counter\n")
+
+    def test_rejects_duplicate_type(self):
+        with pytest.raises(ConformanceError, match="duplicate TYPE"):
+            check_exposition(
+                "# TYPE repro_x gauge\nrepro_x 1\n# TYPE repro_x gauge\n"
+            )
+
+    def test_rejects_counter_without_total_suffix(self):
+        with pytest.raises(ConformanceError, match="_total suffix"):
+            check_exposition("# TYPE repro_x counter\nrepro_x 1\n")
+
+    def test_rejects_duplicate_samples(self):
+        with pytest.raises(ConformanceError, match="duplicate sample"):
+            check_exposition("# TYPE repro_x gauge\nrepro_x 1\nrepro_x 2\n")
+
+    def test_rejects_non_monotone_buckets(self):
+        bad = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 5\n'
+            'repro_h_bucket{le="1"} 3\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 5\n"
+        )
+        with pytest.raises(ConformanceError, match="not cumulative"):
+            check_exposition(bad)
+
+    def test_rejects_missing_inf_bucket(self):
+        bad = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 5\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 5\n"
+        )
+        with pytest.raises(ConformanceError, match=r"\+Inf"):
+            check_exposition(bad)
+
+    def test_rejects_count_mismatch(self):
+        bad = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 7\n"
+        )
+        with pytest.raises(ConformanceError, match="_count"):
+            check_exposition(bad)
