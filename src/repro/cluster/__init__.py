@@ -7,7 +7,13 @@ aggregator shards, and :class:`ClusterClient` scatter-gathers the
 per-shard APIs back into one answer.
 """
 
-from repro.cluster.client import ClusterClient
+from repro.cluster.client import (
+    AsyncClusterClient,
+    ClusterClient,
+    ClusterPage,
+    decode_cursor,
+    encode_cursor,
+)
 from repro.cluster.monitor import (
     ClusterConfig,
     ClusterMonitor,
@@ -17,7 +23,11 @@ from repro.cluster.monitor import (
 from repro.cluster.router import ShardMap, ShardRouter, rendezvous_score
 
 __all__ = [
+    "AsyncClusterClient",
     "ClusterClient",
+    "ClusterPage",
+    "decode_cursor",
+    "encode_cursor",
     "ClusterConfig",
     "ClusterMonitor",
     "ClusterStats",

@@ -322,7 +322,10 @@ class ClusterMonitor:
     # -- consumers -----------------------------------------------------------
 
     def subscribe(
-        self, callback: EventCallback, name: str = "consumer"
+        self,
+        callback: EventCallback,
+        name: str = "consumer",
+        batch_callback=None,
     ) -> Consumer:
         """Attach a consumer subscribed to *every* shard's live stream.
 
@@ -331,7 +334,10 @@ class ClusterMonitor:
         per-shard watermarks dedup each stream independently.  The
         consumer's ``api`` socket points at shard0 — cluster-wide
         catch-up goes through ``ClusterClient.catch_up``, which pages
-        every shard.
+        every shard.  *batch_callback* passes through to the
+        :class:`~repro.core.consumer.Consumer`; a two-parameter
+        callback also receives each batch's shard label (the gateway
+        fan-out hub consumes the stream this way).
         """
         first = self.shard_configs[self.shard_ids[0]]
         consumer = Consumer(
@@ -341,6 +347,7 @@ class ClusterMonitor:
             name=name,
             registry=self.registry,
             tracer=self.tracer,
+            batch_callback=batch_callback,
         )
         for shard_id in self.shard_ids[1:]:
             consumer.subscription.connect(

@@ -14,6 +14,7 @@ the shared metrics registry (legacy attribute names stay readable).
 
 from __future__ import annotations
 
+import inspect
 import logging
 from typing import Callable, Optional
 
@@ -53,8 +54,13 @@ class Consumer(Service):
         #: When set, fresh (post-dedup, post-filter) events are handed
         #: over one whole batch at a time instead of through the
         #: per-event ``callback`` — the agent filter path uses this to
-        #: run its compiled rule index once per batch.
+        #: run its compiled rule index once per batch.  A callback that
+        #: also accepts a second parameter receives the batch's
+        #: *source* (shard label) — the gateway fan-out hub needs it to
+        #: label stream messages.
         self.batch_callback = batch_callback
+        self._batch_cb_obj: Optional[Callable] = None
+        self._batch_cb_wants_source = False
         #: Optional event-level path filter: events not under this
         #: prefix are dropped after dedup (the watermark still
         #: advances).  The ``startswith`` probe is pre-normalized once
@@ -228,7 +234,8 @@ class Consumer(Service):
         """Deliver a batch of entries through dedup in one call.
 
         With a ``batch_callback`` the fresh entries are handed over as
-        one batch; otherwise each goes through the per-event callback.
+        one batch (plus the batch's *source* when the callback accepts
+        it); otherwise each goes through the per-event callback.
         Returns the number of fresh (non-duplicate, unfiltered) events.
         """
         fresh = [
@@ -238,11 +245,35 @@ class Consumer(Service):
         ]
         if self.batch_callback is not None:
             if fresh:
-                self.batch_callback(fresh)
+                self._invoke_batch_callback(fresh, source)
         else:
             for seq, event in fresh:
                 self.callback(seq, event)
         return len(fresh)
+
+    def _invoke_batch_callback(
+        self,
+        fresh: list[tuple[int, FileEvent]],
+        source: Optional[str],
+    ) -> None:
+        """Call ``batch_callback`` with or without the source label.
+
+        The one-argument form predates shard labels; arity is probed
+        once per callback object (it is a public, reassignable
+        attribute) so both shapes keep working.
+        """
+        callback = self.batch_callback
+        if callback is not self._batch_cb_obj:
+            self._batch_cb_obj = callback
+            try:
+                inspect.signature(callback).bind([], None)
+                self._batch_cb_wants_source = True
+            except (TypeError, ValueError):
+                self._batch_cb_wants_source = False
+        if self._batch_cb_wants_source:
+            callback(fresh, source)
+        else:
+            callback(fresh)
 
     def poll_once(self, timeout: float = 0.0) -> int:
         """Drain pending live messages; returns the number of events

@@ -1,0 +1,50 @@
+"""The multi-tenant gateway: the cluster's HTTP/WebSocket front door.
+
+The paper's premise is cyberinfrastructure users *program against*;
+this package is the service tier that makes the sharded monitor
+programmable from outside the process: API-key auth with per-tenant
+quotas (:mod:`~repro.gateway.auth`), cursor-paged historic queries
+with server-side filter push-down, and live WebSocket fan-out with
+slow-consumer shedding (:mod:`~repro.gateway.hub`) — all on stdlib
+asyncio (:mod:`~repro.gateway.http`), supervised like every other
+service (:mod:`~repro.gateway.server`), observable through the same
+telemetry plane.
+"""
+
+from repro.gateway.auth import (
+    ApiKey,
+    AuthError,
+    AuthStore,
+    Quota,
+    QuotaExceeded,
+    Session,
+)
+from repro.gateway.filters import SubscriptionFilter, parse_filter
+from repro.gateway.hub import StreamHub, StreamSubscriber
+from repro.gateway.server import GatewayConfig, GatewayServer, attach_gateway
+from repro.gateway.wsclient import (
+    GatewayClient,
+    GatewayClientError,
+    StreamRejected,
+    WsStream,
+)
+
+__all__ = [
+    "ApiKey",
+    "AuthError",
+    "AuthStore",
+    "GatewayClient",
+    "GatewayClientError",
+    "GatewayConfig",
+    "GatewayServer",
+    "Quota",
+    "QuotaExceeded",
+    "Session",
+    "StreamHub",
+    "StreamRejected",
+    "StreamSubscriber",
+    "SubscriptionFilter",
+    "WsStream",
+    "attach_gateway",
+    "parse_filter",
+]

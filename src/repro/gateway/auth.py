@@ -1,0 +1,283 @@
+"""API-key / session authentication and per-tenant quotas.
+
+The gateway is the first surface strangers program against, so it owns
+the authnzerver-style split the lcc-server codebase models: a dedicated
+auth store (API-key records, session tokens, per-tenant quotas) that
+the request handlers consult, never raw credentials in handler code.
+
+* :class:`ApiKey` — a provisioned credential bound to a **tenant** and
+  a :class:`Quota`.  Keys are opaque URL-safe secrets; operators issue
+  and revoke them out of band (``AuthStore.issue_key``).
+* :class:`Session` — the bearer token a successful ``POST /v1/auth``
+  returns.  Sessions expire (``session_ttl``) and are looked up on
+  every request; an expired or revoked-key session authenticates
+  nothing.
+* :class:`Quota` — per-tenant limits: a request-rate token bucket
+  (REST calls), a page-size clamp, a concurrent-stream cap, and the
+  live-stream pacing knobs (events/second bucket + bounded per-socket
+  queue) the fan-out hub enforces.
+* :class:`AuthStore` — the in-memory registry of all three, plus
+  **per-tenant metric scopes**: every tenant gets its own
+  ``gateway_tenant_<name>`` scope in the shared registry
+  (:meth:`~repro.metrics.MetricsRegistry.unique_scope`), so one
+  ``/metrics`` scrape shows ``repro_gateway_tenant…`` series side by
+  side — auth failures, rate-limited requests, shed events — which is
+  what the stock gateway alert rules watch.
+
+Clocks are injectable (:class:`~repro.util.clock.Clock`) so expiry and
+rate-limit boundaries are testable on a :class:`ManualClock`.
+"""
+
+from __future__ import annotations
+
+import hmac
+import secrets
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+from repro.metrics.registry import MetricsRegistry, ScopedRegistry
+from repro.util.clock import Clock, WallClock
+from repro.util.tokens import TokenBucket
+
+__all__ = [
+    "ApiKey",
+    "AuthError",
+    "AuthStore",
+    "Quota",
+    "QuotaExceeded",
+    "Session",
+]
+
+
+class AuthError(ReproError):
+    """Authentication failed (unknown key, bad/expired token)."""
+
+    status = 401
+
+
+class QuotaExceeded(ReproError):
+    """A per-tenant quota rejected the request."""
+
+    status = 429
+
+
+@dataclass(frozen=True)
+class Quota:
+    """Per-tenant limits the gateway enforces.
+
+    requests_per_sec / request_burst:
+        Token bucket over REST calls (``/v1/events``, ``/v1/stats``).
+        An empty bucket means HTTP 429.
+    max_page_size:
+        Upper clamp on the ``limit`` of one ``/v1/events`` page.
+    max_streams:
+        Concurrent WebSocket streams the tenant may hold open.
+    stream_events_per_sec / stream_burst:
+        Token bucket over events delivered to **each** of the tenant's
+        stream sockets; events beyond the rate are shed (counted, never
+        queued unboundedly).
+    stream_queue:
+        Bounded per-socket queue depth between the fan-out hub and the
+        socket writer; a full queue sheds instead of stalling the hub.
+    """
+
+    requests_per_sec: float = 50.0
+    request_burst: float = 100.0
+    max_page_size: int = 1024
+    max_streams: int = 64
+    stream_events_per_sec: float = 50_000.0
+    stream_burst: float = 100_000.0
+    stream_queue: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_page_size < 1:
+            raise ValueError(
+                f"max_page_size must be >= 1: {self.max_page_size}"
+            )
+        if self.max_streams < 0:
+            raise ValueError(f"max_streams must be >= 0: {self.max_streams}")
+        if self.stream_queue < 1:
+            raise ValueError(
+                f"stream_queue must be >= 1: {self.stream_queue}"
+            )
+
+
+@dataclass
+class ApiKey:
+    """One provisioned credential (tenant + quota + enable flag)."""
+
+    key: str
+    tenant: str
+    quota: Quota = field(default_factory=Quota)
+    enabled: bool = True
+
+
+@dataclass(frozen=True)
+class Session:
+    """A live bearer token minted by ``POST /v1/auth``."""
+
+    token: str
+    tenant: str
+    quota: Quota
+    key: str
+    expires_at: float
+
+
+class AuthStore:
+    """Keys, sessions, per-tenant request buckets and metric scopes.
+
+    Thread-safe: the asyncio request handlers, the fan-out hub's
+    publish thread, and operator provisioning calls may all touch it
+    concurrently.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Optional[Clock] = None,
+        session_ttl: float = 3600.0,
+    ) -> None:
+        self.registry = registry or MetricsRegistry()
+        self.clock = clock or WallClock()
+        self.session_ttl = session_ttl
+        self._lock = threading.Lock()
+        self._keys: Dict[str, ApiKey] = {}
+        self._sessions: Dict[str, Session] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._tenant_metrics: Dict[str, ScopedRegistry] = {}
+
+    # -- provisioning --------------------------------------------------------
+
+    def issue_key(
+        self,
+        tenant: str,
+        quota: Optional[Quota] = None,
+        key: Optional[str] = None,
+    ) -> ApiKey:
+        """Provision an API key for *tenant* (generated unless given)."""
+        if not tenant:
+            raise ValueError("tenant must be non-empty")
+        record = ApiKey(
+            key=key or secrets.token_urlsafe(24),
+            tenant=tenant,
+            quota=quota or Quota(),
+        )
+        with self._lock:
+            if record.key in self._keys:
+                raise ValueError("key already issued")
+            self._keys[record.key] = record
+        self.tenant_metrics(tenant)  # reserve the scope eagerly
+        return record
+
+    def revoke_key(self, key: str) -> bool:
+        """Disable *key* and kill its live sessions (True if it existed)."""
+        with self._lock:
+            record = self._keys.get(key)
+            if record is None:
+                return False
+            record.enabled = False
+            self._sessions = {
+                token: session
+                for token, session in self._sessions.items()
+                if session.key != key
+            }
+            return True
+
+    def tenants(self) -> list[str]:
+        with self._lock:
+            return sorted({record.tenant for record in self._keys.values()})
+
+    # -- per-tenant metrics --------------------------------------------------
+
+    def tenant_metrics(self, tenant: str) -> ScopedRegistry:
+        """The tenant's metric scope (``gateway_tenant_<name>``),
+        reserved via ``unique_scope`` on first use so two tenants can
+        never alias one series."""
+        with self._lock:
+            scoped = self._tenant_metrics.get(tenant)
+            if scoped is None:
+                scope = self.registry.unique_scope(f"gateway_tenant_{tenant}")
+                scoped = self._tenant_metrics[tenant] = self.registry.scoped(
+                    scope
+                )
+            return scoped
+
+    # -- authentication ------------------------------------------------------
+
+    def _find_key(self, key: str) -> Optional[ApiKey]:
+        """Constant-time key lookup (no early exit on prefix match)."""
+        found = None
+        for candidate, record in self._keys.items():
+            if hmac.compare_digest(candidate, key):
+                found = record
+        return found
+
+    def authenticate(self, key: str) -> Session:
+        """Exchange an API key for a session token (or raise AuthError)."""
+        with self._lock:
+            record = self._find_key(key)
+            if record is None or not record.enabled:
+                raise AuthError("unknown or disabled API key")
+            session = Session(
+                token=secrets.token_urlsafe(24),
+                tenant=record.tenant,
+                quota=record.quota,
+                key=record.key,
+                expires_at=self.clock.now() + self.session_ttl,
+            )
+            self._sessions[session.token] = session
+        self.tenant_metrics(record.tenant).counter("auth_ok").inc()
+        return session
+
+    def session(self, token: Optional[str]) -> Session:
+        """The live session behind *token* (or raise AuthError)."""
+        if not token:
+            raise AuthError("missing bearer token")
+        with self._lock:
+            session = self._sessions.get(token)
+            if session is None:
+                raise AuthError("unknown session token")
+            if self.clock.now() >= session.expires_at:
+                del self._sessions[token]
+                raise AuthError("session expired")
+            record = self._keys.get(session.key)
+            if record is None or not record.enabled:
+                raise AuthError("API key revoked")
+        return session
+
+    def check_request(self, token: Optional[str]) -> Session:
+        """Authenticate *token* and spend one request-quota token.
+
+        Raises :class:`AuthError` (→ 401) or :class:`QuotaExceeded`
+        (→ 429); on success returns the session and counts the request
+        in the tenant's metric scope.
+        """
+        session = self.session(token)
+        bucket = self._request_bucket(session)
+        metrics = self.tenant_metrics(session.tenant)
+        if not bucket.take():
+            metrics.counter("rate_limited").inc()
+            raise QuotaExceeded(
+                f"tenant {session.tenant!r} exceeded "
+                f"{session.quota.requests_per_sec:g} requests/s"
+            )
+        metrics.counter("requests").inc()
+        return session
+
+    def _request_bucket(self, session: Session) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(session.tenant)
+            if bucket is None:
+                bucket = self._buckets[session.tenant] = TokenBucket(
+                    rate=session.quota.requests_per_sec,
+                    burst=session.quota.request_burst,
+                    clock=self.clock,
+                )
+            return bucket
+
+    def auth_failure(self, tenant: Optional[str] = None) -> None:
+        """Count one failed authentication (tenant-scoped when known)."""
+        if tenant is not None:
+            self.tenant_metrics(tenant).counter("auth_failures").inc()

@@ -1,0 +1,318 @@
+"""Minimal HTTP/1.1 request parsing and RFC-6455 WebSocket framing.
+
+The gateway deliberately speaks raw stdlib ``asyncio`` streams — no
+third-party HTTP stack — so this module is the whole wire vocabulary:
+
+* :func:`read_request` parses one request (request line, headers,
+  ``Content-Length`` body) from a stream reader into a
+  :class:`Request`.
+* :func:`render_response` serialises one response (``Connection:
+  close`` — the gateway's REST surface is one-shot; only WebSocket
+  upgrades keep the connection).
+* :func:`websocket_accept` computes the RFC-6455 handshake digest, and
+  :func:`encode_frame` / :class:`FrameParser` are the frame codec —
+  the parser is incremental and handles both masked (client→server,
+  mandatory per RFC) and unmasked (server→client) frames, so the same
+  class serves the gateway and the test/demo client.
+
+Only the subset the gateway needs is implemented: GET/POST, text/
+close/ping/pong frames, no extensions, no fragmentation on send
+(fragmented receives are reassembled).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "FrameParser",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "OP_TEXT",
+    "Request",
+    "encode_frame",
+    "read_request",
+    "render_response",
+    "websocket_accept",
+]
+
+#: RFC-6455 §4.2.2 magic GUID appended to the client key.
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONTINUATION = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_STATUS_TEXT = {
+    200: "OK",
+    101: "Switching Protocols",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(ValueError):
+    """A malformed request line, header block, or frame."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def wants_websocket(self) -> bool:
+        return (
+            "websocket" in self.header("upgrade").lower()
+            and "upgrade" in self.header("connection").lower()
+        )
+
+    def bearer_token(self) -> Optional[str]:
+        """The auth token: ``Authorization: Bearer …`` or ``?token=``.
+
+        The query-parameter fallback exists for WebSocket clients
+        (browsers cannot set headers on a WS upgrade).
+        """
+        auth = self.header("authorization")
+        if auth.lower().startswith("bearer "):
+            return auth[7:].strip()
+        return self.query.get("token")
+
+
+async def read_request(
+    reader,
+    max_line: int = 8192,
+    max_headers: int = 64,
+    max_body: int = 1 << 20,
+) -> Optional[Request]:
+    """Parse one request from *reader*; None on a cleanly closed socket.
+
+    Raises :class:`ProtocolError` on malformed input and
+    :class:`asyncio.LimitOverrunError`-free bounded reads (every line
+    is capped at *max_line* bytes, bodies at *max_body*).
+    """
+    line = await reader.readline()
+    if not line:
+        return None
+    if len(line) > max_line:
+        raise ProtocolError("request line too long")
+    try:
+        method, target, version = line.decode("latin-1").split()
+    except ValueError:
+        raise ProtocolError(f"malformed request line: {line!r}") from None
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(f"unsupported version {version!r}")
+    headers: Dict[str, str] = {}
+    for _ in range(max_headers):
+        line = await reader.readline()
+        if len(line) > max_line:
+            raise ProtocolError("header line too long")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise ProtocolError("too many headers")
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise ProtocolError(f"bad Content-Length {length!r}") from None
+        if size < 0 or size > max_body:
+            raise ProtocolError(f"body of {size} bytes refused")
+        if size:
+            body = await reader.readexactly(size)
+    parts = urlsplit(target)
+    query = dict(parse_qsl(parts.query, keep_blank_values=True))
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=parts.path.rstrip("/") or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json; charset=utf-8",
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+) -> bytes:
+    """One serialised ``Connection: close`` HTTP/1.1 response."""
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+# -- WebSocket ---------------------------------------------------------------
+
+
+def websocket_accept(key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` digest for a client *key*."""
+    digest = hashlib.sha1((key + _WS_GUID).encode("latin-1")).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def render_upgrade(key: str) -> bytes:
+    """The 101 handshake response completing a WebSocket upgrade."""
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {websocket_accept(key)}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def encode_frame(opcode: int, payload: bytes, mask: bool = False) -> bytes:
+    """One FIN frame.  Clients must set *mask* (RFC 6455 §5.3)."""
+    head = bytearray([0x80 | (opcode & 0x0F)])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < (1 << 16):
+        head.append(mask_bit | 126)
+        head += struct.pack("!H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack("!Q", length)
+    if not mask:
+        return bytes(head) + payload
+    key = os.urandom(4)
+    head += key
+    masked = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(head) + masked
+
+
+def encode_text(text: str, mask: bool = False) -> bytes:
+    return encode_frame(OP_TEXT, text.encode("utf-8"), mask=mask)
+
+
+def encode_close(code: int = 1000, reason: str = "", mask: bool = False) -> bytes:
+    payload = struct.pack("!H", code) + reason.encode("utf-8")
+    return encode_frame(OP_CLOSE, payload, mask=mask)
+
+
+class FrameParser:
+    """Incremental WebSocket frame decoder.
+
+    ``feed(data)`` buffers bytes and returns every complete message as
+    ``(opcode, payload)``; fragmented messages are reassembled and
+    reported under their initial opcode.  Both masked and unmasked
+    frames are accepted, so the parser serves server and client sides.
+    """
+
+    def __init__(self, max_message: int = 1 << 22) -> None:
+        self._buffer = bytearray()
+        self._fragments: List[bytes] = []
+        self._fragment_opcode: Optional[int] = None
+        self.max_message = max_message
+
+    def feed(self, data: bytes) -> List[Tuple[int, bytes]]:
+        self._buffer += data
+        messages: List[Tuple[int, bytes]] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return messages
+            fin, opcode, payload = frame
+            if opcode in (OP_CLOSE, OP_PING, OP_PONG):
+                # Control frames may interleave with fragments and are
+                # never themselves fragmented (RFC 6455 §5.5).
+                messages.append((opcode, payload))
+                continue
+            if opcode == OP_CONTINUATION:
+                if self._fragment_opcode is None:
+                    raise ProtocolError("continuation without a start frame")
+                self._fragments.append(payload)
+            else:
+                if self._fragment_opcode is not None:
+                    raise ProtocolError("interleaved data fragments")
+                self._fragment_opcode = opcode
+                self._fragments = [payload]
+            if sum(len(p) for p in self._fragments) > self.max_message:
+                raise ProtocolError("message too large")
+            if fin:
+                messages.append(
+                    (self._fragment_opcode, b"".join(self._fragments))
+                )
+                self._fragment_opcode = None
+                self._fragments = []
+
+    def _next_frame(self) -> Optional[Tuple[bool, int, bytes]]:
+        buf = self._buffer
+        if len(buf) < 2:
+            return None
+        first, second = buf[0], buf[1]
+        fin = bool(first & 0x80)
+        if first & 0x70:
+            raise ProtocolError("reserved bits set (no extensions)")
+        opcode = first & 0x0F
+        masked = bool(second & 0x80)
+        length = second & 0x7F
+        offset = 2
+        if length == 126:
+            if len(buf) < offset + 2:
+                return None
+            (length,) = struct.unpack_from("!H", buf, offset)
+            offset += 2
+        elif length == 127:
+            if len(buf) < offset + 8:
+                return None
+            (length,) = struct.unpack_from("!Q", buf, offset)
+            offset += 8
+        if length > self.max_message:
+            raise ProtocolError(f"frame of {length} bytes refused")
+        key = b""
+        if masked:
+            if len(buf) < offset + 4:
+                return None
+            key = bytes(buf[offset:offset + 4])
+            offset += 4
+        if len(buf) < offset + length:
+            return None
+        payload = bytes(buf[offset:offset + length])
+        del buf[:offset + length]
+        if masked:
+            payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+        return fin, opcode, payload

@@ -1,0 +1,270 @@
+"""The live fan-out hub: one internal consumer, N tenant WebSockets.
+
+The cluster publishes each event exactly once; the gateway must hand
+it to every subscribed tenant socket whose filter matches, without one
+slow tenant stalling the rest.  The hub is that junction:
+
+* **One inbound path** — the gateway's internal cluster consumer calls
+  :meth:`StreamHub.publish_entries` from its poll thread with each
+  fresh (post-watermark-dedup) batch and its shard label.
+* **Push-down matching** — every subscription's filter is compiled
+  into the shared :class:`~repro.ripple.index.RuleIndex`
+  (:mod:`repro.gateway.filters`), so one trie walk per event finds the
+  interested subscribers; tenants watching other subtrees cost
+  nothing.  Matched events are serialised **once** — one JSON body,
+  one WebSocket frame — and the same bytes are offered to every
+  matched subscriber.
+* **Per-subscriber pacing + shedding** — each subscriber owns a
+  bounded queue and a token bucket built from its tenant's
+  :class:`~repro.gateway.auth.Quota`.  An empty bucket or a full queue
+  **sheds the event for that subscriber only** (counted in the
+  subscriber's ``shed``, the tenant's ``stream_shed`` and the
+  gateway's ``stream_shed``) — the hub never blocks, so the publish
+  thread and every other tenant keep flowing.
+* **Thread → asyncio wakeup** — the publish thread appends under the
+  subscriber's lock and wakes its writer coroutine via
+  ``loop.call_soon_threadsafe``; the writer drains whole runs per
+  wakeup (one ``drain()`` per scheduling round, not per event).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.events import FileEvent
+from repro.gateway.auth import Quota
+from repro.gateway.filters import SubscriptionFilter
+from repro.gateway.http import OP_TEXT, encode_frame
+from repro.metrics.registry import ScopedRegistry
+from repro.ripple.index import RuleIndex
+from repro.util.clock import Clock
+from repro.util.tokens import TokenBucket
+
+__all__ = ["StreamHub", "StreamSubscriber"]
+
+
+def stream_message(
+    seq: int, event: FileEvent, shard: Optional[str]
+) -> bytes:
+    """One serialised stream payload (shared by every subscriber)."""
+    return json.dumps(
+        {"shard": shard, "seq": seq, "event": event.to_dict()},
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+class StreamSubscriber:
+    """One tenant WebSocket's slot in the hub.
+
+    The publish thread calls :meth:`offer`; the socket's writer
+    coroutine awaits :meth:`wait` and calls :meth:`drain`.  All shared
+    state sits behind the subscriber's own lock, so subscribers never
+    contend with each other.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        filt: SubscriptionFilter,
+        quota: Quota,
+        tenant_metrics: Optional[ScopedRegistry] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.tenant = tenant
+        self.filter = filt
+        self.rule = filt.to_rule()
+        self.capacity = quota.stream_queue
+        self.bucket = TokenBucket(
+            rate=quota.stream_events_per_sec,
+            burst=quota.stream_burst,
+            clock=clock,
+        )
+        self._tenant_metrics = tenant_metrics
+        self._lock = threading.Lock()
+        self._queue: List[bytes] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._wake: Optional[asyncio.Event] = None
+        self.closed = False
+        #: Events handed to this socket's queue / shed at its door.
+        self.delivered = 0
+        self.shed = 0
+
+    def bind(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Attach the writer side (called from the event loop)."""
+        self._loop = loop
+        self._wake = asyncio.Event()
+
+    # -- publish side (any thread) ------------------------------------------
+
+    def offer(self, payload: bytes) -> bool:
+        """Queue *payload* for this socket; False (and shed) when over
+        rate or over the bounded queue."""
+        with self._lock:
+            if self.closed:
+                return False
+            if len(self._queue) >= self.capacity or not self.bucket.take():
+                self.shed += 1
+                if self._tenant_metrics is not None:
+                    self._tenant_metrics.counter("stream_shed").inc()
+                return False
+            self._queue.append(payload)
+            self.delivered += 1
+            loop, wake = self._loop, self._wake
+        if self._tenant_metrics is not None:
+            self._tenant_metrics.counter("events_delivered").inc()
+        if loop is not None and wake is not None:
+            try:
+                loop.call_soon_threadsafe(wake.set)
+            except RuntimeError:
+                pass  # loop shut down mid-publish; the socket is gone
+        return True
+
+    # -- writer side (event loop) -------------------------------------------
+
+    def drain(self) -> List[bytes]:
+        """Take everything queued (and reset the wakeup)."""
+        with self._lock:
+            run, self._queue = self._queue, []
+            if self._wake is not None:
+                self._wake.clear()
+            return run
+
+    async def wait(self, timeout: float = 0.5) -> bool:
+        """Await a wakeup (bounded, so close/stop are noticed)."""
+        if self._wake is None:
+            await asyncio.sleep(timeout)
+            return False
+        try:
+            await asyncio.wait_for(self._wake.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def close(self) -> None:
+        with self._lock:
+            self.closed = True
+            self._queue = []
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+
+class StreamHub:
+    """Filter-indexed fan-out from the cluster stream to subscribers."""
+
+    def __init__(
+        self,
+        metrics: ScopedRegistry,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.metrics = metrics
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._index = RuleIndex()
+        self._subscribers: Dict[int, StreamSubscriber] = {}
+        self._delivered = metrics.counter("stream_delivered")
+        self._shed = metrics.counter("stream_shed")
+        self._published = metrics.counter("stream_published")
+        metrics.gauge_fn("stream_clients", lambda: len(self._subscribers))
+
+    def __len__(self) -> int:
+        return len(self._subscribers)
+
+    def subscribers(self) -> List[StreamSubscriber]:
+        with self._lock:
+            return list(self._subscribers.values())
+
+    def subscribe(
+        self,
+        tenant: str,
+        filt: SubscriptionFilter,
+        quota: Quota,
+        tenant_metrics: Optional[ScopedRegistry] = None,
+    ) -> StreamSubscriber:
+        """Register a socket's subscription (filter into the index)."""
+        subscriber = StreamSubscriber(
+            tenant, filt, quota, tenant_metrics, clock=self.clock
+        )
+        with self._lock:
+            self._index.add(subscriber.rule)
+            self._subscribers[subscriber.rule.rule_id] = subscriber
+        return subscriber
+
+    def unsubscribe(self, subscriber: StreamSubscriber) -> None:
+        subscriber.close()
+        with self._lock:
+            if self._subscribers.pop(subscriber.rule.rule_id, None) is not None:
+                self._index.remove(subscriber.rule)
+
+    def streams_for(self, tenant: str) -> int:
+        """Open subscriptions held by *tenant* (quota enforcement)."""
+        with self._lock:
+            return sum(
+                1
+                for sub in self._subscribers.values()
+                if sub.tenant == tenant
+            )
+
+    # -- fan-out -------------------------------------------------------------
+
+    def publish_entries(
+        self,
+        entries: List[Tuple[int, FileEvent]],
+        source: Optional[str] = None,
+    ) -> int:
+        """Fan one fresh batch out to every matching subscriber.
+
+        Called by the gateway's internal cluster consumer (its
+        ``batch_callback``); *source* is the publishing shard's label.
+        Returns the number of (event, subscriber) deliveries.
+        """
+        if not entries:
+            return 0
+        with self._lock:
+            if not self._subscribers:
+                self._published.inc(len(entries))
+                return 0
+            matches = self._index.matching_batch(
+                [event for _seq, event in entries]
+            )
+            subscribers = dict(self._subscribers)
+        self._published.inc(len(entries))
+        delivered = 0
+        shed_before = sum(s.shed for s in subscribers.values())
+        for (seq, event), (_event, rules) in zip(entries, matches):
+            if not rules:
+                continue
+            payload: Optional[bytes] = None
+            frame: Optional[bytes] = None
+            for rule in rules:
+                subscriber = subscribers.get(rule.rule_id)
+                if subscriber is None:
+                    continue
+                if frame is None:
+                    # Serialise once per event, share across subscribers.
+                    payload = stream_message(seq, event, source)
+                    frame = encode_frame(OP_TEXT, payload)
+                if subscriber.offer(frame):
+                    delivered += 1
+        self._delivered.inc(delivered)
+        shed_now = sum(s.shed for s in subscribers.values())
+        if shed_now > shed_before:
+            self._shed.inc(shed_now - shed_before)
+        return delivered
+
+    def publish_event(
+        self, seq: int, event: FileEvent, source: Optional[str] = None
+    ) -> int:
+        return self.publish_entries([(seq, event)], source)
+
+    def close(self) -> None:
+        with self._lock:
+            subscribers = list(self._subscribers.values())
+            self._subscribers.clear()
+            self._index = RuleIndex()
+        for subscriber in subscribers:
+            subscriber.close()

@@ -1,0 +1,287 @@
+"""Blocking gateway client: REST calls + a select-friendly WS stream.
+
+The gateway's own wire surface is asyncio, but its *callers* in this
+repo — tests, the ``repro gateway-demo`` CLI, the CI smoke step — are
+plain threads.  This module is the stdlib-only counterpart client:
+
+* :class:`GatewayClient` — one-shot JSON-over-HTTP requests via
+  ``http.client`` (the gateway answers ``Connection: close``, so a
+  fresh connection per call is the protocol, not an inefficiency),
+  with helpers for the auth handshake and cursor-paged event sweeps.
+* :class:`WsStream` — a blocking WebSocket subscription: raw socket
+  handshake (the ``Sec-WebSocket-Accept`` digest is verified), masked
+  client frames per RFC 6455 §5.3, and a :meth:`pump` that drains
+  whatever is readable without blocking — plus :meth:`fileno` so a
+  single ``select()`` loop can fan in hundreds of streams, which is
+  exactly how the 200-subscriber acceptance test drives it.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import os
+import select
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.gateway.http import (
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    FrameParser,
+    encode_close,
+    encode_frame,
+    websocket_accept,
+)
+
+__all__ = ["GatewayClient", "GatewayClientError", "StreamRejected", "WsStream"]
+
+
+class GatewayClientError(ReproError):
+    """A gateway call answered with an error status."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        super().__init__(f"gateway answered {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+class StreamRejected(GatewayClientError):
+    """The gateway refused a ``/v1/stream`` upgrade (401/429/400)."""
+
+
+class GatewayClient:
+    """Blocking JSON client for the gateway's REST surface."""
+
+    def __init__(self, host: str, port: int, timeout: float = 5.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        token: Optional[str] = None,
+        body: Optional[dict] = None,
+        query: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Any]:
+        """One request → ``(status, decoded JSON payload)``."""
+        if query:
+            pairs = "&".join(
+                f"{name}={_quote(str(value))}"
+                for name, value in query.items()
+                if value is not None
+            )
+            if pairs:
+                path = f"{path}?{pairs}"
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Accept": "application/json"}
+            if token:
+                headers["Authorization"] = f"Bearer {token}"
+            payload = None
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw) if raw else None
+            except ValueError:
+                decoded = raw.decode("utf-8", "replace")
+            return response.status, decoded
+        finally:
+            conn.close()
+
+    # -- conveniences --------------------------------------------------------
+
+    def auth(self, key: str) -> Dict[str, Any]:
+        """``POST /v1/auth``; returns the session payload or raises."""
+        status, payload = self.request("POST", "/v1/auth", body={"key": key})
+        if status != 200:
+            raise GatewayClientError(status, payload)
+        return payload
+
+    def events(
+        self, token: str, **query: Any
+    ) -> Dict[str, Any]:
+        """One ``GET /v1/events`` page; raises on a non-200 answer."""
+        status, payload = self.request(
+            "GET", "/v1/events", token=token, query=query
+        )
+        if status != 200:
+            raise GatewayClientError(status, payload)
+        return payload
+
+    def events_all(
+        self, token: str, **query: Any
+    ) -> List[Dict[str, Any]]:
+        """Sweep every matching historic event, page by page."""
+        out: List[Dict[str, Any]] = []
+        cursor = query.pop("cursor", None)
+        while True:
+            page = self.events(token, cursor=cursor, **query)
+            out.extend(page["events"])
+            cursor = page["cursor"]
+            if page["exhausted"]:
+                return out
+
+    def stats(self, token: str) -> Dict[str, Any]:
+        status, payload = self.request("GET", "/v1/stats", token=token)
+        if status != 200:
+            raise GatewayClientError(status, payload)
+        return payload
+
+    def health(self) -> Tuple[int, Any]:
+        return self.request("GET", "/health")
+
+    def stream(self, token: str, **query: Any) -> "WsStream":
+        """Open a live ``/v1/stream`` subscription."""
+        return WsStream.connect(
+            self.host, self.port, token, query, timeout=self.timeout
+        )
+
+
+def _quote(value: str) -> str:
+    from urllib.parse import quote
+
+    return quote(value, safe="")
+
+
+class WsStream:
+    """One blocking WebSocket subscription to ``/v1/stream``."""
+
+    def __init__(self, sock: socket.socket, leftover: bytes = b"") -> None:
+        self.sock = sock
+        self.parser = FrameParser()
+        self.closed = False
+        #: Decoded stream messages received so far.
+        self.received: List[Dict[str, Any]] = []
+        if leftover:
+            self._handle(self.parser.feed(leftover))
+
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        token: str,
+        query: Optional[Dict[str, Any]] = None,
+        timeout: float = 5.0,
+    ) -> "WsStream":
+        """Handshake a subscription; raises :class:`StreamRejected`
+        when the gateway answers anything but 101."""
+        params = {"token": token, **(query or {})}
+        target = "/v1/stream?" + "&".join(
+            f"{name}={_quote(str(value))}"
+            for name, value in params.items()
+            if value is not None
+        )
+        key = base64.b64encode(os.urandom(16)).decode("latin-1")
+        sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            sock.sendall(
+                (
+                    f"GET {target} HTTP/1.1\r\n"
+                    f"Host: {host}:{port}\r\n"
+                    "Upgrade: websocket\r\n"
+                    "Connection: Upgrade\r\n"
+                    f"Sec-WebSocket-Key: {key}\r\n"
+                    "Sec-WebSocket-Version: 13\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+            )
+            head = b""
+            while b"\r\n\r\n" not in head:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    raise GatewayClientError(0, "connection closed mid-handshake")
+                head += chunk
+            header_blob, _, leftover = head.partition(b"\r\n\r\n")
+            lines = header_blob.decode("latin-1").split("\r\n")
+            status = int(lines[0].split()[1])
+            headers = {}
+            for line in lines[1:]:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+            if status != 101:
+                body = leftover
+                length = int(headers.get("content-length", "0") or 0)
+                while len(body) < length:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    body += chunk
+                try:
+                    payload = json.loads(body) if body else None
+                except ValueError:
+                    payload = body.decode("utf-8", "replace")
+                raise StreamRejected(status, payload)
+            expected = websocket_accept(key)
+            if headers.get("sec-websocket-accept") != expected:
+                raise GatewayClientError(0, "bad Sec-WebSocket-Accept digest")
+        except BaseException:
+            sock.close()
+            raise
+        sock.setblocking(False)
+        return cls(sock, leftover)
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    def _handle(self, messages: List[Tuple[int, bytes]]) -> List[Dict[str, Any]]:
+        fresh: List[Dict[str, Any]] = []
+        for opcode, payload in messages:
+            if opcode == OP_TEXT:
+                decoded = json.loads(payload)
+                self.received.append(decoded)
+                fresh.append(decoded)
+            elif opcode == OP_PING:
+                self._send(encode_frame(OP_PONG, payload, mask=True))
+            elif opcode == OP_CLOSE:
+                self.closed = True
+        return fresh
+
+    def _send(self, frame: bytes) -> None:
+        try:
+            self.sock.sendall(frame)
+        except OSError:
+            self.closed = True
+
+    def pump(self, timeout: float = 0.0) -> List[Dict[str, Any]]:
+        """Drain whatever is readable; never blocks past *timeout*."""
+        fresh: List[Dict[str, Any]] = []
+        while not self.closed:
+            readable, _, _ = select.select([self.sock], [], [], timeout)
+            if not readable:
+                break
+            timeout = 0.0  # only the first wait may block
+            try:
+                data = self.sock.recv(65536)
+            except BlockingIOError:
+                break
+            except OSError:
+                self.closed = True
+                break
+            if not data:
+                self.closed = True
+                break
+            fresh.extend(self._handle(self.parser.feed(data)))
+        return fresh
+
+    def close(self) -> None:
+        if not self.closed:
+            self._send(encode_close(mask=True))
+            self.closed = True
+        try:
+            self.sock.close()
+        except OSError:
+            pass

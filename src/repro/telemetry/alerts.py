@@ -221,6 +221,25 @@ def recommended_rules() -> Tuple[AlertRule, ...]:
             threshold=0.0,
             description="a supervised service worker crashed",
         ),
+        AlertRule(
+            name="gateway-auth-failures",
+            metric="*.auth_failures",
+            kind="rate",
+            op=">",
+            threshold=5.0,
+            duration=5.0,
+            description="gateway authentication failures above 5/s; "
+            "credential scan or misconfigured client",
+        ),
+        AlertRule(
+            name="gateway-stream-shed",
+            metric="*.stream_shed",
+            kind="rate",
+            op=">",
+            threshold=0.0,
+            description="a gateway stream is shedding events; a tenant's "
+            "consumer is slower than its subscription",
+        ),
     )
 
 

@@ -131,3 +131,24 @@ class TestCommands:
         assert "merged cluster stats" in out
         for shard in ("shard0", "shard1", "shard2"):
             assert shard in out
+
+    def test_gateway_demo_defaults(self):
+        args = build_parser().parse_args(["gateway-demo"])
+        assert args.shards == 2
+        assert args.transport == "inproc"
+        assert args.clients == 10
+        assert args.events == 100
+
+    def test_gateway_demo(self, capsys):
+        code = main([
+            "gateway-demo", "--shards", "2", "--num-mds", "2",
+            "--clients", "3", "--events", "30",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gateway at http://" in out
+        assert "returned 30 created events" in out
+        assert "bogus token -> HTTP 401" in out
+        assert "lost=0" in out
+        assert "bob's stream (other subtree): 0 events" in out
+        assert "gateway counters" in out

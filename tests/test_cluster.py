@@ -20,6 +20,7 @@ Covers the cluster subsystem end to end:
   cluster-wide ``catch_up`` against per-shard watermarks.
 """
 
+import asyncio
 import time
 
 import pytest
@@ -30,6 +31,8 @@ from repro.cluster import (
     ClusterMonitor,
     ShardMap,
     ShardRouter,
+    decode_cursor,
+    encode_cursor,
 )
 from repro.core import (
     Aggregator,
@@ -608,5 +611,99 @@ class TestClusterClient:
             assert late_events[-1].path == "/proj0/after.dat"
             assert client.catch_up(late) == 0
             assert len(late_events) == baseline + 1
+        finally:
+            cluster.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Opaque cursor paging + async facade
+# ---------------------------------------------------------------------------
+
+
+class TestClusterCursorPaging:
+    def _drained_cluster(self):
+        fs, cluster = build_cluster(num_shards=3)
+        seen = []
+        cluster.subscribe(lambda seq, ev: seen.append(ev))
+        populate(fs)
+        cluster.drain()
+        return fs, cluster, seen
+
+    @pytest.mark.parametrize("limit", [1, 2, 3, 7, 29, 500])
+    def test_page_walk_never_skips_or_duplicates(self, limit):
+        """Walking page() at any page size reproduces events_since(0)
+        exactly — the boundary may fall mid-shard without loss."""
+        fs, cluster, _seen = self._drained_cluster()
+        try:
+            client = cluster.client()
+            reference = client.events_since(0)
+            walked, cursor = [], None
+            while True:
+                page = client.page(cursor, limit=limit)
+                assert len(page) <= limit
+                walked.extend(page.entries)
+                cursor = page.cursor
+                if page.exhausted:
+                    break
+            assert walked == reference
+            # The final cursor is at the head: nothing more to read.
+            assert len(client.page(cursor, limit=limit)) == 0
+        finally:
+            cluster.shutdown()
+
+    def test_cursor_resumes_across_new_events(self):
+        fs, cluster, _seen = self._drained_cluster()
+        try:
+            client = cluster.client()
+            cursor = client.head_cursor()
+            fs.create("/proj0/later.dat")
+            cluster.drain()
+            entries, cursor = client.events_since_all(cursor)
+            assert [e.path for _s, _q, e in entries] == ["/proj0/later.dat"]
+            # The returned token resumes past what was consumed.
+            assert client.events_since_all(cursor)[0] == []
+        finally:
+            cluster.shutdown()
+
+    def test_cursor_tokens_are_opaque_and_validated(self):
+        fs, cluster, _seen = self._drained_cluster()
+        try:
+            client = cluster.client()
+            token = client.head_cursor()
+            watermarks = decode_cursor(token, client.shard_ids)
+            assert set(watermarks) <= set(client.shard_ids)
+            assert encode_cursor(watermarks) == token
+            with pytest.raises(ValueError):
+                client.page("corrupt~~~token")
+            with pytest.raises(ValueError):
+                client.page(encode_cursor({"shard99": 5}))
+        finally:
+            cluster.shutdown()
+
+    def test_async_facade_matches_sync_answers(self):
+        fs, cluster, _seen = self._drained_cluster()
+        try:
+            client = cluster.client()
+            sync_entries, _ = client.events_since_all()
+            sync_stats = client.stats()
+
+            async def drive():
+                aclient = client.as_async()
+                entries, cursor = await aclient.events_since_all()
+                page = await aclient.page(limit=5)
+                stats = await aclient.stats()
+                head = await aclient.head_cursor()
+                return entries, cursor, page, stats, head
+
+            entries, cursor, page, stats, head = asyncio.run(drive())
+            assert entries == sync_entries
+            assert len(page) == 5
+            # api_requests keeps counting between the two stats calls;
+            # the pipeline counters must agree exactly.
+            for metric in ("events_stored", "events_published", "store_len"):
+                assert stats["totals"][metric] == sync_stats["totals"][metric]
+            assert decode_cursor(head) == client.last_seq()
+            # The resume token covers everything: nothing left after it.
+            assert client.events_since_all(cursor)[0] == []
         finally:
             cluster.shutdown()
