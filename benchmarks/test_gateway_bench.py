@@ -131,21 +131,35 @@ def bench_pushdown(fs, cluster, gateway, api, token, events):
     )
     scanned_before = gateway.metrics.value("events_scanned")
     returned_before = gateway.metrics.value("events_returned")
+    hits_before = gateway.metrics.value("filter_cache_hits")
+    misses_before = gateway.metrics.value("filter_cache_misses")
     started = time.perf_counter()
+    # Page size 32 forces a multi-page cursor sweep — the shape where
+    # the filter cache pays (identical params re-sent every page).
     matching = api.events_all(
-        token, prefix="/bench/signal", types="created", limit=512
+        token, prefix="/bench/signal", types="created", limit=32
     )
     elapsed = time.perf_counter() - started
     scanned = gateway.metrics.value("events_scanned") - scanned_before
     returned = gateway.metrics.value("events_returned") - returned_before
+    cache_hits = gateway.metrics.value("filter_cache_hits") - hits_before
+    cache_misses = (
+        gateway.metrics.value("filter_cache_misses") - misses_before
+    )
     assert returned == len(matching) == expected, (returned, expected)
     assert scanned >= events  # the sweep walked the whole retained window
+    # Every page of the sweep reuses ONE compiled filter index: at most
+    # one miss for this query shape, everything else a cache hit.
+    assert cache_hits >= 1, (cache_hits, cache_misses)
+    assert cache_misses <= 1, (cache_hits, cache_misses)
     pruned_fraction = 1.0 - returned / scanned
     return {
         "scenario": "pushdown",
         "events_scanned": scanned,
         "events_returned": returned,
         "pruned_fraction": round(pruned_fraction, 4),
+        "filter_cache_hits": cache_hits,
+        "filter_cache_misses": cache_misses,
         "elapsed_s": round(elapsed, 4),
         "scan_events_per_s": round(scanned / elapsed, 1),
     }
@@ -196,10 +210,15 @@ class TestGatewayOverhead:
                 f"{row['elapsed_s']:>10.4f} "
                 f"{row[rates[row['scenario']]]:>14.1f}"
             )
-        pruned = next(
-            r for r in scenarios if r["scenario"] == "pushdown"
-        )["pruned_fraction"]
-        lines.append(f"push-down pruned fraction: {pruned:.2%}")
+        pushdown = next(r for r in scenarios if r["scenario"] == "pushdown")
+        lines.append(
+            f"push-down pruned fraction: {pushdown['pruned_fraction']:.2%}"
+        )
+        lines.append(
+            "filter cache across the paged sweep: "
+            f"{pushdown['filter_cache_hits']} hits / "
+            f"{pushdown['filter_cache_misses']} misses"
+        )
         table = "\n".join(lines)
         report.add("service tier - gateway overhead", table)
 

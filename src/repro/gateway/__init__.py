@@ -19,7 +19,11 @@ from repro.gateway.auth import (
     QuotaExceeded,
     Session,
 )
-from repro.gateway.filters import SubscriptionFilter, parse_filter
+from repro.gateway.filters import (
+    FilterIndexCache,
+    SubscriptionFilter,
+    parse_filter,
+)
 from repro.gateway.hub import StreamHub, StreamSubscriber
 from repro.gateway.server import GatewayConfig, GatewayServer, attach_gateway
 from repro.gateway.wsclient import (
@@ -33,6 +37,7 @@ __all__ = [
     "ApiKey",
     "AuthError",
     "AuthStore",
+    "FilterIndexCache",
     "GatewayClient",
     "GatewayClientError",
     "GatewayConfig",

@@ -18,13 +18,17 @@ indexed pruning byte-identical to this linear sweep, mirroring the
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import FrozenSet, Optional
+from typing import FrozenSet, Optional, Tuple
 
 from repro.core.events import EventType, FileEvent
+from repro.ripple.index import RuleIndex
 from repro.ripple.rules import Action, Rule, Trigger
+from repro.util.paths import normalize
 
-__all__ = ["SubscriptionFilter", "parse_filter"]
+__all__ = ["FilterIndexCache", "SubscriptionFilter", "parse_filter"]
 
 #: The agent id gateway filter rules are registered under — the
 #: RuleIndex is agent-agnostic, but Trigger requires one.
@@ -79,6 +83,63 @@ class SubscriptionFilter:
         return (
             f"{types} of {self.name_pattern!r} under {self.path_prefix}"
         )
+
+
+class FilterIndexCache:
+    """LRU of compiled single-filter rule indexes, shared across requests.
+
+    Every ``/v1/events`` request used to pay a fresh single-rule
+    :class:`~repro.ripple.index.RuleIndex` construction (trigger
+    validation, prefix normalization, pattern compilation, trie build)
+    before scanning a page.  Tenants overwhelmingly re-issue the same
+    filter — paging through a window re-sends identical query params
+    every page — so the gateway keys compiled indexes on the
+    *normalized* filter parameters and reuses them.  ``hits``/``misses``
+    make the reuse observable (the gateway bench asserts on them).
+
+    Thread-safety: lookups take a small lock; the cached indexes
+    themselves are only matched from the gateway's event-loop thread.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, RuleIndex]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(filt: SubscriptionFilter) -> tuple:
+        return (
+            normalize(filt.path_prefix),
+            filt.event_types,
+            filt.name_pattern,
+            filt.include_directories,
+        )
+
+    def get(self, filt: SubscriptionFilter) -> Tuple[RuleIndex, bool]:
+        """The compiled index for *filt* plus whether it was a hit."""
+        key = self._key(filt)
+        with self._lock:
+            index = self._entries.get(key)
+            if index is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return index, True
+            self.misses += 1
+        # Compile outside the lock: construction touches the rule layer.
+        index = RuleIndex([filt.to_rule()])
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                return cached, True
+            self._entries[key] = index
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return index, False
 
 
 def parse_filter(

@@ -39,7 +39,7 @@ from repro.gateway.auth import Quota
 from repro.gateway.filters import SubscriptionFilter
 from repro.gateway.http import OP_TEXT, encode_frame
 from repro.metrics.registry import ScopedRegistry
-from repro.ripple.index import RuleIndex
+from repro.ripple.index import RuleIndex, eval_pressure
 from repro.util.clock import Clock
 from repro.util.tokens import TokenBucket
 
@@ -170,6 +170,24 @@ class StreamHub:
         self._shed = metrics.counter("stream_shed")
         self._published = metrics.counter("stream_published")
         metrics.gauge_fn("stream_clients", lambda: len(self._subscribers))
+        # Push-down index health for telemetry scrapes: the hub shares
+        # the ripple_* family with the agents so one alert rule covers
+        # both consumers of the fused automaton.
+        metrics.gauge_fn("ripple_rules_indexed", lambda: len(self._index))
+        metrics.gauge_fn(
+            "ripple_candidates_considered",
+            lambda: self._index.candidates_considered,
+        )
+        metrics.gauge_fn(
+            "ripple_rules_evaluated", lambda: self._index.rules_evaluated
+        )
+        metrics.gauge_fn(
+            "ripple_program_recompiles",
+            lambda: self._index.program_recompiles,
+        )
+        metrics.gauge_fn(
+            "ripple_eval_pressure", lambda: eval_pressure(self._index)
+        )
 
     def __len__(self) -> int:
         return len(self._subscribers)

@@ -49,7 +49,11 @@ from repro.cluster.client import (
 )
 from repro.errors import ReproError
 from repro.gateway.auth import AuthError, AuthStore, QuotaExceeded, Session
-from repro.gateway.filters import SubscriptionFilter, parse_filter
+from repro.gateway.filters import (
+    FilterIndexCache,
+    SubscriptionFilter,
+    parse_filter,
+)
 from repro.gateway.http import (
     OP_CLOSE,
     OP_PING,
@@ -65,7 +69,6 @@ from repro.gateway.http import (
 )
 from repro.gateway.hub import StreamHub
 from repro.metrics.registry import MetricsRegistry
-from repro.ripple.index import RuleIndex
 from repro.runtime.service import Service, WorkerSpec
 from repro.util.logging import get_logger
 
@@ -139,6 +142,14 @@ class GatewayServer(Service):
         self._events_returned = self.metrics.counter("events_returned")
         self._ws_connects = self.metrics.counter("ws_connects")
         self._ws_rejects = self.metrics.counter("ws_rejects")
+        #: Compiled-filter reuse across /v1/events requests (LRU keyed
+        #: on normalized query params; see FilterIndexCache).
+        self._filter_cache = FilterIndexCache()
+        self._filter_cache_hits = self.metrics.counter("filter_cache_hits")
+        self._filter_cache_misses = self.metrics.counter("filter_cache_misses")
+        self.metrics.gauge_fn(
+            "filter_cache_size", lambda: len(self._filter_cache)
+        )
         self._sock: Optional[socket.socket] = None
         self._bind()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -388,10 +399,14 @@ class GatewayServer(Service):
         :class:`~repro.ripple.index.RuleIndex` and raw cluster pages
         are pruned via ``matching_batch`` — the same compiled path the
         fan-out hub and the Ripple agents use — **before** any event
-        is serialised.  The returned cursor reflects exactly the raw
-        events consumed, so a resume never skips or repeats.
+        is serialised.  Compiled indexes are LRU-cached on the
+        normalized filter params, so paging through a window (or many
+        tenants sharing one filter shape) pays construction once.  The
+        returned cursor reflects exactly the raw events consumed, so a
+        resume never skips or repeats.
         """
-        index = RuleIndex([filt.to_rule()])
+        index, hit = self._filter_cache.get(filt)
+        (self._filter_cache_hits if hit else self._filter_cache_misses).inc()
         resumed = decode_cursor(cursor, self.client.shard_ids)
         watermarks = {
             shard_id: resumed.get(shard_id, 0)

@@ -12,7 +12,12 @@ events that trigger the next rule.
 """
 
 from repro.ripple.rules import Action, Rule, RuleSet, Trigger
-from repro.ripple.index import CompiledTrigger, RuleIndex
+from repro.ripple.index import (
+    BucketProgram,
+    CompiledTrigger,
+    RuleIndex,
+    eval_pressure,
+)
 from repro.ripple.actions import (
     ActionRequest,
     ActionResult,
@@ -30,7 +35,9 @@ __all__ = [
     "Rule",
     "RuleSet",
     "RuleIndex",
+    "BucketProgram",
     "CompiledTrigger",
+    "eval_pressure",
     "ActionRequest",
     "ActionResult",
     "ExecutorRegistry",

@@ -39,7 +39,7 @@ from repro.ripple.actions import (
     ExecutorRegistry,
     default_registry,
 )
-from repro.ripple.index import RuleIndex
+from repro.ripple.index import RuleIndex, eval_pressure
 from repro.ripple.rules import Rule
 from repro.runtime import Service, WorkerSpec
 
@@ -124,6 +124,28 @@ class RippleAgent(Service):
         )
         self.metrics.gauge_fn(
             "rules_evaluated", lambda: self.rule_index.rules_evaluated
+        )
+        # The telemetry-facing ripple_* family: index size, pruning
+        # volume, fused-evaluation volume, dirty-bucket recompiles, and
+        # the evaluated/candidates pressure ratio the stock
+        # rule-eval-pressure alert watches (0.0 below the floor).
+        self.metrics.gauge_fn(
+            "ripple_rules_indexed", lambda: len(self.rule_index)
+        )
+        self.metrics.gauge_fn(
+            "ripple_candidates_considered",
+            lambda: self.rule_index.candidates_considered,
+        )
+        self.metrics.gauge_fn(
+            "ripple_rules_evaluated",
+            lambda: self.rule_index.rules_evaluated,
+        )
+        self.metrics.gauge_fn(
+            "ripple_program_recompiles",
+            lambda: self.rule_index.program_recompiles,
+        )
+        self.metrics.gauge_fn(
+            "ripple_eval_pressure", lambda: eval_pressure(self.rule_index)
         )
 
     # -- counters (old attribute names kept readable) -------------------

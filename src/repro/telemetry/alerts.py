@@ -232,6 +232,16 @@ def recommended_rules() -> Tuple[AlertRule, ...]:
             "credential scan or misconfigured client",
         ),
         AlertRule(
+            name="rule-eval-pressure",
+            metric="*.ripple_eval_pressure",
+            op=">",
+            threshold=0.5,
+            duration=10.0,
+            description="rule evaluations tracking candidate volume; "
+            "predicate dedup/fusion is not collapsing matching work "
+            "(rules stack on shared spines with distinct predicates)",
+        ),
+        AlertRule(
             name="gateway-stream-shed",
             metric="*.stream_shed",
             kind="rate",

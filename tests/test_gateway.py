@@ -34,6 +34,7 @@ from repro.core.events import EventType, FileEvent
 from repro.gateway import (
     AuthError,
     AuthStore,
+    FilterIndexCache,
     GatewayClient,
     Quota,
     QuotaExceeded,
@@ -251,6 +252,44 @@ class TestFilterPushdown:
         assert "created" in filt.describe()
 
 
+class TestFilterIndexCache:
+    def test_identical_filters_share_one_index(self):
+        cache = FilterIndexCache(maxsize=4)
+        first, hit_a = cache.get(
+            parse_filter(prefix="/proj", types="created", pattern="*.h5")
+        )
+        second, hit_b = cache.get(
+            parse_filter(prefix="/proj", types="created", pattern="*.h5")
+        )
+        assert (hit_a, hit_b) == (False, True)
+        assert first is second
+        assert (cache.misses, cache.hits) == (1, 1)
+
+    def test_distinct_filters_do_not_collide(self):
+        cache = FilterIndexCache()
+        index_a, hit_a = cache.get(parse_filter(prefix="/a"))
+        index_b, hit_b = cache.get(parse_filter(prefix="/b"))
+        assert not hit_a and not hit_b
+        assert index_a is not index_b
+
+    def test_key_normalizes_prefix(self):
+        # "/proj/alice" and "/proj/alice/" are the same subtree; the
+        # cache must not compile two indexes for them.
+        cache = FilterIndexCache()
+        first, _ = cache.get(parse_filter(prefix="/proj/alice"))
+        second, hit = cache.get(parse_filter(prefix="/proj/alice/"))
+        assert hit and first is second
+
+    def test_lru_evicts_oldest(self):
+        cache = FilterIndexCache(maxsize=2)
+        cache.get(parse_filter(prefix="/a"))
+        cache.get(parse_filter(prefix="/b"))
+        cache.get(parse_filter(prefix="/c"))  # evicts /a
+        assert len(cache) == 2
+        _, hit = cache.get(parse_filter(prefix="/a"))
+        assert not hit
+
+
 # ---------------------------------------------------------------------------
 # Fan-out hub
 # ---------------------------------------------------------------------------
@@ -463,6 +502,24 @@ class TestGatewayService:
             ] == ["/proj/alice/fresh.h5"]
         )
         assert gateway.metrics.value("events_scanned") > 0
+
+    def test_repeated_queries_reuse_filter_cache(self, live_gateway):
+        fs, _cluster, gateway, api = live_gateway
+        fs.create("/proj/alice/a.h5")
+        token = api.auth(gateway.auth.issue_key("alice").key)["token"]
+        assert wait_until(
+            lambda: api.events(token, prefix="/proj/alice")["matched"] > 0
+        )
+        hits_before = gateway.metrics.value("filter_cache_hits")
+        misses_before = gateway.metrics.value("filter_cache_misses")
+        for _ in range(3):
+            api.events(token, prefix="/proj/alice", types="created")
+        # One compile at most for the new (prefix, types) shape; the
+        # repeats ride the cached index.
+        assert (
+            gateway.metrics.value("filter_cache_misses") - misses_before <= 1
+        )
+        assert gateway.metrics.value("filter_cache_hits") - hits_before >= 2
 
     def test_page_limit_clamped_to_quota(self, live_gateway):
         fs, _cluster, gateway, api = live_gateway

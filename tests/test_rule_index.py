@@ -13,7 +13,7 @@ agent's ``ingest_batch``.
 """
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.core import Aggregator, AggregatorConfig, Consumer
 from repro.core.events import EventType, FileEvent
@@ -318,6 +318,191 @@ class TestLinearEquivalence:
         assert index.matching_batch(events) == [
             (event, index.matching(event)) for event in events
         ]
+
+
+# ---------------------------------------------------------------------------
+# Fused bucket programs: dedup, partitions, pruning masks, recompiles
+# ---------------------------------------------------------------------------
+
+
+class TestFusedBucketProgram:
+    def test_identical_predicates_deduped(self):
+        # 50 rules sharing one predicate (same prefix/pattern/dirs):
+        # the fused program evaluates it ONCE and fans out to all
+        # owners, in insertion order.
+        rules = [make_rule(prefix="/d", pattern="*.dat") for _ in range(50)]
+        index = RuleIndex(rules)
+        index.reset_op_counters()
+        assert index.matching(make_event("/d/a.dat")) == rules
+        assert index.candidates_considered == 50
+        assert index.rules_evaluated == 1
+
+    def test_literal_names_hash_partition(self):
+        # Patterns without glob metacharacters go into a hash lookup:
+        # a non-matching literal costs zero evaluations.
+        done = make_rule(prefix="/d", pattern="DONE")
+        other = make_rule(prefix="/d", pattern="OTHER")
+        index = RuleIndex([done, other])
+        index.reset_op_counters()
+        assert index.matching(make_event("/d/DONE")) == [done]
+        assert index.rules_evaluated == 1
+
+    def test_merged_glob_alternation_reports_all_matches(self):
+        # One merged regex pass must report EVERY matching glob, not
+        # just the first alternative.
+        globs = ["*.dat", "data.*", "*a*", "*.h5"]
+        rules = [make_rule(prefix="/d", pattern=p) for p in globs]
+        index = RuleIndex(rules)
+        assert index.matching(make_event("/d/data.dat")) == rules[:3]
+
+    def test_type_mask_stops_descent(self):
+        # No descendant watches DELETED: the walk stops at the root
+        # without surfacing (or evaluating) anything.
+        index = RuleIndex([make_rule(prefix="/a/b/c")])
+        index.reset_op_counters()
+        assert index.matching(make_event("/a/b/c/f", EventType.DELETED)) == []
+        assert index.candidates_considered == 0
+        assert index.rules_evaluated == 0
+
+    def test_first_byte_mask_skips_bucket(self):
+        # Every pattern in the bucket pins its first name byte; an
+        # event whose name can't match skips the bucket entirely.
+        index = RuleIndex([make_rule(prefix="/d", pattern="DONE.*")])
+        index.reset_op_counters()
+        assert index.matching(make_event("/d/result.txt")) == []
+        assert index.candidates_considered == 0
+
+    def test_dirs_mask_skips_bucket(self):
+        # A files-only bucket is skipped for directory events before
+        # any candidate is counted.
+        index = RuleIndex([make_rule(prefix="/d")])
+        index.reset_op_counters()
+        assert index.matching(make_event("/d/sub", is_dir=True)) == []
+        assert index.candidates_considered == 0
+
+    def test_directly_disabled_rule_attribute_rejected(self):
+        # A rule disabled by attribute mutation (without telling the
+        # index) still never matches.
+        rule = make_rule()
+        index = RuleIndex([rule])
+        rule.enabled = False
+        assert index.matching(make_event("/d/f")) == []
+
+    def test_recompile_is_per_dirty_bucket(self):
+        r1, r2 = make_rule(prefix="/a"), make_rule(prefix="/b")
+        index = RuleIndex([r1, r2])
+        index.matching(make_event("/a/f"))
+        index.matching(make_event("/b/f"))
+        assert index.program_recompiles == 2
+        # Adding under /a dirties only /a's bucket; /b's compiled
+        # program survives.
+        index.add(make_rule(prefix="/a"))
+        index.matching(make_event("/a/f"))
+        index.matching(make_event("/b/f"))
+        assert index.program_recompiles == 3
+
+    def test_recompiles_survive_counter_reset(self):
+        index = RuleIndex([make_rule()])
+        index.matching(make_event("/d/f"))
+        assert index.program_recompiles == 1
+        index.reset_op_counters()
+        assert index.program_recompiles == 1
+
+
+# ---------------------------------------------------------------------------
+# MOVED-event name semantics: the glob applies to the NEW name
+# ---------------------------------------------------------------------------
+
+
+class TestMovedNameSemantics:
+    def test_glob_applies_to_new_name_only(self):
+        rule = make_rule(
+            prefix="/w", pattern="*.dat", event_types={EventType.MOVED}
+        )
+        index = RuleIndex([rule])
+        hit = make_event(
+            "/w/out.dat", EventType.MOVED, old_path="/w/out.tmp"
+        )
+        miss = make_event(
+            "/w/out.tmp", EventType.MOVED, old_path="/w/out.dat"
+        )
+        assert index.matching(hit) == [rule]
+        assert index.matching(miss) == []
+
+    def test_old_path_walk_filters_on_new_name(self):
+        # The rule watches the OLD subtree; the name filter still
+        # applies to the destination basename (the file as it now is).
+        rule = make_rule(
+            prefix="/src", pattern="*.dat", event_types={EventType.MOVED}
+        )
+        index = RuleIndex([rule])
+        hit = make_event(
+            "/dst/f.dat", EventType.MOVED, old_path="/src/f.tmp"
+        )
+        miss = make_event(
+            "/dst/f.tmp", EventType.MOVED, old_path="/src/f.dat"
+        )
+        assert index.matching(hit) == [rule]
+        assert index.matching(miss) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rule_specs=st.lists(_RULE_SPEC, max_size=10),
+        path=_path_strategy(),
+        old_path=_path_strategy(),
+    )
+    def test_moved_equivalence_when_basenames_disagree(
+        self, rule_specs, path, old_path
+    ):
+        # The property the unit tests spot-check, in general: when the
+        # move changes the basename, indexed and linear matching agree
+        # (both apply the glob to the new name only).
+        assume(path.rsplit("/", 1)[-1] != old_path.rsplit("/", 1)[-1])
+        rules = _build(rule_specs)
+        event = make_event(path, EventType.MOVED, old_path=old_path)
+        assert rules.matching("a", event) == rules.matching_linear("a", event)
+
+
+# ---------------------------------------------------------------------------
+# Order-stamp stability under disabled adds and enable/disable flips
+# ---------------------------------------------------------------------------
+
+
+class TestOrderStampStability:
+    def test_repeated_disabled_add_is_idempotent(self):
+        # Re-adding a disabled rule must not advance the order clock:
+        # its stamp is pinned on the first add, so enabling it later
+        # lands at the original insertion position.
+        r1 = make_rule(prefix="/d", enabled=False)
+        index = RuleIndex()
+        index.add(r1)
+        index.add(r1)
+        index.add(r1)
+        r2 = make_rule(prefix="/d")
+        index.add(r2)
+        r1.enabled = True
+        index.set_enabled(r1)
+        assert index.matching(make_event("/d/f")) == [r1, r2]
+
+    def test_enable_via_add_recovers_pinned_stamp(self):
+        r1 = make_rule(prefix="/d", enabled=False)
+        index = RuleIndex()
+        index.add(r1)
+        r2 = make_rule(prefix="/d")
+        index.add(r2)
+        r1.enabled = True
+        index.add(r1)  # enabled add after a disabled add, no set_enabled
+        assert index.matching(make_event("/d/f")) == [r1, r2]
+
+    def test_disable_enable_round_trip_preserves_position(self):
+        r1, r2, r3 = (make_rule(prefix="/d") for _ in range(3))
+        index = RuleIndex([r1, r2, r3])
+        r2.enabled = False
+        index.set_enabled(r2)
+        assert index.matching(make_event("/d/f")) == [r1, r3]
+        r2.enabled = True
+        index.set_enabled(r2)
+        assert index.matching(make_event("/d/f")) == [r1, r2, r3]
 
 
 # ---------------------------------------------------------------------------
